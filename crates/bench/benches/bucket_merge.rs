@@ -1,0 +1,60 @@
+//! Bucket-list maintenance: the snapshot-hashing overhead that Fig. 9
+//! attributes to "merging buckets, which get larger" as accounts grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_buckets::BucketList;
+use stellar_crypto::sign::PublicKey;
+use stellar_ledger::entry::{AccountEntry, AccountId, LedgerEntry, LedgerKey};
+
+fn change(n: u64) -> (LedgerKey, Option<LedgerEntry>) {
+    let id = AccountId(PublicKey(n));
+    (
+        LedgerKey::Account(id),
+        Some(LedgerEntry::Account(AccountEntry::new(id, n as i64))),
+    )
+}
+
+/// Seeds a bucket list with `n` cold accounts, then measures 64 ledger
+/// closes of 100 changes each (several level-0/1 spills included).
+fn run_closes(seeded: &BucketList, ledgers: u64) {
+    let mut bl = seeded.clone();
+    for seq in 1..=ledgers {
+        let batch: Vec<_> = (0..100).map(|k| change(seq * 1_000_000 + k)).collect();
+        bl.add_batch(seq, &batch);
+        std::hint::black_box(bl.hash());
+    }
+}
+
+fn bench_bucket_closes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_close_64_ledgers");
+    group.sample_size(10);
+    for n in [1_000u64, 10_000, 100_000] {
+        let seeded = BucketList::seed(
+            (0..n).map(|i| LedgerEntry::Account(AccountEntry::new(AccountId(PublicKey(i)), 1))),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &seeded, |b, s| {
+            b.iter(|| run_closes(s, 64))
+        });
+    }
+    group.finish();
+}
+
+fn bench_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bucket_seed");
+    group.sample_size(10);
+    for n in [10_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut bl =
+                    BucketList::seed((0..n).map(|i| {
+                        LedgerEntry::Account(AccountEntry::new(AccountId(PublicKey(i)), 1))
+                    }));
+                std::hint::black_box(bl.hash())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bucket_closes, bench_seed);
+criterion_main!(benches);

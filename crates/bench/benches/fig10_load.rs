@@ -1,0 +1,34 @@
+//! Fig. 10 (bench form): transaction-rate scaling — one simulated
+//! consensus+close cycle at increasing load. Full sweep: `exp_fig10_load`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_sim::scenario::Scenario;
+use stellar_sim::{SimConfig, Simulation};
+
+fn run_point(rate: f64) {
+    let report = Simulation::new(SimConfig {
+        scenario: Scenario::ControlledMesh { n_validators: 4 },
+        n_accounts: 10_000,
+        tx_rate: rate,
+        target_ledgers: 3,
+        seed: 10,
+        max_tx_set_ops: 10_000,
+        ..SimConfig::default()
+    })
+    .run_to_completion();
+    assert!(report.ledgers.len() >= 3);
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_load_3ledgers");
+    group.sample_size(10);
+    for rate in [50.0f64, 100.0, 200.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(rate as u64), &rate, |b, &r| {
+            b.iter(|| run_point(r))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

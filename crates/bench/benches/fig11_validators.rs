@@ -1,0 +1,34 @@
+//! Fig. 11 (bench form): validator-count scaling — one simulated
+//! consensus+close cycle at increasing network size. Full sweep:
+//! `exp_fig11_validators`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_sim::scenario::Scenario;
+use stellar_sim::{SimConfig, Simulation};
+
+fn run_point(n: u32) {
+    let report = Simulation::new(SimConfig {
+        scenario: Scenario::ControlledMesh { n_validators: n },
+        n_accounts: 1_000,
+        tx_rate: 20.0,
+        target_ledgers: 3,
+        seed: 11,
+        ..SimConfig::default()
+    })
+    .run_to_completion();
+    assert!(report.ledgers.len() >= 3);
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_validators_3ledgers");
+    group.sample_size(10);
+    for n in [4u32, 10, 19] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_point(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

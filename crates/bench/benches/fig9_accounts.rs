@@ -1,0 +1,37 @@
+//! Fig. 9 (bench form): the account-scaling cost drivers — one full
+//! simulated consensus+close cycle at increasing account counts.
+//!
+//! The full sweep with the paper's table lives in `exp_fig9_accounts`;
+//! this bench keeps each point small enough for Criterion while exercising
+//! the identical code path (real ledger, real buckets, simulated network).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_sim::scenario::Scenario;
+use stellar_sim::{SimConfig, Simulation};
+
+fn run_point(accounts: u64) {
+    let report = Simulation::new(SimConfig {
+        scenario: Scenario::ControlledMesh { n_validators: 4 },
+        n_accounts: accounts,
+        tx_rate: 20.0,
+        target_ledgers: 3,
+        seed: 9,
+        ..SimConfig::default()
+    })
+    .run_to_completion();
+    assert!(report.ledgers.len() >= 3);
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_accounts_3ledgers");
+    group.sample_size(10);
+    for accounts in [1_000u64, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(accounts), &accounts, |b, &n| {
+            b.iter(|| run_point(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

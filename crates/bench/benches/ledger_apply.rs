@@ -1,0 +1,40 @@
+//! Ledger-update cost: applying transaction sets (the dominant term in
+//! Fig. 10's load sweep: "as the transaction set increases in size, it
+//! takes longer to commit it to the database").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stellar_bench::{payment_tx_set, store_with_accounts};
+use stellar_crypto::Hash256;
+use stellar_ledger::apply::close_ledger;
+use stellar_ledger::header::{LedgerHeader, LedgerParams};
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ledger_apply");
+    group.sample_size(10);
+    for (accounts, txs) in [
+        (1_000u64, 100u64),
+        (10_000, 500),
+        (100_000, 500),
+        (100_000, 1500),
+    ] {
+        let store = store_with_accounts(accounts);
+        let set = payment_tx_set(&store, accounts, txs);
+        let prev = LedgerHeader::genesis(Hash256::ZERO);
+        group.throughput(Throughput::Elements(txs));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{accounts}acct_{txs}tx")),
+            &(store, set, prev),
+            |b, (store, set, prev)| {
+                b.iter_batched(
+                    || store.clone(),
+                    |mut s| close_ledger(&mut s, prev, set, 100, LedgerParams::default()),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apply);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Order-book crossing and path payments (E12): the trading substrate
+//! behind §5's cross-issuer atomicity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_crypto::sign::PublicKey;
+use stellar_ledger::amount::{xlm, Price};
+use stellar_ledger::asset::Asset;
+use stellar_ledger::entry::{AccountEntry, AccountId};
+use stellar_ledger::ops::{apply_operation, ExecEnv};
+use stellar_ledger::pathfind::apply_path_payment;
+use stellar_ledger::store::LedgerStore;
+use stellar_ledger::tx::Operation;
+
+fn acct(n: u64) -> AccountId {
+    AccountId(PublicKey(n))
+}
+
+/// A store with a maker holding a USD/XLM book of `depth` offers.
+fn book(depth: u64) -> (LedgerStore, Asset) {
+    let usd = Asset::issued(acct(9), "USD");
+    let mut store = LedgerStore::new();
+    for id in [1u64, 2, 5, 9] {
+        store.put_account(AccountEntry::new(acct(id), xlm(1_000_000)));
+    }
+    let env = ExecEnv::default();
+    let mut d = store.begin();
+    apply_operation(
+        &mut d,
+        acct(5),
+        &Operation::ChangeTrust {
+            asset: usd.clone(),
+            limit: i64::MAX / 8,
+        },
+        &env,
+    )
+    .unwrap();
+    apply_operation(
+        &mut d,
+        acct(2),
+        &Operation::ChangeTrust {
+            asset: usd.clone(),
+            limit: i64::MAX / 8,
+        },
+        &env,
+    )
+    .unwrap();
+    apply_operation(
+        &mut d,
+        acct(9),
+        &Operation::Payment {
+            destination: acct(5),
+            asset: usd.clone(),
+            amount: xlm(100_000),
+        },
+        &env,
+    )
+    .unwrap();
+    for i in 0..depth {
+        apply_operation(
+            &mut d,
+            acct(5),
+            &Operation::ManageOffer {
+                offer_id: 0,
+                selling: usd.clone(),
+                buying: Asset::Native,
+                amount: 1000,
+                price: Price::new(1 + (i % 50) as u32, 1),
+                passive: false,
+            },
+            &env,
+        )
+        .unwrap();
+    }
+    let ch = d.into_changes();
+    store.commit(ch);
+    (store, usd)
+}
+
+fn bench_cross(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orderbook_cross");
+    group.sample_size(10);
+    for depth in [100u64, 1000] {
+        let (store, usd) = book(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut d = store.begin();
+                // Take half the book.
+                let op = Operation::ManageOffer {
+                    offer_id: 0,
+                    selling: Asset::Native,
+                    buying: usd.clone(),
+                    amount: xlm(1),
+                    price: Price::new(1, 50),
+                    passive: false,
+                };
+                apply_operation(&mut d, acct(2), &op, &ExecEnv::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_payment(c: &mut Criterion) {
+    let (store, usd) = book(1000);
+    c.bench_function("path_payment_direct", |b| {
+        b.iter(|| {
+            let mut d = store.begin();
+            apply_path_payment(
+                &mut d,
+                acct(2),
+                &Asset::Native,
+                xlm(100),
+                acct(2),
+                &usd,
+                10_000,
+                &[],
+                &ExecEnv::default(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_cross, bench_path_payment);
+criterion_main!(benches);

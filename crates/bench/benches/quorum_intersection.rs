@@ -1,0 +1,56 @@
+//! Quorum-intersection checker cost (E10): §6.2.1 reports that the
+//! production closure of 20–30 nodes checks "in a matter of seconds on a
+//! single CPU" with Lachowski's optimizations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_quorum::criticality::{check_criticality, OrgMap};
+use stellar_quorum::intersection::{enjoys_quorum_intersection, FbaSystem};
+use stellar_quorum::tiers::{synthesize_all, OrgConfig, Quality};
+use stellar_scp::NodeId;
+
+fn tiered_system(n_orgs: u32, per_org: u32) -> (FbaSystem, OrgMap) {
+    let orgs: Vec<OrgConfig> = (0..n_orgs)
+        .map(|o| {
+            let members: Vec<NodeId> = (o * per_org..(o + 1) * per_org).map(NodeId).collect();
+            OrgConfig::new(&format!("org{o}"), members, Quality::High)
+        })
+        .collect();
+    let sys = FbaSystem::new(synthesize_all(&orgs));
+    let map: OrgMap = orgs
+        .iter()
+        .map(|o| (o.name.clone(), o.validators.clone()))
+        .collect();
+    (sys, map)
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum_intersection");
+    group.sample_size(10);
+    // Shapes bounded to the paper's production closure scale (20-32
+    // nodes); larger/flatter shapes hit the problem's co-NP-hard tail.
+    for (orgs, per) in [(5u32, 3u32), (6, 4), (7, 4), (8, 4)] {
+        let (sys, _) = tiered_system(orgs, per);
+        let label = format!("{}nodes_{}orgs", orgs * per, orgs);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sys, |b, s| {
+            b.iter(|| assert!(enjoys_quorum_intersection(std::hint::black_box(s))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_criticality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("criticality_scan");
+    group.sample_size(10);
+    for orgs in [5u32, 7] {
+        let (sys, map) = tiered_system(orgs, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(orgs),
+            &(sys, map),
+            |b, (s, m)| b.iter(|| check_criticality(std::hint::black_box(s), m)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersection, bench_criticality);
+criterion_main!(benches);

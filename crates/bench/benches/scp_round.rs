@@ -1,0 +1,36 @@
+//! CPU cost of one full SCP consensus round (nomination → externalize)
+//! for N in-process nodes — the protocol-logic component of Fig. 11's
+//! validator scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_scp::test_harness::InMemoryNetwork;
+use stellar_scp::{NodeId, QuorumSet, Value};
+
+fn one_round(n: u32, slot: u64) {
+    let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
+    let qset = QuorumSet::majority(nodes.clone());
+    let mut net = InMemoryNetwork::new(&nodes, &qset, slot);
+    for node in &nodes {
+        net.propose(*node, slot, Value::new(format!("v{slot}").into_bytes()));
+    }
+    let decided = net.run_to_quiescence(slot);
+    assert_eq!(decided.len(), n as usize);
+}
+
+fn bench_scp_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scp_round");
+    group.sample_size(10);
+    for n in [4u32, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut slot = 0u64;
+            b.iter(|| {
+                slot += 1;
+                one_round(n, slot)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scp_round);
+criterion_main!(benches);

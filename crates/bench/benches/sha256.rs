@@ -1,0 +1,33 @@
+//! SHA-256 throughput — the hash underpinning bucket hashing, tx-set
+//! hashing, and leader selection (§3.2.5, §5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stellar_crypto::sha256::sha256;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha256(std::hint::black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sign_verify(c: &mut Criterion) {
+    use stellar_crypto::sign::{verify, KeyPair};
+    let kp = KeyPair::from_seed(1);
+    let msg = b"envelope bytes to sign";
+    let sig = kp.sign(msg);
+    c.bench_function("schnorr/sign", |b| {
+        b.iter(|| kp.sign(std::hint::black_box(msg)))
+    });
+    c.bench_function("schnorr/verify", |b| {
+        b.iter(|| verify(kp.public(), std::hint::black_box(msg), &sig))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_sign_verify);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Diagnostic: per-ledger nomination latency and timeout breakdown.
+
+use stellar_sim::scenario::Scenario;
+use stellar_sim::{SimConfig, Simulation};
+
+fn main() {
+    let mut sim = Simulation::new(SimConfig {
+        scenario: Scenario::ControlledMesh { n_validators: 4 },
+        n_accounts: 10_000,
+        tx_rate: 100.0,
+        target_ledgers: 10,
+        seed: 9,
+        ..SimConfig::default()
+    });
+    let report = sim.run();
+    for l in &report.ledgers {
+        println!(
+            "slot {:>3}  nominate {:>6} ms  ballot {:>5} ms  nom_timeouts {}  ballot_timeouts {}  ext_at {}",
+            l.slot, l.nomination_ms, l.balloting_ms, l.nomination_timeouts, l.ballot_timeouts, l.externalized_at_ms
+        );
+    }
+    // Dump raw events of the observer for the slowest slot.
+    let worst = report
+        .ledgers
+        .iter()
+        .max_by_key(|l| l.nomination_ms)
+        .unwrap()
+        .slot;
+    println!("\nevents for slot {worst} at observer:");
+    let obs = sim.validator(sim.observer_id());
+    for (t, ev) in &obs.herder.events {
+        let s = format!("{ev:?}");
+        if s.contains(&format!("slot: {worst}")) {
+            println!("  t={t}  {s}");
+        }
+    }
+}

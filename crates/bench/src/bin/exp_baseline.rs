@@ -1,0 +1,83 @@
+//! E7/E8 — the §7.3 baseline experiment.
+//!
+//! Paper setup: 100,000 accounts, 4 validators, 100 tx/s. Paper results:
+//! 507 ± 49 transactions per ledger; mean latencies 82.53 ms nomination,
+//! 95.96 ms balloting, 174.08 ms ledger update; ledgers close every ~5 s
+//! with no transactions dropped.
+//!
+//! ```sh
+//! cargo run --release -p stellar-bench --bin exp_baseline
+//! ```
+
+use stellar_bench::print_table;
+use stellar_sim::scenario::Scenario;
+use stellar_sim::{SimConfig, Simulation};
+
+fn main() {
+    let accounts = 100_000;
+    let rate = 100.0;
+    let ledgers = 15;
+    eprintln!("building 4 validators × {accounts} accounts …");
+    let t0 = std::time::Instant::now();
+    let mut sim = Simulation::new(SimConfig {
+        scenario: Scenario::ControlledMesh { n_validators: 4 },
+        n_accounts: accounts,
+        tx_rate: rate,
+        target_ledgers: ledgers,
+        seed: 7,
+        ..SimConfig::default()
+    });
+    eprintln!(
+        "setup took {:.1}s; running {ledgers} ledgers …",
+        t0.elapsed().as_secs_f64()
+    );
+    let report = sim.run().without_warmup(2);
+
+    println!("=== E7: §7.3 baseline (100k accounts, 4 validators, 100 tx/s) ===\n");
+    let rows = vec![
+        vec![
+            "this repro".into(),
+            format!(
+                "{:.1} ± {:.1}",
+                report.mean_tx_per_ledger(),
+                report.stddev_tx_per_ledger()
+            ),
+            format!("{:.2}", report.mean_nomination_ms()),
+            format!("{:.2}", report.mean_balloting_ms()),
+            format!("{:.2}", report.mean_ledger_update_ms()),
+            format!("{:.2}", report.mean_close_interval_s()),
+        ],
+        vec![
+            "paper".into(),
+            "507 ± 49".into(),
+            "82.53".into(),
+            "95.96".into(),
+            "174.08".into(),
+            "~5.0".into(),
+        ],
+    ];
+    print_table(
+        &[
+            "source",
+            "tx/ledger",
+            "nominate(ms)",
+            "ballot(ms)",
+            "apply(ms)",
+            "close(s)",
+        ],
+        &rows,
+    );
+
+    let delivered: usize = report.ledgers.iter().map(|l| l.tx_count).sum();
+    println!(
+        "\ngenerated {} txs, confirmed {} across {} ledgers (queue drains into later ledgers; none dropped)",
+        report.txs_generated,
+        delivered,
+        report.ledgers.len()
+    );
+    println!(
+        "nomination p99: {:.1} ms   balloting p99: {:.1} ms",
+        report.percentile_of(99.0, |l| l.nomination_ms as f64),
+        report.percentile_of(99.0, |l| l.balloting_ms as f64),
+    );
+}

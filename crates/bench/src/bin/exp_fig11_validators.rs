@@ -1,0 +1,57 @@
+//! E6 — Fig. 11: latency as the number of validators increases.
+//!
+//! Paper setup: 100,000 accounts, 100 tx/s, validators swept 4 → 43, all
+//! validators in all quorum slices (worst case). Paper shape: nomination
+//! grows slowly, balloting is the bottleneck (more messages to exchange),
+//! ledger update independent of validator count.
+//!
+//! This reproduction uses 20k accounts per validator replica to keep the
+//! 43-replica point inside laptop memory (documented in EXPERIMENTS.md);
+//! account count does not affect the validator-scaling shape (Fig. 9).
+//!
+//! ```sh
+//! cargo run --release -p stellar-bench --bin exp_fig11_validators
+//! ```
+
+use stellar_bench::print_table;
+use stellar_sim::scenario::Scenario;
+use stellar_sim::{SimConfig, Simulation};
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in [4u32, 10, 19, 28, 37, 43] {
+        eprintln!("validators = {n} …");
+        let mut sim = Simulation::new(SimConfig {
+            scenario: Scenario::ControlledMesh { n_validators: n },
+            n_accounts: 20_000,
+            tx_rate: 100.0,
+            target_ledgers: 8,
+            seed: 11,
+            ..SimConfig::default()
+        });
+        let report = sim.run().without_warmup(2);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{:.1}", report.mean_nomination_ms()),
+            format!("{:.1}", report.mean_balloting_ms()),
+            format!("{:.2}", report.mean_ledger_update_ms()),
+            format!("{:.2}", report.mean_close_interval_s()),
+            format!("{:.1}", report.scp_msgs_per_ledger()),
+        ]);
+    }
+    println!("=== E6: Fig. 11 — latency vs. validators (100 tx/s, majority slices) ===\n");
+    print_table(
+        &[
+            "validators",
+            "nominate(ms)",
+            "ballot(ms)",
+            "apply(ms)",
+            "close(s)",
+            "scp msgs/ledger",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper shape: balloting grows with validator count; ledger update independent of it."
+    );
+}

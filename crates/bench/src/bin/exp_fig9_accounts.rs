@@ -1,0 +1,57 @@
+//! E4 — Fig. 9: latency as the number of accounts increases.
+//!
+//! Paper setup: 4 validators, 100 tx/s, accounts swept 10⁵ → 5·10⁷ on
+//! c5d.9xlarge (72 GiB). Paper shape: nomination and balloting stay flat;
+//! ledger update stays low but bucket merging grows with account count.
+//! This reproduction sweeps 10⁴ → 5·10⁵ (laptop-scale memory; four full
+//! validator replicas share the process — see EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p stellar-bench --bin exp_fig9_accounts
+//! ```
+
+use stellar_bench::print_table;
+use stellar_sim::scenario::Scenario;
+use stellar_sim::{SimConfig, Simulation};
+
+fn main() {
+    let mut rows = Vec::new();
+    for accounts in [10_000u64, 50_000, 100_000, 200_000, 500_000] {
+        eprintln!("accounts = {accounts} …");
+        let mut sim = Simulation::new(SimConfig {
+            scenario: Scenario::ControlledMesh { n_validators: 4 },
+            n_accounts: accounts,
+            tx_rate: 100.0,
+            target_ledgers: 10,
+            seed: 9,
+            ..SimConfig::default()
+        });
+        let report = sim.run().without_warmup(2);
+        let merge_work = sim.validator(sim.observer_id()).herder.buckets.merge_work;
+        rows.push(vec![
+            format!("{accounts}"),
+            format!("{:.1}", report.mean_nomination_ms()),
+            format!("{:.1}", report.mean_balloting_ms()),
+            format!("{:.2}", report.mean_ledger_update_ms()),
+            format!("{:.2}", report.mean_close_interval_s()),
+            format!("{:.1}", report.mean_tx_per_ledger()),
+            format!("{merge_work}"),
+        ]);
+    }
+    println!("=== E4: Fig. 9 — latency vs. accounts (4 validators, 100 tx/s) ===\n");
+    print_table(
+        &[
+            "accounts",
+            "nominate(ms)",
+            "ballot(ms)",
+            "apply(ms)",
+            "close(s)",
+            "tx/ledger",
+            "bucket merge work",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper shape: consensus latency flat in accounts; apply/bucket-merge overhead grows."
+    );
+}

@@ -1,0 +1,101 @@
+//! Ablation — weighted federated leader selection (§3.2.5).
+//!
+//! The paper's motivating example: "if Europe and China each contribute 3
+//! nodes to every quorum, but China runs 1,000 nodes and Europe 4, then
+//! China will have the highest-priority node 99.6% of the time" under the
+//! strawman (priority over all nodes). Slice *weights* fix this: a node's
+//! chance of leading follows the fraction of slices it appears in, not
+//! raw node count.
+//!
+//! This experiment builds exactly that configuration and measures, over
+//! many slots, how often each organization's node wins leader election
+//! under (a) the strawman and (b) the paper's neighbors/priority scheme.
+//!
+//! ```sh
+//! cargo run --release -p stellar-bench --bin exp_leader_fairness
+//! ```
+
+use stellar_bench::print_table;
+use stellar_scp::leader::{priority, round_leader};
+use stellar_scp::{NodeId, QuorumSet};
+
+fn main() {
+    // Europe: nodes 0..4 (4 nodes). China: nodes 1000..2000 (1,000 nodes).
+    let europe: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let china: Vec<NodeId> = (1000..2000).map(NodeId).collect();
+    // Each org contributes an inner set of 3-of-its-nodes; both required.
+    let qset = QuorumSet {
+        threshold: 2,
+        validators: vec![],
+        inner: vec![
+            QuorumSet::threshold_of(3, europe.clone()),
+            QuorumSet::threshold_of(3, china.clone()),
+        ],
+    };
+    let me = NodeId(0); // a European observer
+    let slots = 5_000u64;
+
+    // Strawman: highest priority over ALL nodes, no weighting.
+    let mut strawman_china = 0u64;
+    let all: Vec<NodeId> = europe.iter().chain(china.iter()).copied().collect();
+    for slot in 0..slots {
+        let best = all
+            .iter()
+            .copied()
+            .max_by_key(|v| (priority(slot, 1, *v), *v))
+            .unwrap();
+        if best.0 >= 1000 {
+            strawman_china += 1;
+        }
+    }
+
+    // The paper's scheme: neighbors filtered by slice weight.
+    let mut weighted_china = 0u64;
+    let mut weighted_self = 0u64;
+    for slot in 0..slots {
+        let leader = round_leader(me, &qset, slot, 1);
+        if leader.0 >= 1000 {
+            weighted_china += 1;
+        }
+        if leader == me {
+            weighted_self += 1;
+        }
+    }
+
+    println!("=== ablation: leader fairness (§3.2.5 Europe 4 nodes vs China 1000 nodes) ===\n");
+    let pct = |n: u64| format!("{:.1}%", n as f64 * 100.0 / slots as f64);
+    let rows = vec![
+        vec![
+            "strawman: argmax priority(v)".into(),
+            pct(strawman_china),
+            "99.6% (paper)".into(),
+        ],
+        vec![
+            "weighted neighbors (SCP)".into(),
+            pct(weighted_china),
+            "≈ slice-weight share".into(),
+        ],
+    ];
+    print_table(&["scheme", "China-led slots", "expected"], &rows);
+    println!(
+        "\nweighted scheme: observer led itself {} of {slots} slots (self-weight 1.0 boost)",
+        weighted_self
+    );
+    println!(
+        "\nboth orgs required (2-of-2): weight(europe node) = 3/4, weight(china node) = 3/1000:"
+    );
+    println!(
+        "  weight(europe node) = {:.4}, weight(china node) = {:.6}",
+        qset.weight(NodeId(1)),
+        qset.weight(NodeId(1500)),
+    );
+    println!("aggregate: Europe ≈ China in leadership share despite the 250× node-count gap.");
+    assert!(
+        strawman_china > slots * 95 / 100,
+        "strawman must be dominated by China"
+    );
+    assert!(
+        weighted_china < slots / 2,
+        "weighting must suppress China's node-count advantage"
+    );
+}

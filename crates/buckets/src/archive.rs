@@ -1,0 +1,190 @@
+//! The write-only history archive (§5.4).
+//!
+//! "Stellar-core creates a write-only history archive containing each
+//! transaction set that was confirmed and snapshots of buckets. The
+//! archive lets new nodes bootstrap themselves when joining the network.
+//! It also provides a record of ledger history."
+//!
+//! The archive is content-addressed flat storage — production uses S3 or
+//! Glacier; here a map of hash → bytes with the same put/get discipline
+//! (append-only, idempotent puts). Checkpoints are taken every
+//! [`CHECKPOINT_PERIOD`] ledgers, as in production (64).
+
+use crate::bucket_list::BucketList;
+use std::collections::BTreeMap;
+use stellar_crypto::codec::Encode;
+use stellar_crypto::Hash256;
+use stellar_ledger::header::LedgerHeader;
+use stellar_ledger::txset::TransactionSet;
+
+/// Ledgers between checkpoints (production: 64).
+pub const CHECKPOINT_PERIOD: u64 = 64;
+
+/// A checkpoint manifest: everything needed to bootstrap at a ledger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The checkpointed ledger header.
+    pub header: LedgerHeader,
+    /// Bucket hashes by level at this ledger.
+    pub bucket_hashes: Vec<Hash256>,
+}
+
+/// An append-only, content-addressed history archive.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryArchive {
+    /// Content-addressed blobs (serialized buckets).
+    blobs: BTreeMap<Hash256, Vec<u8>>,
+    /// Confirmed transaction sets by ledger sequence.
+    tx_sets: BTreeMap<u64, TransactionSet>,
+    /// Headers by ledger sequence.
+    headers: BTreeMap<u64, LedgerHeader>,
+    /// Checkpoints by ledger sequence.
+    checkpoints: BTreeMap<u64, Checkpoint>,
+    /// Total bytes written (cheap-storage cost accounting).
+    pub bytes_written: u64,
+}
+
+impl HistoryArchive {
+    /// An empty archive.
+    pub fn new() -> HistoryArchive {
+        HistoryArchive::default()
+    }
+
+    /// Records a closed ledger: its header and transaction set, plus a
+    /// checkpoint with bucket snapshots when one falls due.
+    pub fn publish(
+        &mut self,
+        header: &LedgerHeader,
+        tx_set: &TransactionSet,
+        buckets: &mut BucketList,
+    ) {
+        let seq = header.ledger_seq;
+        self.headers.insert(seq, header.clone());
+        let bytes = tx_set.wire_size() as u64;
+        self.bytes_written += bytes;
+        self.tx_sets.insert(seq, tx_set.clone());
+
+        if seq % CHECKPOINT_PERIOD == 0 {
+            let hashes = buckets.level_hashes();
+            for (i, h) in hashes.iter().enumerate() {
+                if !self.blobs.contains_key(h) {
+                    let mut buf = Vec::new();
+                    for (k, e) in buckets.level(i).iter() {
+                        k.encode(&mut buf);
+                        match e {
+                            crate::bucket::BucketEntry::Live(entry) => {
+                                0u8.encode(&mut buf);
+                                entry.encode(&mut buf);
+                            }
+                            crate::bucket::BucketEntry::Dead => 1u8.encode(&mut buf),
+                        }
+                    }
+                    self.bytes_written += buf.len() as u64;
+                    self.blobs.insert(*h, buf);
+                }
+            }
+            self.checkpoints.insert(
+                seq,
+                Checkpoint {
+                    header: header.clone(),
+                    bucket_hashes: hashes,
+                },
+            );
+        }
+    }
+
+    /// Looks up a historical transaction set ("a transaction from two
+    /// years ago").
+    pub fn tx_set(&self, ledger_seq: u64) -> Option<&TransactionSet> {
+        self.tx_sets.get(&ledger_seq)
+    }
+
+    /// Looks up a historical header.
+    pub fn header(&self, ledger_seq: u64) -> Option<&LedgerHeader> {
+        self.headers.get(&ledger_seq)
+    }
+
+    /// The latest checkpoint at or before `ledger_seq` (catch-up starting
+    /// point for a bootstrapping node).
+    pub fn latest_checkpoint_at(&self, ledger_seq: u64) -> Option<&Checkpoint> {
+        self.checkpoints
+            .range(..=ledger_seq)
+            .next_back()
+            .map(|(_, c)| c)
+    }
+
+    /// Fetches a bucket blob by hash.
+    pub fn bucket_blob(&self, hash: &Hash256) -> Option<&[u8]> {
+        self.blobs.get(hash).map(Vec::as_slice)
+    }
+
+    /// The transaction sets needed to replay from a checkpoint to `target`.
+    pub fn replay_range(&self, from_exclusive: u64, target: u64) -> Vec<&TransactionSet> {
+        self.tx_sets
+            .range(from_exclusive + 1..=target)
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    /// Number of checkpoints taken.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_ledger::header::LedgerParams;
+
+    fn header(seq: u64) -> LedgerHeader {
+        let mut h = LedgerHeader::genesis(Hash256::ZERO);
+        h.ledger_seq = seq;
+        h
+    }
+
+    #[test]
+    fn publishes_and_retrieves_history() {
+        let mut arch = HistoryArchive::new();
+        let mut bl = BucketList::new();
+        for seq in 1..=130u64 {
+            let set = TransactionSet::empty(Hash256::ZERO);
+            arch.publish(&header(seq), &set, &mut bl);
+        }
+        assert!(arch.tx_set(77).is_some());
+        assert!(arch.header(130).is_some());
+        assert_eq!(arch.checkpoint_count(), 2); // at 64 and 128
+        let cp = arch.latest_checkpoint_at(130).unwrap();
+        assert_eq!(cp.header.ledger_seq, 128);
+        assert_eq!(arch.replay_range(128, 130).len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_blobs_are_content_addressed_and_deduped() {
+        let mut arch = HistoryArchive::new();
+        let mut bl = BucketList::new();
+        let set = TransactionSet::empty(Hash256::ZERO);
+        arch.publish(&header(64), &set, &mut bl);
+        let written = arch.bytes_written;
+        // Same (empty) buckets at the next checkpoint: no new blob bytes
+        // beyond the tx set.
+        arch.publish(&header(128), &set, &mut bl);
+        assert_eq!(arch.bytes_written, written + set.wire_size() as u64);
+        for h in &arch.latest_checkpoint_at(128).unwrap().bucket_hashes {
+            assert!(arch.bucket_blob(h).is_some());
+        }
+    }
+
+    #[test]
+    fn params_survive_in_headers() {
+        let mut arch = HistoryArchive::new();
+        let mut bl = BucketList::new();
+        let mut h = header(64);
+        h.params = LedgerParams {
+            protocol_version: 9,
+            ..LedgerParams::default()
+        };
+        arch.publish(&h, &TransactionSet::empty(Hash256::ZERO), &mut bl);
+        assert_eq!(arch.header(64).unwrap().params.protocol_version, 9);
+    }
+}

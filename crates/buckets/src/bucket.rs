@@ -1,0 +1,179 @@
+//! A single bucket: a sorted set of entry versions and tombstones.
+
+use std::collections::BTreeMap;
+use stellar_crypto::codec::Encode;
+use stellar_crypto::{sha256::Sha256, Hash256};
+use stellar_ledger::entry::{LedgerEntry, LedgerKey};
+
+/// One slot in a bucket: the latest version of an entry, or a tombstone
+/// recording its deletion (needed so deletions shadow older versions in
+/// lower levels until they reach the bottom).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BucketEntry {
+    /// A live entry version.
+    Live(LedgerEntry),
+    /// The entry was deleted.
+    Dead,
+}
+
+impl BucketEntry {
+    fn encode_with_key(&self, key: &LedgerKey, out: &mut Vec<u8>) {
+        key.encode(out);
+        match self {
+            BucketEntry::Live(e) => {
+                0u8.encode(out);
+                e.encode(out);
+            }
+            BucketEntry::Dead => 1u8.encode(out),
+        }
+    }
+}
+
+/// A sorted, content-hashed bucket.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bucket {
+    entries: BTreeMap<LedgerKey, BucketEntry>,
+}
+
+impl Bucket {
+    /// The empty bucket.
+    pub fn empty() -> Bucket {
+        Bucket::default()
+    }
+
+    /// Builds a bucket from a ledger-close change feed.
+    pub fn from_changes(changes: &[(LedgerKey, Option<LedgerEntry>)]) -> Bucket {
+        let mut entries = BTreeMap::new();
+        for (key, change) in changes {
+            let be = match change {
+                Some(e) => BucketEntry::Live(e.clone()),
+                None => BucketEntry::Dead,
+            };
+            entries.insert(key.clone(), be);
+        }
+        Bucket { entries }
+    }
+
+    /// Number of slots (live + tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the bucket holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry version by key.
+    pub fn get(&self, key: &LedgerKey) -> Option<&BucketEntry> {
+        self.entries.get(key)
+    }
+
+    /// Sequential iteration (the only access pattern merges need).
+    pub fn iter(&self) -> impl Iterator<Item = (&LedgerKey, &BucketEntry)> {
+        self.entries.iter()
+    }
+
+    /// Content hash: SHA-256 over the sorted serialized slots.
+    ///
+    /// Incremental hashing means the cost is one pass over the bucket,
+    /// paid only when the bucket changes (i.e. at merge time).
+    pub fn hash(&self) -> Hash256 {
+        let mut h = Sha256::new();
+        let mut buf = Vec::new();
+        for (k, v) in &self.entries {
+            buf.clear();
+            v.encode_with_key(k, &mut buf);
+            h.update(&buf);
+        }
+        h.finish()
+    }
+
+    /// Merges `newer` over `self`, producing the combined bucket.
+    ///
+    /// Newer versions shadow older ones. Tombstones are kept unless
+    /// `bottom_level` is set, in which case they annihilate (nothing below
+    /// could still hold a shadowed version).
+    pub fn merge(&self, newer: &Bucket, bottom_level: bool) -> Bucket {
+        let mut out = self.entries.clone();
+        for (k, v) in &newer.entries {
+            out.insert(k.clone(), v.clone());
+        }
+        if bottom_level {
+            out.retain(|_, v| !matches!(v, BucketEntry::Dead));
+        }
+        Bucket { entries: out }
+    }
+
+    /// Live entries only (for state reconstruction during catch-up).
+    pub fn live_entries(&self) -> impl Iterator<Item = &LedgerEntry> {
+        self.entries.values().filter_map(|v| match v {
+            BucketEntry::Live(e) => Some(e),
+            BucketEntry::Dead => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_crypto::sign::PublicKey;
+    use stellar_ledger::entry::{AccountEntry, AccountId};
+
+    fn key(n: u64) -> LedgerKey {
+        LedgerKey::Account(AccountId(PublicKey(n)))
+    }
+
+    fn live(n: u64, balance: i64) -> (LedgerKey, Option<LedgerEntry>) {
+        (
+            key(n),
+            Some(LedgerEntry::Account(AccountEntry::new(
+                AccountId(PublicKey(n)),
+                balance,
+            ))),
+        )
+    }
+
+    fn dead(n: u64) -> (LedgerKey, Option<LedgerEntry>) {
+        (key(n), None)
+    }
+
+    #[test]
+    fn hash_is_order_independent_and_content_sensitive() {
+        let a = Bucket::from_changes(&[live(1, 10), live(2, 20)]);
+        let b = Bucket::from_changes(&[live(2, 20), live(1, 10)]);
+        assert_eq!(a.hash(), b.hash());
+        let c = Bucket::from_changes(&[live(1, 11), live(2, 20)]);
+        assert_ne!(a.hash(), c.hash());
+        assert_eq!(Bucket::empty().hash(), Bucket::empty().hash());
+    }
+
+    #[test]
+    fn merge_newer_shadows_older() {
+        let old = Bucket::from_changes(&[live(1, 10), live(2, 20)]);
+        let new = Bucket::from_changes(&[live(1, 99)]);
+        let merged = old.merge(&new, false);
+        match merged.get(&key(1)).unwrap() {
+            BucketEntry::Live(LedgerEntry::Account(a)) => assert_eq!(a.balance, 99),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn tombstones_survive_mid_levels_and_annihilate_at_bottom() {
+        let old = Bucket::from_changes(&[live(1, 10)]);
+        let new = Bucket::from_changes(&[dead(1)]);
+        let mid = old.merge(&new, false);
+        assert!(matches!(mid.get(&key(1)), Some(BucketEntry::Dead)));
+        let bottom = old.merge(&new, true);
+        assert!(bottom.get(&key(1)).is_none());
+        assert!(bottom.is_empty());
+    }
+
+    #[test]
+    fn live_entries_skips_tombstones() {
+        let b = Bucket::from_changes(&[live(1, 10), dead(2)]);
+        assert_eq!(b.live_entries().count(), 1);
+    }
+}

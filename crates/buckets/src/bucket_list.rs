@@ -1,0 +1,268 @@
+//! The leveled bucket list (§5.1): snapshot hashing that scales.
+//!
+//! Entries are stratified by time of last modification into exponentially
+//! sized levels. Each ledger close merges that ledger's changes into level
+//! 0; every `4^(i+1)` ledgers, level *i* spills into level *i+1*. Most
+//! closes therefore touch only the small top levels, and the big cold
+//! buckets at the bottom are merged (and re-hashed) exponentially rarely —
+//! this is the "overhead of merging buckets, which get larger" visible in
+//! the paper's Fig. 9 account sweep.
+
+use crate::bucket::Bucket;
+use stellar_crypto::{sha256::Sha256, Hash256};
+use stellar_ledger::entry::{LedgerEntry, LedgerKey};
+
+/// Number of levels; `4^(NUM_LEVELS)` ledgers before the bottom level
+/// spills, which at 5 s/ledger is far beyond any experiment horizon.
+pub const NUM_LEVELS: usize = 10;
+
+/// The leveled bucket structure.
+#[derive(Clone, Debug)]
+pub struct BucketList {
+    levels: Vec<Bucket>,
+    /// Cached per-level hashes, invalidated on change.
+    level_hashes: Vec<Option<Hash256>>,
+    /// Cumulative work counter: slots merged so far (metrics for the
+    /// Fig. 9 "merging buckets" overhead).
+    pub merge_work: u64,
+}
+
+impl Default for BucketList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BucketList {
+    /// An empty bucket list.
+    pub fn new() -> BucketList {
+        BucketList {
+            levels: vec![Bucket::empty(); NUM_LEVELS],
+            level_hashes: vec![None; NUM_LEVELS],
+            merge_work: 0,
+        }
+    }
+
+    /// Seeds the list from a full state snapshot (genesis or catch-up):
+    /// everything lands in the bottom level, as if untouched for ages.
+    pub fn seed(entries: impl IntoIterator<Item = LedgerEntry>) -> BucketList {
+        let mut list = BucketList::new();
+        let changes: Vec<(LedgerKey, Option<LedgerEntry>)> =
+            entries.into_iter().map(|e| (e.key(), Some(e))).collect();
+        list.levels[NUM_LEVELS - 1] = Bucket::from_changes(&changes);
+        list
+    }
+
+    /// The spill period of level `i`: it spills into `i+1` every
+    /// `4^(i+1)` ledgers.
+    fn spill_period(i: usize) -> u64 {
+        4u64.pow(i as u32 + 1)
+    }
+
+    /// Adds one ledger's change batch (at `ledger_seq`) and performs any
+    /// spills that fall due.
+    pub fn add_batch(&mut self, ledger_seq: u64, changes: &[(LedgerKey, Option<LedgerEntry>)]) {
+        // Spill from the deepest due level upward, so a batch never
+        // leapfrogs levels within one close. Skip the bottom level (it
+        // only accumulates).
+        for i in (0..NUM_LEVELS - 1).rev() {
+            if ledger_seq % Self::spill_period(i) == 0 && !self.levels[i].is_empty() {
+                let spilled = std::mem::take(&mut self.levels[i]);
+                let bottom = i + 1 == NUM_LEVELS - 1;
+                self.merge_work += (spilled.len() + self.levels[i + 1].len()) as u64;
+                self.levels[i + 1] = self.levels[i + 1].merge(&spilled, bottom);
+                self.level_hashes[i] = None;
+                self.level_hashes[i + 1] = None;
+            }
+        }
+        if !changes.is_empty() {
+            let batch = Bucket::from_changes(changes);
+            self.merge_work += (batch.len() + self.levels[0].len()) as u64;
+            self.levels[0] = self.levels[0].merge(&batch, false);
+            self.level_hashes[0] = None;
+        }
+    }
+
+    /// The snapshot hash: a cumulative hash over the per-level bucket
+    /// hashes ("a small, fixed index of reference hashes", §5.1).
+    pub fn hash(&mut self) -> Hash256 {
+        let mut h = Sha256::new();
+        for i in 0..NUM_LEVELS {
+            let lh = match self.level_hashes[i] {
+                Some(x) => x,
+                None => {
+                    let x = self.levels[i].hash();
+                    self.level_hashes[i] = Some(x);
+                    x
+                }
+            };
+            h.update(lh.as_bytes());
+        }
+        h.finish()
+    }
+
+    /// Per-level bucket hashes (what peers exchange to reconcile: only
+    /// buckets whose hashes differ need downloading).
+    pub fn level_hashes(&mut self) -> Vec<Hash256> {
+        (0..NUM_LEVELS)
+            .map(|i| match self.level_hashes[i] {
+                Some(x) => x,
+                None => {
+                    let x = self.levels[i].hash();
+                    self.level_hashes[i] = Some(x);
+                    x
+                }
+            })
+            .collect()
+    }
+
+    /// Read access to a level (archive snapshots, tests).
+    pub fn level(&self, i: usize) -> &Bucket {
+        &self.levels[i]
+    }
+
+    /// Total slots across all levels.
+    pub fn total_entries(&self) -> usize {
+        self.levels.iter().map(Bucket::len).sum()
+    }
+
+    /// Reconstructs the latest live state by merging bottom-up (catch-up
+    /// path for a new node that downloaded the buckets).
+    pub fn reconstruct_state(&self) -> Vec<LedgerEntry> {
+        let mut acc = Bucket::empty();
+        for i in (0..NUM_LEVELS).rev() {
+            acc = acc.merge(&self.levels[i], false);
+        }
+        acc.live_entries().cloned().collect()
+    }
+
+    /// Which levels differ from another list (reconciliation after a
+    /// disconnect downloads only these).
+    pub fn diff_levels(&mut self, other: &mut BucketList) -> Vec<usize> {
+        let a = self.level_hashes();
+        let b = other.level_hashes();
+        (0..NUM_LEVELS).filter(|&i| a[i] != b[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_crypto::sign::PublicKey;
+    use stellar_ledger::entry::{AccountEntry, AccountId};
+
+    fn change(n: u64, balance: i64) -> (LedgerKey, Option<LedgerEntry>) {
+        let id = AccountId(PublicKey(n));
+        (
+            LedgerKey::Account(id),
+            Some(LedgerEntry::Account(AccountEntry::new(id, balance))),
+        )
+    }
+
+    fn delete(n: u64) -> (LedgerKey, Option<LedgerEntry>) {
+        (LedgerKey::Account(AccountId(PublicKey(n))), None)
+    }
+
+    #[test]
+    fn hash_changes_with_batches() {
+        let mut bl = BucketList::new();
+        let h0 = bl.hash();
+        bl.add_batch(1, &[change(1, 10)]);
+        let h1 = bl.hash();
+        assert_ne!(h0, h1);
+        bl.add_batch(2, &[change(1, 20)]);
+        assert_ne!(h1, bl.hash());
+    }
+
+    #[test]
+    fn identical_histories_identical_hashes() {
+        let mut a = BucketList::new();
+        let mut b = BucketList::new();
+        for seq in 1..=100u64 {
+            let batch = [change(seq % 7, seq as i64)];
+            a.add_batch(seq, &batch);
+            b.add_batch(seq, &batch);
+        }
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn spills_move_entries_down() {
+        let mut bl = BucketList::new();
+        for seq in 1..=16u64 {
+            bl.add_batch(seq, &[change(seq, seq as i64)]);
+        }
+        // After 16 ledgers, level-0 spilled at 4, 8, 12, 16 and level-1
+        // spilled at 16.
+        assert!(bl.level(1).len() > 0 || bl.level(2).len() > 0);
+        assert_eq!(bl.reconstruct_state().len(), 16);
+    }
+
+    #[test]
+    fn reconstruct_state_sees_latest_versions_and_deletes() {
+        let mut bl = BucketList::new();
+        bl.add_batch(1, &[change(1, 10), change(2, 20)]);
+        bl.add_batch(2, &[change(1, 99)]);
+        bl.add_batch(3, &[delete(2)]);
+        let state = bl.reconstruct_state();
+        assert_eq!(state.len(), 1);
+        match &state[0] {
+            LedgerEntry::Account(a) => assert_eq!(a.balance, 99),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_list_reconstructs_seed() {
+        let entries: Vec<LedgerEntry> = (0..50u64)
+            .map(|n| LedgerEntry::Account(AccountEntry::new(AccountId(PublicKey(n)), n as i64)))
+            .collect();
+        let bl = BucketList::seed(entries.clone());
+        let mut got = bl.reconstruct_state();
+        got.sort_by_key(|e| e.key());
+        assert_eq!(got.len(), entries.len());
+    }
+
+    #[test]
+    fn diff_levels_detects_divergence() {
+        let mut a = BucketList::new();
+        let mut b = BucketList::new();
+        for seq in 1..=20u64 {
+            let batch = [change(seq, seq as i64)];
+            a.add_batch(seq, &batch);
+            b.add_batch(seq, &batch);
+        }
+        assert!(a.diff_levels(&mut b).is_empty());
+        b.add_batch(21, &[change(999, 1)]);
+        a.add_batch(21, &[]);
+        assert!(!a.diff_levels(&mut b).is_empty());
+    }
+
+    #[test]
+    fn merge_work_grows_with_account_count() {
+        // The Fig. 9 effect: more accounts ⇒ bigger buckets ⇒ more merge
+        // work per spill.
+        let work = |n: u64| {
+            let mut bl = BucketList::new();
+            for seq in 1..=64u64 {
+                let batch: Vec<_> = (0..n).map(|k| change(seq * 1000 + k, 1)).collect();
+                bl.add_batch(seq, &batch);
+            }
+            bl.merge_work
+        };
+        assert!(work(20) > work(2) * 5);
+    }
+
+    #[test]
+    fn hash_cache_consistent_with_recompute() {
+        let mut bl = BucketList::new();
+        for seq in 1..=40u64 {
+            bl.add_batch(seq, &[change(seq % 5, seq as i64)]);
+        }
+        let cached = bl.hash();
+        // Recompute from a fresh clone with no caches.
+        let mut fresh = bl.clone();
+        fresh.level_hashes = vec![None; NUM_LEVELS];
+        assert_eq!(cached, fresh.hash());
+    }
+}

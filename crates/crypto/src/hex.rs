@@ -1,0 +1,67 @@
+//! Minimal hex encoding/decoding for digests, keys, and test vectors.
+
+/// Encodes bytes as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (upper- or lowercase) into bytes.
+///
+/// Returns `None` on odd length or non-hex characters.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = from_digit(pair[0])?;
+        let lo = from_digit(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn from_digit(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)), Some(data));
+    }
+
+    #[test]
+    fn accepts_uppercase() {
+        assert_eq!(decode("DEADbeef"), Some(vec![0xde, 0xad, 0xbe, 0xef]));
+    }
+
+    #[test]
+    fn rejects_odd_length_and_bad_chars() {
+        assert_eq!(decode("abc"), None);
+        assert_eq!(decode("zz"), None);
+        assert_eq!(decode("0g"), None);
+    }
+
+    #[test]
+    fn empty_is_ok() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode(""), Some(vec![]));
+    }
+}

@@ -1,0 +1,325 @@
+//! Public-key signatures for SCP envelopes and transactions.
+//!
+//! Production Stellar signs envelopes and transactions with ed25519. This
+//! workspace has no external crypto dependencies, so we substitute a
+//! **structurally faithful Schnorr signature at toy parameters** (see
+//! `DESIGN.md`, substitutions): key generation, signing, and public
+//! verification all work exactly as in a production scheme, over the
+//! multiplicative group of a 62-bit safe prime. The group is far too small
+//! to be secure against a real attacker, but the protocol code paths —
+//! envelope signing, signature checks on receipt, multisig weight
+//! accumulation — are identical to what a production scheme would exercise,
+//! and the API is swap-in compatible.
+//!
+//! Scheme (Fiat–Shamir Schnorr):
+//! * parameters: safe prime `p = 2q + 1`, generator `g` of the order-`q`
+//!   subgroup;
+//! * secret key `x ∈ [1, q)`, public key `y = g^x mod p`;
+//! * sign(m): pick nonce `k` (derived deterministically from the secret key
+//!   and message, RFC 6979-style), `r = g^k`, `e = H(r ∥ y ∥ m) mod q`,
+//!   `s = k + x·e mod q`; signature is `(e, s)`;
+//! * verify: `r' = g^s · y^{-e}`, accept iff `e == H(r' ∥ y ∥ m) mod q`.
+
+use crate::codec::{Decode, DecodeError, Encode};
+use crate::hash_concat;
+use rand::Rng;
+
+/// Safe prime modulus `p = 2q + 1` (62 bits).
+pub const P: u64 = 0x3fff_ffff_ffff_d6bb;
+/// Prime group order `q = (p - 1) / 2`.
+pub const Q: u64 = 0x1fff_ffff_ffff_eb5d;
+/// Generator of the order-`q` subgroup (`g = 2² mod p`).
+pub const G: u64 = 4;
+
+/// Modular multiplication in `Z_p` via 128-bit intermediates.
+fn mul_mod(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % P as u128) as u64
+}
+
+/// Modular exponentiation `base^exp mod p` by square-and-multiply.
+fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc: u64 = 1;
+    base %= P;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// A public verification key (a group element).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PublicKey(pub u64);
+
+/// A secret signing key (an exponent in `[1, q)`).
+///
+/// Deliberately does not implement `Debug`/`Display` with its value, and is
+/// not `Copy`, mirroring hygiene conventions for real key material.
+#[derive(Clone)]
+pub struct SecretKey(u64);
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SecretKey(<redacted>)")
+    }
+}
+
+/// A Schnorr signature `(e, s)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// Fiat–Shamir challenge `e = H(r ∥ y ∥ m) mod q`.
+    pub e: u64,
+    /// Response `s = k + x·e mod q`.
+    pub s: u64,
+}
+
+crate::impl_codec_struct!(Signature { e, s });
+
+impl Encode for PublicKey {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for PublicKey {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(PublicKey(u64::decode(input)?))
+    }
+}
+
+/// A signing keypair.
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    secret: SecretKey,
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Generates a keypair from the given RNG.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> KeyPair {
+        let x = rng.gen_range(1..Q);
+        KeyPair::from_secret_exponent(x)
+    }
+
+    /// Derives a keypair deterministically from a seed.
+    ///
+    /// Handy for reproducible simulations: node `i` of an experiment always
+    /// gets the same identity.
+    pub fn from_seed(seed: u64) -> KeyPair {
+        let h = hash_concat(&[b"stellar-keypair-seed", &seed.to_be_bytes()]);
+        let x = 1 + h.prefix_u64() % (Q - 1);
+        KeyPair::from_secret_exponent(x)
+    }
+
+    fn from_secret_exponent(x: u64) -> KeyPair {
+        debug_assert!(x >= 1 && x < Q);
+        KeyPair {
+            secret: SecretKey(x),
+            public: PublicKey(pow_mod(G, x)),
+        }
+    }
+
+    /// Returns the public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Signs `msg`, producing a publicly verifiable signature.
+    ///
+    /// The nonce is derived deterministically from the secret key and the
+    /// message (RFC 6979 style), so signing is reproducible and never reuses
+    /// a nonce across distinct messages.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        let kd = hash_concat(&[b"nonce", &self.secret.0.to_be_bytes(), msg]);
+        let k = 1 + kd.prefix_u64() % (Q - 1);
+        let r = pow_mod(G, k);
+        let e = challenge(r, self.public, msg);
+        let s = (k as u128 + mul_mod_q(self.secret.0, e) as u128) % Q as u128;
+        Signature { e, s: s as u64 }
+    }
+}
+
+/// Multiplication modulo the group order `q`.
+fn mul_mod_q(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % Q as u128) as u64
+}
+
+/// Fiat–Shamir challenge hash, reduced mod `q`.
+fn challenge(r: u64, public: PublicKey, msg: &[u8]) -> u64 {
+    let h = hash_concat(&[b"schnorr", &r.to_be_bytes(), &public.0.to_be_bytes(), msg]);
+    h.prefix_u64() % Q
+}
+
+/// Verifies `sig` over `msg` under `public`.
+pub fn verify(public: PublicKey, msg: &[u8], sig: &Signature) -> bool {
+    if sig.e >= Q || sig.s >= Q || public.0 == 0 || public.0 >= P {
+        return false;
+    }
+    // r' = g^s * y^(-e) = g^s * y^(q - e)  (y has order q).
+    let y_neg_e = pow_mod(public.0, Q - sig.e % Q);
+    let r = mul_mod(pow_mod(G, sig.s), y_neg_e);
+    challenge(r, public, msg) == sig.e
+}
+
+/// Convenience wrapper: signs the hash of an encodable structure.
+pub fn sign_xdr<T: Encode>(keys: &KeyPair, value: &T) -> Signature {
+    keys.sign(crate::hash_xdr(value).as_bytes())
+}
+
+/// Convenience wrapper: verifies a signature over the hash of a structure.
+pub fn verify_xdr<T: Encode>(public: PublicKey, value: &T, sig: &Signature) -> bool {
+    verify(public, crate::hash_xdr(value).as_bytes(), sig)
+}
+
+/// Deterministic Miller–Rabin primality check for `u64`.
+///
+/// With the witness set below, the test is *deterministic* (not
+/// probabilistic) for all 64-bit integers; it backs the parameter
+/// self-checks in this module's tests.
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for small in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == small {
+            return true;
+        }
+        if n % small == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod_n(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = ((x as u128 * x as u128) % n as u128) as u64;
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn pow_mod_n(mut base: u64, mut exp: u64, n: u64) -> u64 {
+    let mut acc: u64 = 1;
+    base %= n;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = ((acc as u128 * base as u128) % n as u128) as u64;
+        }
+        base = ((base as u128 * base as u128) % n as u128) as u64;
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parameters_are_a_schnorr_group() {
+        assert!(is_prime_u64(P), "p must be prime");
+        assert!(is_prime_u64(Q), "q must be prime");
+        assert_eq!(P, 2 * Q + 1, "p must be a safe prime");
+        assert_eq!(pow_mod(G, Q), 1, "g must have order q");
+        assert_ne!(G % P, 1);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let kp = KeyPair::generate(&mut rng);
+            let msg = b"pay 100 USD to GABC...";
+            let sig = kp.sign(msg);
+            assert!(verify(kp.public(), msg, &sig));
+        }
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let kp = KeyPair::from_seed(7);
+        let sig = kp.sign(b"message A");
+        assert!(!verify(kp.public(), b"message B", &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp1 = KeyPair::from_seed(1);
+        let kp2 = KeyPair::from_seed(2);
+        let sig = kp1.sign(b"hello");
+        assert!(!verify(kp2.public(), b"hello", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let kp = KeyPair::from_seed(3);
+        let mut sig = kp.sign(b"hello");
+        sig.s ^= 1;
+        assert!(!verify(kp.public(), b"hello", &sig));
+        let mut sig2 = kp.sign(b"hello");
+        sig2.e = (sig2.e + 1) % Q;
+        assert!(!verify(kp.public(), b"hello", &sig2));
+    }
+
+    #[test]
+    fn out_of_range_signature_rejected() {
+        let kp = KeyPair::from_seed(4);
+        let sig = Signature { e: Q, s: 0 };
+        assert!(!verify(kp.public(), b"x", &sig));
+        assert!(!verify(PublicKey(0), b"x", &kp.sign(b"x")));
+        assert!(!verify(PublicKey(P), b"x", &kp.sign(b"x")));
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = KeyPair::from_seed(42);
+        let b = KeyPair::from_seed(42);
+        assert_eq!(a.public(), b.public());
+        assert_eq!(a.sign(b"m"), b.sign(b"m"));
+    }
+
+    #[test]
+    fn signing_is_deterministic_but_message_dependent() {
+        let kp = KeyPair::from_seed(9);
+        assert_eq!(kp.sign(b"m1"), kp.sign(b"m1"));
+        assert_ne!(kp.sign(b"m1"), kp.sign(b"m2"));
+    }
+
+    #[test]
+    fn signature_codec_roundtrip() {
+        let kp = KeyPair::from_seed(11);
+        let sig = kp.sign(b"encode me");
+        let decoded = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(decoded, sig);
+        assert!(verify(kp.public(), b"encode me", &decoded));
+    }
+
+    #[test]
+    fn miller_rabin_sanity() {
+        assert!(is_prime_u64(2));
+        assert!(is_prime_u64(3));
+        assert!(!is_prime_u64(1));
+        assert!(!is_prime_u64(0));
+        assert!(is_prime_u64(2_147_483_647)); // 2^31 - 1
+        assert!(!is_prime_u64(2_147_483_647 * 2 + 1));
+        // Carmichael number 561 = 3·11·17 must be rejected.
+        assert!(!is_prime_u64(561));
+    }
+}

@@ -1,0 +1,501 @@
+//! The [`Herder`]: application state plus the SCP [`Driver`] hooks.
+//!
+//! The herder buffers every side effect SCP requests (outgoing envelopes,
+//! timer arms, decisions) so the embedding layer — the deterministic
+//! simulator or an in-process harness — can drain and route them. It also
+//! owns the ledger store, bucket list, history archive, transaction queue,
+//! and the upgrade policy, and performs ledger close when a slot
+//! externalizes.
+
+use crate::queue::TxQueue;
+use crate::upgrade::{UpgradePolicy, UpgradeVerdict};
+use crate::value::StellarValue;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Duration;
+use stellar_buckets::{BucketList, HistoryArchive};
+use stellar_crypto::sign::PublicKey;
+use stellar_crypto::Hash256;
+use stellar_ledger::apply::close_ledger;
+use stellar_ledger::header::LedgerHeader;
+use stellar_ledger::store::LedgerStore;
+use stellar_ledger::tx::TxResult;
+use stellar_ledger::txset::TransactionSet;
+use stellar_scp::driver::{Driver, ScpEvent, TimerKind, Validity};
+use stellar_scp::{Envelope, NodeId, SlotIndex, Value};
+
+/// Statistics from one ledger close (feeds the §7.3 metrics).
+#[derive(Clone, Debug)]
+pub struct CloseStats {
+    /// Ledger sequence closed.
+    pub ledger_seq: u64,
+    /// Transactions applied (successfully or not).
+    pub tx_count: usize,
+    /// Operations applied.
+    pub op_count: usize,
+    /// Wall-clock time spent applying the set and re-hashing buckets.
+    pub apply_time: Duration,
+    /// Close time agreed by consensus.
+    pub close_time: u64,
+    /// Transactions that failed or were invalid.
+    pub failed_tx_count: usize,
+}
+
+/// Application state + buffered driver outputs for one validator.
+pub struct Herder {
+    /// This validator's id (for logs; SCP owns the signing identity).
+    pub node_id: NodeId,
+    /// The ledger entry store.
+    pub store: LedgerStore,
+    /// The bucket list (snapshot hashing).
+    pub buckets: BucketList,
+    /// The write-only history archive.
+    pub archive: HistoryArchive,
+    /// The current (latest closed) header.
+    pub header: LedgerHeader,
+    /// Pending transactions.
+    pub queue: TxQueue,
+    /// Governance stance.
+    pub upgrade_policy: UpgradePolicy,
+    /// Known transaction sets by hash (gossiped alongside SCP traffic).
+    pub known_tx_sets: HashMap<Hash256, TransactionSet>,
+    /// Wall clock, supplied by the embedder (seconds). Close-time
+    /// validation measures against this.
+    pub now: u64,
+    /// Millisecond clock for event timestamps (metrics resolution).
+    pub clock_ms: u64,
+    /// Maximum close-time skew tolerated in validation (seconds).
+    pub max_time_slip: u64,
+    /// Resolves peers' signature keys.
+    pub key_registry: BTreeMap<NodeId, PublicKey>,
+
+    // ---- buffered driver outputs ----
+    /// Envelopes to flood.
+    pub outbox: Vec<Envelope>,
+    /// Timer (re-)arms requested: (slot, kind, delay-or-cancel).
+    pub timer_requests: Vec<(SlotIndex, TimerKind, Option<Duration>)>,
+    /// Values externalized, not yet processed into ledger closes.
+    pub pending_externalize: Vec<(SlotIndex, Value)>,
+    /// Protocol events (metrics).
+    pub events: Vec<(u64, ScpEvent)>,
+    /// Ledger close statistics, most recent last.
+    pub close_stats: Vec<CloseStats>,
+    /// Externalized-but-unapplied values whose tx set we have not yet
+    /// received (applied as soon as the set arrives).
+    pub stalled_externalize: Vec<(SlotIndex, StellarValue)>,
+}
+
+impl Herder {
+    /// Creates a herder over a genesis state.
+    pub fn new(
+        node_id: NodeId,
+        store: LedgerStore,
+        key_registry: BTreeMap<NodeId, PublicKey>,
+    ) -> Herder {
+        let mut buckets = BucketList::seed(store.all_entries());
+        let mut header = LedgerHeader::genesis(Hash256::ZERO);
+        header.snapshot_hash = buckets.hash();
+        Herder {
+            node_id,
+            store,
+            buckets,
+            archive: HistoryArchive::new(),
+            header,
+            queue: TxQueue::new(),
+            upgrade_policy: UpgradePolicy::default(),
+            known_tx_sets: HashMap::new(),
+            now: 1,
+            clock_ms: 1000,
+            max_time_slip: 60,
+            key_registry,
+            outbox: Vec::new(),
+            timer_requests: Vec::new(),
+            pending_externalize: Vec::new(),
+            events: Vec::new(),
+            close_stats: Vec::new(),
+            stalled_externalize: Vec::new(),
+        }
+    }
+
+    /// The slot index the network is currently deciding.
+    pub fn current_slot(&self) -> SlotIndex {
+        self.header.ledger_seq + 1
+    }
+
+    /// Assembles this validator's proposal for the next ledger: builds a
+    /// transaction set from the queue and wraps it in a [`StellarValue`]
+    /// with any desired upgrades.
+    ///
+    /// Returns the value plus the set (which the caller must flood so
+    /// peers can validate and apply it).
+    pub fn make_proposal(&mut self) -> (StellarValue, TransactionSet) {
+        let candidates = self.queue.candidates(&self.store);
+        let set = TransactionSet::assemble(
+            self.header.hash(),
+            candidates,
+            self.header.params.max_tx_set_ops,
+        );
+        let close_time = self.now.max(self.header.close_time + 1);
+        let mut value = StellarValue::new(set.hash(), close_time);
+        if self.upgrade_policy.governing {
+            value.upgrades = self
+                .upgrade_policy
+                .desired
+                .iter()
+                .filter(|u| !u.is_satisfied(&self.header.params))
+                .cloned()
+                .collect();
+        }
+        self.known_tx_sets.insert(set.hash(), set.clone());
+        (value, set)
+    }
+
+    /// Registers a transaction set learned from a peer.
+    pub fn learn_tx_set(&mut self, set: TransactionSet) {
+        self.known_tx_sets.insert(set.hash(), set);
+        // A stalled externalization may now be appliable.
+        self.try_apply_stalled();
+    }
+
+    /// Validates a [`StellarValue`] for `slot` (the [`Driver`] hook body).
+    fn validate_stellar_value(&mut self, value: &StellarValue, nomination: bool) -> Validity {
+        // Close time must move forward and not outrun our clock too far.
+        if value.close_time <= self.header.close_time {
+            return Validity::Invalid;
+        }
+        if nomination && value.close_time > self.now + self.max_time_slip {
+            return Validity::Invalid;
+        }
+        // Upgrades must be acceptable.
+        for u in &value.upgrades {
+            match self.upgrade_policy.classify(u) {
+                UpgradeVerdict::Invalid => return Validity::Invalid,
+                UpgradeVerdict::Desired | UpgradeVerdict::Valid => {}
+            }
+        }
+        // We can fully validate only transaction sets we actually hold and
+        // that chain from our current header.
+        match self.known_tx_sets.get(&value.tx_set_hash) {
+            Some(set) if set.prev_ledger_hash == self.header.hash() => Validity::FullyValidated,
+            Some(_) => Validity::Invalid,
+            None => {
+                if nomination {
+                    // Don't vote for sets we can't inspect.
+                    Validity::Invalid
+                } else {
+                    Validity::MaybeValid
+                }
+            }
+        }
+    }
+
+    /// Applies an externalized value: closes the ledger, updates buckets
+    /// and archive, prunes the queue. Records [`CloseStats`].
+    ///
+    /// Returns `false` when the transaction set is not yet known (the
+    /// close is deferred until [`Herder::learn_tx_set`]).
+    pub fn apply_externalized(&mut self, slot: SlotIndex, value: &StellarValue) -> bool {
+        if slot != self.current_slot() {
+            // Stale or future slot; future slots wait for their turn.
+            if slot > self.current_slot() {
+                self.stalled_externalize.push((slot, value.clone()));
+            }
+            return false;
+        }
+        let Some(set) = self.known_tx_sets.get(&value.tx_set_hash).cloned() else {
+            self.stalled_externalize.push((slot, value.clone()));
+            return false;
+        };
+        let start = std::time::Instant::now();
+        let mut params = self.header.params;
+        for u in &value.upgrades {
+            u.apply(&mut params);
+        }
+        let result = close_ledger(
+            &mut self.store,
+            &self.header,
+            &set,
+            value.close_time,
+            params,
+        );
+        self.buckets
+            .add_batch(result.header.ledger_seq, &result.changes);
+        let mut header = result.header;
+        header.snapshot_hash = self.buckets.hash();
+        let apply_time = start.elapsed();
+        self.archive.publish(&header, &set, &mut self.buckets);
+        self.header = header;
+        self.queue.prune(&self.store);
+        let failed = result.results.iter().filter(|r| !r.is_success()).count();
+        self.close_stats.push(CloseStats {
+            ledger_seq: self.header.ledger_seq,
+            tx_count: set.txs.len(),
+            op_count: set.op_count(),
+            apply_time,
+            close_time: value.close_time,
+            failed_tx_count: failed,
+        });
+        self.record_results(&result.results);
+        self.try_apply_stalled();
+        true
+    }
+
+    fn record_results(&mut self, _results: &[TxResult]) {
+        // Results are hashed into the header; per-tx result storage would
+        // live in horizon's database, outside this reproduction's scope.
+    }
+
+    fn try_apply_stalled(&mut self) {
+        let mut stalled = std::mem::take(&mut self.stalled_externalize);
+        stalled.sort_by_key(|(slot, _)| *slot);
+        for (slot, value) in stalled {
+            if slot >= self.current_slot() {
+                self.apply_externalized(slot, &value);
+            }
+        }
+    }
+
+    /// Drains buffered envelopes.
+    pub fn take_outbox(&mut self) -> Vec<Envelope> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains buffered timer requests.
+    pub fn take_timer_requests(&mut self) -> Vec<(SlotIndex, TimerKind, Option<Duration>)> {
+        std::mem::take(&mut self.timer_requests)
+    }
+}
+
+impl Driver for Herder {
+    fn validate_value(&mut self, _slot: SlotIndex, value: &Value, nomination: bool) -> Validity {
+        match StellarValue::from_scp(value) {
+            Some(sv) => self.validate_stellar_value(&sv, nomination),
+            None => Validity::Invalid,
+        }
+    }
+
+    fn combine_candidates(
+        &mut self,
+        _slot: SlotIndex,
+        candidates: &BTreeSet<Value>,
+    ) -> Option<Value> {
+        let parsed: Vec<StellarValue> = candidates
+            .iter()
+            .filter_map(StellarValue::from_scp)
+            .collect();
+        let metrics = |h: &Hash256| {
+            self.known_tx_sets
+                .get(h)
+                .map(|s| (s.op_count(), s.total_fees()))
+        };
+        StellarValue::combine(&parsed, metrics).map(|v| v.to_scp())
+    }
+
+    fn emit_envelope(&mut self, envelope: &Envelope) {
+        self.outbox.push(envelope.clone());
+    }
+
+    fn set_timer(&mut self, slot: SlotIndex, kind: TimerKind, delay: Option<Duration>) {
+        self.timer_requests.push((slot, kind, delay));
+    }
+
+    fn externalized(&mut self, slot: SlotIndex, value: &Value) {
+        self.pending_externalize.push((slot, value.clone()));
+    }
+
+    fn public_key(&self, node: NodeId) -> Option<PublicKey> {
+        self.key_registry.get(&node).copied()
+    }
+
+    fn on_event(&mut self, event: ScpEvent) {
+        self.events.push((self.clock_ms, event));
+    }
+
+    fn ballot_timeout(&self, counter: u32) -> Duration {
+        // Production stellar-core: (counter + 1) seconds, capped.
+        Duration::from_secs(u64::from(counter.min(59)) + 1)
+    }
+
+    fn nomination_timeout(&self, round: u32) -> Duration {
+        // §7.2: "a 1-second timeout in nomination leader selection",
+        // growing linearly per round.
+        Duration::from_secs(u64::from(round.min(59)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_crypto::sign::KeyPair;
+    use stellar_ledger::amount::{xlm, BASE_FEE};
+    use stellar_ledger::asset::Asset;
+    use stellar_ledger::entry::{AccountEntry, AccountId};
+    use stellar_ledger::tx::{Memo, Operation, SourcedOperation, Transaction, TransactionEnvelope};
+
+    fn keys(n: u64) -> KeyPair {
+        KeyPair::from_seed(0xDE5 + n)
+    }
+
+    fn acct(n: u64) -> AccountId {
+        AccountId(keys(n).public())
+    }
+
+    fn herder() -> Herder {
+        let mut store = LedgerStore::new();
+        for i in 0..3 {
+            store.put_account(AccountEntry::new(acct(i), xlm(100)));
+        }
+        let mut h = Herder::new(NodeId(0), store, BTreeMap::new());
+        h.now = 100;
+        h
+    }
+
+    fn payment_env(h: &Herder, from: u64, to: u64, seq: u64) -> TransactionEnvelope {
+        let _ = h;
+        TransactionEnvelope::sign(
+            Transaction {
+                source: acct(from),
+                seq_num: seq,
+                fee: BASE_FEE,
+                time_bounds: None,
+                memo: Memo::None,
+                operations: vec![SourcedOperation {
+                    source: None,
+                    op: Operation::Payment {
+                        destination: acct(to),
+                        asset: Asset::Native,
+                        amount: 1,
+                    },
+                }],
+            },
+            &[&keys(from)],
+        )
+    }
+
+    #[test]
+    fn proposal_close_time_moves_forward() {
+        let mut h = herder();
+        h.header.close_time = 500;
+        h.now = 400; // clock behind the chain: still must propose > 500
+        let (value, _) = h.make_proposal();
+        assert!(value.close_time > 500);
+    }
+
+    #[test]
+    fn validate_rejects_stale_and_far_future_close_times() {
+        let mut h = herder();
+        h.header.close_time = 100;
+        let (value, set) = h.make_proposal();
+        h.learn_tx_set(set);
+        // A good value is fully validated.
+        assert_eq!(
+            h.validate_value(2, &value.to_scp(), true),
+            Validity::FullyValidated
+        );
+        // Stale close time.
+        let mut stale = value.clone();
+        stale.close_time = 100;
+        assert_eq!(
+            h.validate_value(2, &stale.to_scp(), true),
+            Validity::Invalid
+        );
+        // Close time beyond now + slip is rejected in nomination but
+        // tolerated in balloting (others may have confirmed it).
+        let mut future = value.clone();
+        future.close_time = h.now + h.max_time_slip + 10;
+        assert_eq!(
+            h.validate_value(2, &future.to_scp(), true),
+            Validity::Invalid
+        );
+        assert_eq!(
+            h.validate_value(2, &future.to_scp(), false),
+            Validity::FullyValidated
+        );
+    }
+
+    #[test]
+    fn unknown_tx_set_maybe_valid_in_ballot_invalid_in_nomination() {
+        let mut h = herder();
+        let unknown = StellarValue::new(stellar_crypto::sha256::sha256(b"nope"), h.now + 1);
+        assert_eq!(
+            h.validate_value(2, &unknown.to_scp(), true),
+            Validity::Invalid
+        );
+        assert_eq!(
+            h.validate_value(2, &unknown.to_scp(), false),
+            Validity::MaybeValid
+        );
+    }
+
+    #[test]
+    fn tx_set_chaining_from_wrong_header_invalid() {
+        let mut h = herder();
+        let foreign = TransactionSet::empty(stellar_crypto::sha256::sha256(b"other-chain"));
+        h.learn_tx_set(foreign.clone());
+        let v = StellarValue::new(foreign.hash(), h.now + 1);
+        assert_eq!(h.validate_value(2, &v.to_scp(), true), Validity::Invalid);
+        assert_eq!(h.validate_value(2, &v.to_scp(), false), Validity::Invalid);
+    }
+
+    #[test]
+    fn malformed_scp_value_invalid() {
+        let mut h = herder();
+        let garbage = Value::new(vec![1, 2, 3]);
+        assert_eq!(h.validate_value(2, &garbage, false), Validity::Invalid);
+    }
+
+    #[test]
+    fn stalled_externalize_applies_when_tx_set_arrives() {
+        let mut h = herder();
+        let env = payment_env(&h, 0, 1, 1);
+        let set = TransactionSet::assemble(h.header.hash(), vec![env], 100);
+        let value = StellarValue::new(set.hash(), h.now + 1);
+        // Externalize before the tx set is known: deferred.
+        assert!(!h.apply_externalized(2, &value));
+        assert_eq!(h.header.ledger_seq, 1);
+        // Learning the set triggers the deferred close.
+        h.learn_tx_set(set);
+        assert_eq!(h.header.ledger_seq, 2);
+        assert_eq!(h.store.account(acct(1)).unwrap().balance, xlm(100) + 1);
+    }
+
+    #[test]
+    fn out_of_order_externalizations_apply_in_order() {
+        let mut h = herder();
+        let env2 = payment_env(&h, 0, 1, 1);
+        let set2 = TransactionSet::assemble(h.header.hash(), vec![env2], 100);
+        let v2 = StellarValue::new(set2.hash(), h.now + 1);
+        // Build slot 3's set against the post-slot-2 header: apply slot 2
+        // on a scratch herder to learn the future header hash.
+        let mut scratch = herder();
+        scratch.learn_tx_set(set2.clone());
+        assert!(scratch.apply_externalized(2, &v2));
+        let env3 = payment_env(&scratch, 1, 2, 1);
+        let set3 = TransactionSet::assemble(scratch.header.hash(), vec![env3], 100);
+        let v3 = StellarValue::new(set3.hash(), scratch.header.close_time + 1);
+
+        // Deliver slot 3 first (future slot: parked), then slot 2.
+        h.learn_tx_set(set3);
+        assert!(!h.apply_externalized(3, &v3));
+        assert_eq!(h.header.ledger_seq, 1);
+        h.learn_tx_set(set2);
+        assert!(h.apply_externalized(2, &v2));
+        // Slot 3 unparked automatically.
+        assert_eq!(h.header.ledger_seq, 3);
+        assert_eq!(h.store.account(acct(2)).unwrap().balance, xlm(100) + 1);
+    }
+
+    #[test]
+    fn close_stats_recorded_per_ledger() {
+        let mut h = herder();
+        let env = payment_env(&h, 0, 1, 1);
+        let set = TransactionSet::assemble(h.header.hash(), vec![env], 100);
+        h.learn_tx_set(set.clone());
+        let v = StellarValue::new(set.hash(), h.now + 1);
+        assert!(h.apply_externalized(2, &v));
+        assert_eq!(h.close_stats.len(), 1);
+        let cs = &h.close_stats[0];
+        assert_eq!(cs.ledger_seq, 2);
+        assert_eq!(cs.tx_count, 1);
+        assert_eq!(cs.failed_tx_count, 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! A complete validator: SCP node + herder (Fig. 5's `stellar-core`).
+//!
+//! The [`Validator`] orchestrates one node's life:
+//!
+//! 1. clients submit transactions ([`Validator::submit_transaction`]);
+//! 2. at each ledger trigger, the validator assembles a proposal and
+//!    starts nomination ([`Validator::trigger_next_ledger`]);
+//! 3. SCP envelopes and timer expiries flow in
+//!    ([`Validator::receive_envelope`], [`Validator::on_timer`]);
+//! 4. externalized values close the ledger and the cycle repeats.
+//!
+//! All outputs (envelopes and transaction sets to flood, timers to arm)
+//! are buffered in the herder, so the embedding simulator stays fully
+//! deterministic.
+
+use crate::herder::Herder;
+use crate::queue::QueueError;
+use crate::value::StellarValue;
+use std::collections::BTreeMap;
+use std::time::Duration;
+use stellar_crypto::sign::KeyPair;
+use stellar_ledger::store::LedgerStore;
+use stellar_ledger::tx::TransactionEnvelope;
+use stellar_ledger::txset::TransactionSet;
+use stellar_scp::driver::TimerKind;
+use stellar_scp::{Envelope, NodeId, QuorumSet, ScpNode, SlotIndex};
+
+/// Everything a validator wants the network layer to do after a step.
+#[derive(Debug, Default)]
+pub struct Outputs {
+    /// SCP envelopes to flood.
+    pub envelopes: Vec<Envelope>,
+    /// Transaction sets to flood (peers need them to validate values).
+    pub tx_sets: Vec<TransactionSet>,
+    /// Timer requests: arm (`Some`) or cancel (`None`).
+    pub timers: Vec<(SlotIndex, TimerKind, Option<Duration>)>,
+}
+
+impl Outputs {
+    /// True when nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.envelopes.is_empty() && self.tx_sets.is_empty() && self.timers.is_empty()
+    }
+}
+
+/// A full Stellar validator node.
+pub struct Validator {
+    /// The consensus engine.
+    pub scp: ScpNode,
+    /// The application half.
+    pub herder: Herder,
+}
+
+impl Validator {
+    /// Creates a validator with the given identity, slices, and genesis
+    /// ledger state.
+    pub fn new(
+        id: NodeId,
+        keys: KeyPair,
+        qset: QuorumSet,
+        store: LedgerStore,
+        key_registry: BTreeMap<NodeId, stellar_crypto::sign::PublicKey>,
+    ) -> Validator {
+        Validator {
+            scp: ScpNode::new(id, keys, qset),
+            herder: Herder::new(id, store, key_registry),
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.scp.id()
+    }
+
+    /// Updates the wall clock (drives close-time proposals/validation).
+    pub fn set_time(&mut self, now_secs: u64) {
+        self.herder.now = now_secs;
+        self.herder.clock_ms = now_secs * 1000;
+    }
+
+    /// Millisecond-resolution clock update (metrics timestamps).
+    pub fn set_time_ms(&mut self, now_ms: u64) {
+        self.herder.now = now_ms / 1000;
+        self.herder.clock_ms = now_ms;
+    }
+
+    /// Submits a client transaction to the pending queue.
+    pub fn submit_transaction(&mut self, env: TransactionEnvelope) -> Result<(), QueueError> {
+        self.herder.queue.submit(&self.herder.store, env)
+    }
+
+    /// Kicks off consensus for the next ledger: assembles the proposal,
+    /// floods its transaction set, and starts nomination.
+    pub fn trigger_next_ledger(&mut self) -> Outputs {
+        let slot = self.herder.current_slot();
+        let (value, set) = self.herder.make_proposal();
+        self.scp.propose(&mut self.herder, slot, value.to_scp());
+        let mut out = self.drain();
+        out.tx_sets.push(set);
+        out
+    }
+
+    /// Handles an incoming SCP envelope.
+    pub fn receive_envelope(&mut self, env: &Envelope) -> Outputs {
+        self.scp.receive(&mut self.herder, env);
+        self.process_externalized();
+        self.drain()
+    }
+
+    /// Handles an incoming transaction set from a peer.
+    pub fn receive_tx_set(&mut self, set: TransactionSet) -> Outputs {
+        self.herder.learn_tx_set(set);
+        // A nominated value referencing this set may now be votable.
+        let slot = self.herder.current_slot();
+        self.scp.retry_nomination(&mut self.herder, slot);
+        self.process_externalized();
+        self.drain()
+    }
+
+    /// Handles a timer expiry the embedder scheduled earlier.
+    pub fn on_timer(&mut self, slot: SlotIndex, kind: TimerKind) -> Outputs {
+        self.scp.on_timeout(&mut self.herder, slot, kind);
+        self.process_externalized();
+        self.drain()
+    }
+
+    /// Moves freshly externalized values into ledger closes.
+    fn process_externalized(&mut self) {
+        let pending = std::mem::take(&mut self.herder.pending_externalize);
+        for (slot, value) in pending {
+            if let Some(sv) = StellarValue::from_scp(&value) {
+                self.herder.apply_externalized(slot, &sv);
+            }
+        }
+        // Old slots' SCP state is only useful for stragglers; keep a
+        // short window.
+        let keep_from = self.herder.current_slot().saturating_sub(4);
+        self.scp.prune_slots_below(keep_from);
+    }
+
+    /// The latest closed ledger sequence.
+    pub fn ledger_seq(&self) -> u64 {
+        self.herder.header.ledger_seq
+    }
+
+    fn drain(&mut self) -> Outputs {
+        Outputs {
+            envelopes: self.herder.take_outbox(),
+            tx_sets: Vec::new(),
+            timers: self.herder.take_timer_requests(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_crypto::sign::PublicKey;
+    use stellar_ledger::amount::{xlm, BASE_FEE};
+    use stellar_ledger::asset::Asset;
+    use stellar_ledger::entry::{AccountEntry, AccountId};
+    use stellar_ledger::tx::{Memo, Operation, SourcedOperation, Transaction};
+
+    /// A tiny 4-validator network driven synchronously, asserting the
+    /// full pipeline: submit → nominate → ballot → externalize → close.
+    struct MiniNet {
+        validators: Vec<Validator>,
+        timers: BTreeMap<(usize, SlotIndex, TimerKind), u64>,
+        now_ms: u64,
+    }
+
+    fn user_keys(n: u64) -> KeyPair {
+        KeyPair::from_seed(1000 + n)
+    }
+
+    fn user(n: u64) -> AccountId {
+        AccountId(user_keys(n).public())
+    }
+
+    fn genesis() -> LedgerStore {
+        let mut s = LedgerStore::new();
+        for n in 0..4 {
+            s.put_account(AccountEntry::new(user(n), xlm(1000)));
+        }
+        s
+    }
+
+    impl MiniNet {
+        fn new(n: u32) -> MiniNet {
+            let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+            let qset = QuorumSet::majority(ids.clone());
+            let registry: BTreeMap<NodeId, PublicKey> = ids
+                .iter()
+                .map(|id| (*id, KeyPair::from_seed(u64::from(id.0)).public()))
+                .collect();
+            let validators = ids
+                .iter()
+                .map(|id| {
+                    Validator::new(
+                        *id,
+                        KeyPair::from_seed(u64::from(id.0)),
+                        qset.clone(),
+                        genesis(),
+                        registry.clone(),
+                    )
+                })
+                .collect();
+            MiniNet {
+                validators,
+                timers: BTreeMap::new(),
+                now_ms: 1000,
+            }
+        }
+
+        fn route(&mut self, from: usize, out: Outputs) {
+            let mut queue = vec![(from, out)];
+            while let Some((src, out)) = queue.pop() {
+                for (slot, kind, delay) in out.timers {
+                    match delay {
+                        Some(d) => {
+                            self.timers
+                                .insert((src, slot, kind), self.now_ms + d.as_millis() as u64);
+                        }
+                        None => {
+                            self.timers.remove(&(src, slot, kind));
+                        }
+                    }
+                }
+                for env in out.envelopes {
+                    for i in 0..self.validators.len() {
+                        if i != src {
+                            let o = self.validators[i].receive_envelope(&env);
+                            queue.push((i, o));
+                        }
+                    }
+                }
+                for set in out.tx_sets {
+                    for i in 0..self.validators.len() {
+                        if i != src {
+                            let o = self.validators[i].receive_tx_set(set.clone());
+                            queue.push((i, o));
+                        }
+                    }
+                }
+            }
+        }
+
+        fn run_ledger(&mut self) {
+            let slot = self.validators[0].herder.current_slot();
+            for i in 0..self.validators.len() {
+                let now = self.now_ms / 1000;
+                self.validators[i].set_time(now);
+                let out = self.validators[i].trigger_next_ledger();
+                self.route(i, out);
+            }
+            // Fire timers until everyone closed the slot.
+            for _ in 0..200 {
+                if self.validators.iter().all(|v| v.ledger_seq() >= slot) {
+                    return;
+                }
+                let Some(((i, s, k), deadline)) = self
+                    .timers
+                    .iter()
+                    .min_by_key(|(_, d)| **d)
+                    .map(|(k, d)| (*k, *d))
+                else {
+                    break;
+                };
+                self.now_ms = self.now_ms.max(deadline);
+                self.timers.remove(&(i, s, k));
+                self.validators[i].set_time(self.now_ms / 1000);
+                let out = self.validators[i].on_timer(s, k);
+                self.route(i, out);
+            }
+            panic!("ledger {slot} did not close");
+        }
+    }
+
+    #[test]
+    fn empty_ledgers_close() {
+        let mut net = MiniNet::new(4);
+        net.now_ms = 5000;
+        net.run_ledger();
+        for v in &net.validators {
+            assert_eq!(v.ledger_seq(), 2);
+        }
+        // All headers identical.
+        let h0 = net.validators[0].herder.header.hash();
+        for v in &net.validators[1..] {
+            assert_eq!(v.herder.header.hash(), h0);
+        }
+    }
+
+    #[test]
+    fn payment_flows_through_consensus() {
+        let mut net = MiniNet::new(4);
+        net.now_ms = 5000;
+        let k = user_keys(0);
+        let tx = Transaction {
+            source: user(0),
+            seq_num: 1,
+            fee: BASE_FEE,
+            time_bounds: None,
+            memo: Memo::Text("hello".into()),
+            operations: vec![SourcedOperation {
+                source: None,
+                op: Operation::Payment {
+                    destination: user(1),
+                    asset: Asset::Native,
+                    amount: xlm(7),
+                },
+            }],
+        };
+        let env = TransactionEnvelope::sign(tx, &[&k]);
+        // Transactions flood to every validator before nomination (the
+        // overlay's job); submit everywhere so any leader proposes it.
+        for v in &mut net.validators {
+            v.submit_transaction(env.clone()).unwrap();
+        }
+        net.run_ledger();
+        for v in &net.validators {
+            assert_eq!(
+                v.herder.store.account(user(1)).unwrap().balance,
+                xlm(1007),
+                "node {} must apply the payment",
+                v.id()
+            );
+            assert_eq!(v.herder.close_stats.last().unwrap().tx_count, 1);
+        }
+    }
+
+    #[test]
+    fn successive_ledgers_chain() {
+        let mut net = MiniNet::new(4);
+        net.now_ms = 5000;
+        net.run_ledger();
+        let h2 = net.validators[0].herder.header.clone();
+        net.now_ms += 5000;
+        net.run_ledger();
+        let h3 = net.validators[0].herder.header.clone();
+        assert_eq!(h3.ledger_seq, h2.ledger_seq + 1);
+        assert_eq!(h3.prev_header_hash, h2.hash());
+        assert!(h3.close_time > h2.close_time);
+    }
+}

@@ -1,0 +1,166 @@
+//! The consensus value for one ledger (§5.3).
+//!
+//! "For each ledger, Stellar uses SCP to agree on a data structure with
+//! three fields: a transaction set hash (including a hash of the previous
+//! ledger header), a close time, and upgrades."
+
+use crate::upgrade::Upgrade;
+use std::collections::BTreeSet;
+use stellar_crypto::codec::{Decode, Encode};
+use stellar_crypto::Hash256;
+use stellar_scp::Value;
+
+/// What SCP agrees on per ledger.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct StellarValue {
+    /// Hash of the proposed transaction set (which itself commits to the
+    /// previous ledger header).
+    pub tx_set_hash: Hash256,
+    /// Proposed ledger close time (seconds).
+    pub close_time: u64,
+    /// Proposed network upgrades (usually empty).
+    pub upgrades: BTreeSet<Upgrade>,
+}
+
+stellar_crypto::impl_codec_struct!(StellarValue {
+    tx_set_hash,
+    close_time,
+    upgrades
+});
+
+impl StellarValue {
+    /// Creates a plain value with no upgrades.
+    pub fn new(tx_set_hash: Hash256, close_time: u64) -> StellarValue {
+        StellarValue {
+            tx_set_hash,
+            close_time,
+            upgrades: BTreeSet::new(),
+        }
+    }
+
+    /// Serializes into an opaque SCP value.
+    pub fn to_scp(&self) -> Value {
+        Value::new(self.to_bytes())
+    }
+
+    /// Parses an SCP value back; `None` when malformed (Byzantine node).
+    pub fn from_scp(v: &Value) -> Option<StellarValue> {
+        StellarValue::from_bytes(v.as_bytes()).ok()
+    }
+
+    /// Combines confirmed-nominated candidates into the composite value
+    /// (§5.3): "the transaction set with the most operations (breaking
+    /// ties by total fees, then transaction set hash), the union of all
+    /// upgrades, and the highest close time."
+    ///
+    /// `set_metrics` resolves a tx-set hash to `(op_count, total_fees)`;
+    /// unknown sets rank last (we cannot vouch for their size).
+    pub fn combine(
+        candidates: &[StellarValue],
+        set_metrics: impl Fn(&Hash256) -> Option<(usize, i64)>,
+    ) -> Option<StellarValue> {
+        let best = candidates.iter().max_by_key(|c| {
+            let (ops, fees) = set_metrics(&c.tx_set_hash).unwrap_or((0, 0));
+            (ops, fees, c.tx_set_hash)
+        })?;
+        let close_time = candidates.iter().map(|c| c.close_time).max().unwrap_or(0);
+        let mut upgrades: BTreeSet<Upgrade> = BTreeSet::new();
+        for c in candidates {
+            upgrades.extend(c.upgrades.iter().cloned());
+        }
+        upgrades = Upgrade::dedup_highest(upgrades);
+        Some(StellarValue {
+            tx_set_hash: best.tx_set_hash,
+            close_time,
+            upgrades,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u8) -> Hash256 {
+        let mut b = [0u8; 32];
+        b[0] = n;
+        Hash256(b)
+    }
+
+    #[test]
+    fn scp_value_roundtrip() {
+        let v = StellarValue {
+            tx_set_hash: h(1),
+            close_time: 1234,
+            upgrades: [Upgrade::BaseFee(200)].into(),
+        };
+        let scp = v.to_scp();
+        assert_eq!(StellarValue::from_scp(&scp), Some(v));
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert_eq!(StellarValue::from_scp(&Value::new(vec![1, 2, 3])), None);
+    }
+
+    #[test]
+    fn combine_prefers_most_operations() {
+        let a = StellarValue::new(h(1), 100);
+        let b = StellarValue::new(h(2), 90);
+        let metrics = |hash: &Hash256| match hash.as_bytes()[0] {
+            1 => Some((5, 500)),
+            2 => Some((9, 100)),
+            _ => None,
+        };
+        let c = StellarValue::combine(&[a, b], metrics).unwrap();
+        assert_eq!(c.tx_set_hash, h(2)); // more ops wins despite lower fees
+        assert_eq!(c.close_time, 100); // max close time
+    }
+
+    #[test]
+    fn combine_ties_break_by_fees_then_hash() {
+        let a = StellarValue::new(h(1), 10);
+        let b = StellarValue::new(h(2), 10);
+        // Same ops; b has more fees.
+        let metrics = |hash: &Hash256| match hash.as_bytes()[0] {
+            1 => Some((5, 100)),
+            2 => Some((5, 200)),
+            _ => None,
+        };
+        assert_eq!(
+            StellarValue::combine(&[a.clone(), b.clone()], metrics)
+                .unwrap()
+                .tx_set_hash,
+            h(2)
+        );
+        // Same everything: higher hash wins.
+        let eq_metrics = |_: &Hash256| Some((5, 100));
+        assert_eq!(
+            StellarValue::combine(&[a, b], eq_metrics)
+                .unwrap()
+                .tx_set_hash,
+            h(2)
+        );
+    }
+
+    #[test]
+    fn combine_unions_upgrades_taking_highest() {
+        let mut a = StellarValue::new(h(1), 10);
+        a.upgrades.insert(Upgrade::BaseFee(200));
+        a.upgrades.insert(Upgrade::ProtocolVersion(2));
+        let mut b = StellarValue::new(h(1), 10);
+        b.upgrades.insert(Upgrade::BaseFee(300));
+        let c = StellarValue::combine(&[a, b], |_| Some((1, 1))).unwrap();
+        assert!(c.upgrades.contains(&Upgrade::BaseFee(300)));
+        assert!(
+            !c.upgrades.contains(&Upgrade::BaseFee(200)),
+            "lower fee superseded"
+        );
+        assert!(c.upgrades.contains(&Upgrade::ProtocolVersion(2)));
+    }
+
+    #[test]
+    fn combine_empty_is_none() {
+        assert_eq!(StellarValue::combine(&[], |_| None), None);
+    }
+}

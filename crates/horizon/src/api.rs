@@ -1,0 +1,330 @@
+//! Horizon proper: queries and submission against a validator's state.
+//!
+//! Horizon "has read-only access to stellar-core's SQL database,
+//! minimizing the risk of destabilizing stellar-core" — mirrored here by
+//! taking `&Herder` for every query and mutating only through the
+//! explicit submission path.
+
+use stellar_herder::queue::QueueError;
+use stellar_herder::Herder;
+use stellar_ledger::asset::Asset;
+use stellar_ledger::entry::AccountId;
+use stellar_ledger::pathfind::{find_best_path, quote_path};
+use stellar_ledger::tx::TransactionEnvelope;
+use stellar_ledger::txset::TransactionSet;
+
+/// A client-facing account summary (balances across all assets).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccountInfo {
+    /// The account id.
+    pub id: AccountId,
+    /// Native XLM balance (stroops).
+    pub xlm_balance: i64,
+    /// Current sequence number.
+    pub seq_num: u64,
+    /// Issued-asset balances: (asset, balance, limit, authorized).
+    pub trustlines: Vec<(Asset, i64, i64, bool)>,
+    /// Subentry count (drives the reserve).
+    pub num_subentries: u32,
+}
+
+/// One price level of an order book.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderBookView {
+    /// Asset being sold by the resting offers.
+    pub selling: Asset,
+    /// Asset they want in return.
+    pub buying: Asset,
+    /// (price, total amount) levels, best price first.
+    pub levels: Vec<(stellar_ledger::amount::Price, i64)>,
+}
+
+/// The horizon query/submission facade over one validator.
+pub struct Horizon;
+
+impl Horizon {
+    /// Fetches an account summary, or `None` if it does not exist.
+    pub fn account(herder: &Herder, id: AccountId) -> Option<AccountInfo> {
+        let a = herder.store.account(id)?;
+        let delta = herder.store.begin();
+        // Scan trustlines via the entry dump (horizon keeps its own DB in
+        // production; here the store is small enough to filter).
+        let trustlines: Vec<(Asset, i64, i64, bool)> = herder
+            .store
+            .all_entries()
+            .filter_map(|e| match e {
+                stellar_ledger::entry::LedgerEntry::TrustLine(t) if t.account == id => {
+                    Some((t.asset, t.balance, t.limit, t.authorized))
+                }
+                _ => None,
+            })
+            .collect();
+        drop(delta);
+        Some(AccountInfo {
+            id,
+            xlm_balance: a.balance,
+            seq_num: a.seq_num,
+            trustlines,
+            num_subentries: a.num_subentries,
+        })
+    }
+
+    /// Submits a transaction to the validator's pending queue.
+    pub fn submit(herder: &mut Herder, env: TransactionEnvelope) -> Result<(), QueueError> {
+        let store = &herder.store;
+        // Split borrow: queue.submit needs &store and &mut queue.
+        let q = &mut herder.queue;
+        q.submit(store, env)
+    }
+
+    /// The aggregated order book for a pair, best price first.
+    pub fn order_book(herder: &Herder, selling: &Asset, buying: &Asset) -> OrderBookView {
+        let mut levels: Vec<(stellar_ledger::amount::Price, i64)> = Vec::new();
+        for offer in herder.store.offers_for_pair(selling, buying) {
+            match levels.last_mut() {
+                Some((p, total)) if *p == offer.price => *total += offer.amount,
+                _ => levels.push((offer.price, offer.amount)),
+            }
+        }
+        OrderBookView {
+            selling: selling.clone(),
+            buying: buying.clone(),
+            levels,
+        }
+    }
+
+    /// Finds the cheapest payment path delivering `dest_amount` (§5.4:
+    /// "features such as payment path finding are implemented entirely in
+    /// horizon").
+    pub fn find_payment_path(
+        herder: &Herder,
+        send_asset: &Asset,
+        dest_asset: &Asset,
+        dest_amount: i64,
+        candidate_mids: &[Asset],
+    ) -> Option<(Vec<Asset>, i64)> {
+        let delta = herder.store.begin();
+        find_best_path(&delta, send_asset, dest_asset, dest_amount, candidate_mids)
+    }
+
+    /// Quotes the cost of a specific path without executing it.
+    pub fn quote(
+        herder: &Herder,
+        send_asset: &Asset,
+        dest_asset: &Asset,
+        dest_amount: i64,
+        path: &[Asset],
+    ) -> Option<i64> {
+        let delta = herder.store.begin();
+        quote_path(&delta, send_asset, dest_asset, dest_amount, path)
+    }
+
+    /// Looks up a historical transaction set ("there needs to be some
+    /// place one can look up a transaction from two years ago").
+    pub fn transactions_in_ledger(herder: &Herder, ledger_seq: u64) -> Option<&TransactionSet> {
+        herder.archive.tx_set(ledger_seq)
+    }
+
+    /// Finds the ledger a transaction hash was confirmed in (linear scan
+    /// of the archive; production horizon indexes this in its DB).
+    pub fn find_transaction(
+        herder: &Herder,
+        tx_hash: stellar_crypto::Hash256,
+    ) -> Option<(u64, TransactionEnvelope)> {
+        for seq in 2..=herder.header.ledger_seq {
+            if let Some(set) = herder.archive.tx_set(seq) {
+                for env in &set.txs {
+                    if env.hash() == tx_hash {
+                        return Some((seq, env.clone()));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Current fee statistics: base fee and the last clearing rate.
+    pub fn fee_stats(herder: &Herder) -> (i64, i64) {
+        let base = herder.header.params.base_fee;
+        let last_clearing = herder
+            .archive
+            .tx_set(herder.header.ledger_seq)
+            .map_or(base, |s| s.base_fee_rate);
+        (base, last_clearing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use stellar_crypto::sign::KeyPair;
+    use stellar_ledger::amount::{xlm, Price, BASE_FEE};
+    use stellar_ledger::entry::AccountEntry;
+    use stellar_ledger::ops::{apply_operation, ExecEnv};
+    use stellar_ledger::store::LedgerStore;
+    use stellar_ledger::tx::{Memo, Operation, SourcedOperation, Transaction};
+    use stellar_scp::NodeId;
+
+    fn keys(n: u64) -> KeyPair {
+        KeyPair::from_seed(800 + n)
+    }
+
+    fn acct(n: u64) -> AccountId {
+        AccountId(keys(n).public())
+    }
+
+    fn herder() -> Herder {
+        let mut store = LedgerStore::new();
+        for i in 0..3 {
+            store.put_account(AccountEntry::new(acct(i), xlm(100)));
+        }
+        let usd = Asset::issued(acct(2), "USD");
+        {
+            let env = ExecEnv::default();
+            let mut d = store.begin();
+            apply_operation(
+                &mut d,
+                acct(0),
+                &Operation::ChangeTrust {
+                    asset: usd.clone(),
+                    limit: 500,
+                },
+                &env,
+            )
+            .unwrap();
+            apply_operation(
+                &mut d,
+                acct(2),
+                &Operation::Payment {
+                    destination: acct(0),
+                    asset: usd.clone(),
+                    amount: 200,
+                },
+                &env,
+            )
+            .unwrap();
+            apply_operation(
+                &mut d,
+                acct(0),
+                &Operation::ManageOffer {
+                    offer_id: 0,
+                    selling: usd,
+                    buying: Asset::Native,
+                    amount: 100,
+                    price: Price::new(2, 1),
+                    passive: false,
+                },
+                &env,
+            )
+            .unwrap();
+            let ch = d.into_changes();
+            store.commit(ch);
+        }
+        Herder::new(NodeId(0), store, BTreeMap::new())
+    }
+
+    #[test]
+    fn account_summary_includes_trustlines() {
+        let h = herder();
+        let info = Horizon::account(&h, acct(0)).unwrap();
+        assert_eq!(info.xlm_balance, xlm(100));
+        assert_eq!(info.trustlines.len(), 1);
+        assert_eq!(info.trustlines[0].1, 200);
+        assert_eq!(info.num_subentries, 2); // trustline + offer
+        assert!(Horizon::account(&h, acct(9)).is_none());
+    }
+
+    #[test]
+    fn order_book_aggregates_levels() {
+        let h = herder();
+        let usd = Asset::issued(acct(2), "USD");
+        let book = Horizon::order_book(&h, &usd, &Asset::Native);
+        assert_eq!(book.levels.len(), 1);
+        assert_eq!(book.levels[0], (Price::new(2, 1), 100));
+        let empty = Horizon::order_book(&h, &Asset::Native, &usd);
+        assert!(empty.levels.is_empty());
+    }
+
+    #[test]
+    fn path_finding_quotes_through_the_book() {
+        // The book sells USD for XLM at 2 XLM/USD, so a sender holding
+        // XLM can deliver USD: 50 USD costs 100 XLM.
+        let h = herder();
+        let usd = Asset::issued(acct(2), "USD");
+        let (path, cost) = Horizon::find_payment_path(&h, &Asset::Native, &usd, 50, &[]).unwrap();
+        assert!(path.is_empty());
+        assert_eq!(cost, 100);
+        assert_eq!(Horizon::quote(&h, &Asset::Native, &usd, 50, &[]), Some(100));
+        // The reverse direction has no offers.
+        assert_eq!(
+            Horizon::find_payment_path(&h, &usd, &Asset::Native, 50, &[]),
+            None
+        );
+    }
+
+    #[test]
+    fn submit_goes_to_queue() {
+        let mut h = herder();
+        let env = stellar_ledger::tx::TransactionEnvelope::sign(
+            Transaction {
+                source: acct(1),
+                seq_num: 1,
+                fee: BASE_FEE,
+                time_bounds: None,
+                memo: Memo::None,
+                operations: vec![SourcedOperation {
+                    source: None,
+                    op: Operation::Payment {
+                        destination: acct(0),
+                        asset: Asset::Native,
+                        amount: 1,
+                    },
+                }],
+            },
+            &[&keys(1)],
+        );
+        Horizon::submit(&mut h, env.clone()).unwrap();
+        assert_eq!(h.queue.len(), 1);
+        assert_eq!(Horizon::submit(&mut h, env), Err(QueueError::Duplicate));
+    }
+
+    #[test]
+    fn fee_stats_report_base_fee() {
+        let h = herder();
+        assert_eq!(Horizon::fee_stats(&h), (BASE_FEE, BASE_FEE));
+    }
+
+    #[test]
+    fn find_transaction_scans_archive() {
+        // Drive a tiny consensus-free close through the herder directly.
+        let mut h = herder();
+        let env = stellar_ledger::tx::TransactionEnvelope::sign(
+            Transaction {
+                source: acct(1),
+                seq_num: 1,
+                fee: BASE_FEE,
+                time_bounds: None,
+                memo: Memo::None,
+                operations: vec![SourcedOperation {
+                    source: None,
+                    op: Operation::Payment {
+                        destination: acct(0),
+                        asset: Asset::Native,
+                        amount: 1,
+                    },
+                }],
+            },
+            &[&keys(1)],
+        );
+        let tx_hash = env.hash();
+        let set = stellar_ledger::txset::TransactionSet::assemble(h.header.hash(), vec![env], 100);
+        h.learn_tx_set(set.clone());
+        let value = stellar_herder::StellarValue::new(set.hash(), 100);
+        assert!(h.apply_externalized(2, &value));
+        let (seq, found) = Horizon::find_transaction(&h, tx_hash).unwrap();
+        assert_eq!(seq, 2);
+        assert_eq!(found.hash(), tx_hash);
+        assert!(Horizon::find_transaction(&h, stellar_crypto::Hash256::ZERO).is_none());
+    }
+}

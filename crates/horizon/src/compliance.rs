@@ -1,0 +1,180 @@
+//! The compliance server (§5.4): sanctioned-party screening hooks.
+//!
+//! "A compliance server provides hooks for financial institutions to
+//! exchange and approve of sender and beneficiary information on payments,
+//! for compliance with sanctions lists." The protocol here is the
+//! pre-submission handshake: the sending institution shares sender info,
+//! the receiving institution screens both parties and answers
+//! allow/deny/pending, and only an allowed payment proceeds to submission.
+
+use std::collections::{BTreeMap, BTreeSet};
+use stellar_ledger::entry::AccountId;
+
+/// KYC information exchanged about a party.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartyInfo {
+    /// Legal name.
+    pub name: String,
+    /// Country code.
+    pub country: String,
+    /// On-ledger account.
+    pub account: AccountId,
+}
+
+/// Screening outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComplianceDecision {
+    /// The payment may proceed.
+    Allowed,
+    /// The payment must not proceed (sanctions hit).
+    Denied,
+    /// Manual review required; retry later.
+    Pending,
+}
+
+/// A receiving institution's compliance endpoint.
+#[derive(Debug, Default)]
+pub struct ComplianceServer {
+    /// Sanctioned legal names (uppercased).
+    sanctioned_names: BTreeSet<String>,
+    /// Embargoed country codes.
+    embargoed_countries: BTreeSet<String>,
+    /// Accounts flagged for manual review.
+    review_queue: BTreeSet<AccountId>,
+    /// Audit log of decisions: (sender name, decision).
+    pub audit_log: Vec<(String, ComplianceDecision)>,
+    /// Per-account info records shared by counterparties.
+    received_info: BTreeMap<AccountId, PartyInfo>,
+}
+
+impl ComplianceServer {
+    /// A permissive server with empty lists.
+    pub fn new() -> ComplianceServer {
+        ComplianceServer::default()
+    }
+
+    /// Adds a name to the sanctions list.
+    pub fn sanction_name(&mut self, name: &str) {
+        self.sanctioned_names.insert(name.to_uppercase());
+    }
+
+    /// Embargoes a country code.
+    pub fn embargo_country(&mut self, code: &str) {
+        self.embargoed_countries.insert(code.to_uppercase());
+    }
+
+    /// Flags an account for manual review.
+    pub fn flag_for_review(&mut self, account: AccountId) {
+        self.review_queue.insert(account);
+    }
+
+    /// Clears a manual-review flag (review completed).
+    pub fn clear_review(&mut self, account: AccountId) {
+        self.review_queue.remove(&account);
+    }
+
+    /// The §5.4 handshake: the sending institution shares sender and
+    /// beneficiary info; the receiver screens and decides.
+    pub fn screen(&mut self, sender: &PartyInfo, beneficiary: &PartyInfo) -> ComplianceDecision {
+        self.received_info.insert(sender.account, sender.clone());
+        let decision = if self.sanctioned_names.contains(&sender.name.to_uppercase())
+            || self
+                .sanctioned_names
+                .contains(&beneficiary.name.to_uppercase())
+        {
+            ComplianceDecision::Denied
+        } else if self
+            .embargoed_countries
+            .contains(&sender.country.to_uppercase())
+            || self
+                .embargoed_countries
+                .contains(&beneficiary.country.to_uppercase())
+        {
+            ComplianceDecision::Denied
+        } else if self.review_queue.contains(&sender.account)
+            || self.review_queue.contains(&beneficiary.account)
+        {
+            ComplianceDecision::Pending
+        } else {
+            ComplianceDecision::Allowed
+        };
+        self.audit_log.push((sender.name.clone(), decision));
+        decision
+    }
+
+    /// Info previously shared about an account (regulator queries).
+    pub fn info_for(&self, account: AccountId) -> Option<&PartyInfo> {
+        self.received_info.get(&account)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_crypto::sign::PublicKey;
+
+    fn party(name: &str, country: &str, n: u64) -> PartyInfo {
+        PartyInfo {
+            name: name.into(),
+            country: country.into(),
+            account: AccountId(PublicKey(n)),
+        }
+    }
+
+    #[test]
+    fn clean_parties_allowed() {
+        let mut c = ComplianceServer::new();
+        let d = c.screen(&party("Alice Doe", "US", 1), &party("Benito R", "MX", 2));
+        assert_eq!(d, ComplianceDecision::Allowed);
+        assert_eq!(c.audit_log.len(), 1);
+    }
+
+    #[test]
+    fn sanctioned_name_denied_case_insensitive() {
+        let mut c = ComplianceServer::new();
+        c.sanction_name("Evil Corp");
+        assert_eq!(
+            c.screen(&party("evil corp", "US", 1), &party("B", "MX", 2)),
+            ComplianceDecision::Denied
+        );
+        assert_eq!(
+            c.screen(&party("A", "US", 1), &party("EVIL CORP", "MX", 2)),
+            ComplianceDecision::Denied
+        );
+    }
+
+    #[test]
+    fn embargoed_country_denied() {
+        let mut c = ComplianceServer::new();
+        c.embargo_country("ZZ");
+        assert_eq!(
+            c.screen(&party("A", "zz", 1), &party("B", "MX", 2)),
+            ComplianceDecision::Denied
+        );
+    }
+
+    #[test]
+    fn review_flag_pends_then_clears() {
+        let mut c = ComplianceServer::new();
+        let a = AccountId(PublicKey(1));
+        c.flag_for_review(a);
+        assert_eq!(
+            c.screen(&party("A", "US", 1), &party("B", "MX", 2)),
+            ComplianceDecision::Pending
+        );
+        c.clear_review(a);
+        assert_eq!(
+            c.screen(&party("A", "US", 1), &party("B", "MX", 2)),
+            ComplianceDecision::Allowed
+        );
+    }
+
+    #[test]
+    fn shared_info_retained_for_audits() {
+        let mut c = ComplianceServer::new();
+        let sender = party("Alice", "US", 1);
+        c.screen(&sender, &party("B", "MX", 2));
+        assert_eq!(c.info_for(sender.account), Some(&sender));
+        assert_eq!(c.info_for(AccountId(PublicKey(99))), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! The client-facing layer around `stellar-core` (paper §5.4, Fig. 5).
+//!
+//! "To keep stellar-core simple, it is not intended to be used directly by
+//! applications … most validators run a daemon called horizon that
+//! provides an HTTP interface for submitting and learning of
+//! transactions." Production horizon is ~18k lines of Go speaking HTTP;
+//! this reproduction provides the same *capabilities* as an in-process
+//! API (the transport is out of scope — documented in `DESIGN.md`):
+//!
+//! * [`api`] — horizon proper: account/trustline queries, order-book
+//!   views, payment-path finding ("features such as payment path finding
+//!   are implemented entirely in horizon"), transaction submission and
+//!   history lookup — all read-only against the herder's state, never
+//!   destabilizing the core.
+//! * [`bridge`] — the bridge server: "posting notifications of all
+//!   payments received by a specific account."
+//! * [`compliance`] — the compliance server: "hooks for financial
+//!   institutions to exchange and approve of sender and beneficiary
+//!   information on payments, for compliance with sanctions lists."
+//! * [`federation`] — the federation server: "a human-readable naming
+//!   system for accounts" (`alice*example.org` → account id).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod bridge;
+pub mod compliance;
+pub mod federation;
+
+pub use api::{AccountInfo, Horizon, OrderBookView};
+pub use bridge::{BridgeServer, PaymentNotification};
+pub use compliance::{ComplianceDecision, ComplianceServer};
+pub use federation::FederationServer;

@@ -1,0 +1,546 @@
+//! Path payments: atomic cross-asset transfers (§1, §5.2).
+//!
+//! A path payment delivers an exact amount of the destination asset while
+//! spending at most `send_max` of the source asset, trading through up to
+//! five intermediary order books along the way — "path payments that
+//! atomically trade across several currency pairs while guaranteeing an
+//! end-to-end limit price." This is the machinery behind the paper's
+//! flagship scenario: sending $0.50 from the U.S. to Mexico in five
+//! seconds for a fee of $0.000001.
+//!
+//! Execution works backwards from the destination: each hop buys exactly
+//! the amount the next hop needs, consuming resting offers at maker
+//! prices. The sender never needs trustlines on intermediary assets; only
+//! the makers' balances move for the middle legs.
+
+use crate::amount::Price;
+use crate::asset::Asset;
+use crate::entry::AccountId;
+use crate::ops::{credit, debit, ExecEnv};
+use crate::orderbook::{cross, TradeCaps};
+use crate::store::LedgerDelta;
+use crate::tx::{OpError, OpResult};
+
+/// Maximum number of intermediary assets in a path (Fig. 4: "up to 5").
+pub const MAX_PATH_LEN: usize = 5;
+
+/// A price limit that crosses everything (the end-to-end limit is enforced
+/// by `send_max`, not per hop).
+fn permissive_price() -> Price {
+    // The taker's price is its minimum acceptable buy-per-sell ratio;
+    // ~zero accepts every maker price.
+    Price::new(1, u32::MAX)
+}
+
+/// Applies a `PathPayment` operation.
+///
+/// Delivers exactly `dest_amount` of `dest_asset` to `destination`,
+/// spending at most `send_max` of `send_asset` from `source`, converting
+/// through `path` (source-to-destination order, as on the wire).
+#[allow(clippy::too_many_arguments)]
+pub fn apply_path_payment(
+    delta: &mut LedgerDelta<'_>,
+    source: AccountId,
+    send_asset: &Asset,
+    send_max: i64,
+    destination: AccountId,
+    dest_asset: &Asset,
+    dest_amount: i64,
+    path: &[Asset],
+    env: &ExecEnv,
+) -> OpResult {
+    if dest_amount <= 0 || send_max <= 0 || path.len() > MAX_PATH_LEN {
+        return Err(OpError::Malformed);
+    }
+    if delta.account(destination).is_none() {
+        return Err(OpError::NoDestination);
+    }
+
+    // The full conversion chain: send → path… → dest.
+    let mut chain: Vec<Asset> = Vec::with_capacity(path.len() + 2);
+    chain.push(send_asset.clone());
+    chain.extend(path.iter().cloned());
+    chain.push(dest_asset.clone());
+    chain.dedup();
+
+    if chain.len() == 1 {
+        // Same asset end to end: a direct transfer.
+        if dest_amount > send_max {
+            return Err(OpError::OverSendMax);
+        }
+        debit(delta, source, send_asset, dest_amount, env.base_reserve)?;
+        return credit(delta, destination, dest_asset, dest_amount);
+    }
+
+    // Work backwards: `needed` is how much of chain[i+1] the hop from
+    // chain[i] must produce.
+    let mut needed = dest_amount;
+    for i in (0..chain.len() - 1).rev() {
+        let input = &chain[i];
+        let output = &chain[i + 1];
+        let res = cross(
+            delta,
+            source,
+            input,
+            output,
+            &permissive_price(),
+            TradeCaps {
+                max_sell: i64::MAX / 4,
+                max_buy: needed,
+            },
+            false,
+        );
+        if res.bought < needed {
+            return Err(OpError::TooFewOffers);
+        }
+        // Settle the makers of this hop: they receive `input`, deliver
+        // `output`. The taker's own balances only move at the endpoints.
+        for f in &res.fills {
+            debit(delta, f.maker, output, f.taker_bought, env.base_reserve)?;
+            credit(delta, f.maker, input, f.taker_sold)?;
+        }
+        needed = res.sold;
+    }
+
+    // `needed` is now the total of `send_asset` consumed at the first hop.
+    if needed > send_max {
+        return Err(OpError::OverSendMax);
+    }
+    debit(delta, source, send_asset, needed, env.base_reserve)?;
+    credit(delta, destination, dest_asset, dest_amount)
+}
+
+/// Quotes the source-asset cost of delivering `dest_amount` along a path,
+/// without committing any changes (dry run on a fork).
+///
+/// Returns `None` when the books cannot fill the path.
+pub fn quote_path(
+    delta: &LedgerDelta<'_>,
+    send_asset: &Asset,
+    dest_asset: &Asset,
+    dest_amount: i64,
+    path: &[Asset],
+) -> Option<i64> {
+    let mut scratch = delta.fork();
+    let mut chain: Vec<Asset> = Vec::with_capacity(path.len() + 2);
+    chain.push(send_asset.clone());
+    chain.extend(path.iter().cloned());
+    chain.push(dest_asset.clone());
+    chain.dedup();
+    if chain.len() == 1 {
+        return Some(dest_amount);
+    }
+    let mut needed = dest_amount;
+    for i in (0..chain.len() - 1).rev() {
+        let res = cross(
+            &mut scratch,
+            // A taker id that never matches a real account: quoting only.
+            AccountId(stellar_crypto::sign::PublicKey(u64::MAX)),
+            &chain[i],
+            &chain[i + 1],
+            &permissive_price(),
+            TradeCaps {
+                max_sell: i64::MAX / 4,
+                max_buy: needed,
+            },
+            false,
+        );
+        if res.bought < needed {
+            return None;
+        }
+        needed = res.sold;
+    }
+    Some(needed)
+}
+
+/// Finds the cheapest path (by source cost) delivering `dest_amount`,
+/// considering the direct pair and single-intermediary hops through
+/// `candidates` (a horizon-style path-finding service, §5.4).
+pub fn find_best_path(
+    delta: &LedgerDelta<'_>,
+    send_asset: &Asset,
+    dest_asset: &Asset,
+    dest_amount: i64,
+    candidates: &[Asset],
+) -> Option<(Vec<Asset>, i64)> {
+    let mut best: Option<(Vec<Asset>, i64)> = None;
+    let mut consider = |path: Vec<Asset>| {
+        if let Some(cost) = quote_path(delta, send_asset, dest_asset, dest_amount, &path) {
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((path, cost));
+            }
+        }
+    };
+    consider(vec![]);
+    for mid in candidates {
+        if mid != send_asset && mid != dest_asset {
+            consider(vec![mid.clone()]);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::xlm;
+    use crate::entry::AccountEntry;
+    use crate::ops::apply_operation;
+    use crate::store::LedgerStore;
+    use crate::tx::Operation;
+    use stellar_crypto::sign::PublicKey;
+
+    fn acct(n: u64) -> AccountId {
+        AccountId(PublicKey(n))
+    }
+
+    /// Issuers: 9 = USD, 8 = MXN. Market maker: 5. Sender: 1, receiver: 2.
+    fn market() -> LedgerStore {
+        let mut s = LedgerStore::new();
+        for i in [1u64, 2, 5, 8, 9] {
+            s.put_account(AccountEntry::new(acct(i), xlm(10_000)));
+        }
+        let usd = Asset::issued(acct(9), "USD");
+        let mxn = Asset::issued(acct(8), "MXN");
+        let mut d = s.begin();
+        for (holder, asset) in [
+            (5u64, usd.clone()),
+            (5, mxn.clone()),
+            (1, usd.clone()),
+            (2, mxn.clone()),
+        ] {
+            apply_operation(
+                &mut d,
+                acct(holder),
+                &Operation::ChangeTrust {
+                    asset,
+                    limit: xlm(1_000_000),
+                },
+                &ExecEnv::default(),
+            )
+            .unwrap();
+        }
+        // Fund the maker and the sender.
+        apply_operation(
+            &mut d,
+            acct(9),
+            &Operation::Payment {
+                destination: acct(5),
+                asset: usd.clone(),
+                amount: 1_000_000,
+            },
+            &ExecEnv::default(),
+        )
+        .unwrap();
+        apply_operation(
+            &mut d,
+            acct(8),
+            &Operation::Payment {
+                destination: acct(5),
+                asset: mxn.clone(),
+                amount: 1_000_000,
+            },
+            &ExecEnv::default(),
+        )
+        .unwrap();
+        apply_operation(
+            &mut d,
+            acct(9),
+            &Operation::Payment {
+                destination: acct(1),
+                asset: usd,
+                amount: 1_000,
+            },
+            &ExecEnv::default(),
+        )
+        .unwrap();
+        // Maker sells MXN for USD at 1 USD per 20 MXN (i.e. 20 MXN/USD).
+        let mxn2 = Asset::issued(acct(8), "MXN");
+        let usd2 = Asset::issued(acct(9), "USD");
+        apply_operation(
+            &mut d,
+            acct(5),
+            &Operation::ManageOffer {
+                offer_id: 0,
+                selling: mxn2,
+                buying: usd2,
+                amount: 1_000_000,
+                price: Price::new(1, 20),
+                passive: false,
+            },
+            &ExecEnv::default(),
+        )
+        .unwrap();
+        let ch = d.into_changes();
+        s.commit(ch);
+        s
+    }
+
+    #[test]
+    fn direct_cross_asset_payment() {
+        // "making it literally possible to send $0.50 to Mexico in 5
+        // seconds": deliver 10 MXN for at most 0.50 USD.
+        let store = market();
+        let usd = Asset::issued(acct(9), "USD");
+        let mxn = Asset::issued(acct(8), "MXN");
+        let mut d = store.begin();
+        apply_path_payment(
+            &mut d,
+            acct(1),
+            &usd,
+            1,
+            acct(2),
+            &mxn,
+            20,
+            &[],
+            &ExecEnv::default(),
+        )
+        .unwrap();
+        assert_eq!(d.trustline(acct(2), &mxn).unwrap().balance, 20);
+        assert_eq!(d.trustline(acct(1), &usd).unwrap().balance, 999);
+        // Maker took the USD and gave MXN.
+        assert_eq!(d.trustline(acct(5), &usd).unwrap().balance, 1_000_001);
+        assert_eq!(d.trustline(acct(5), &mxn).unwrap().balance, 999_980);
+    }
+
+    #[test]
+    fn send_max_enforced() {
+        let store = market();
+        let usd = Asset::issued(acct(9), "USD");
+        let mxn = Asset::issued(acct(8), "MXN");
+        let mut d = store.begin();
+        // 100 MXN costs 5 USD; cap at 4: must fail without side effects
+        // (the enclosing tx delta would be discarded).
+        let err = apply_path_payment(
+            &mut d,
+            acct(1),
+            &usd,
+            4,
+            acct(2),
+            &mxn,
+            100,
+            &[],
+            &ExecEnv::default(),
+        );
+        assert_eq!(err, Err(OpError::OverSendMax));
+    }
+
+    #[test]
+    fn too_few_offers_detected() {
+        let store = market();
+        let usd = Asset::issued(acct(9), "USD");
+        let mxn = Asset::issued(acct(8), "MXN");
+        let mut d = store.begin();
+        let err = apply_path_payment(
+            &mut d,
+            acct(1),
+            &usd,
+            i64::MAX / 8,
+            acct(2),
+            &mxn,
+            2_000_000,
+            &[],
+            &ExecEnv::default(),
+        );
+        assert_eq!(err, Err(OpError::TooFewOffers));
+    }
+
+    #[test]
+    fn two_hop_path_through_xlm() {
+        // Add a USD→XLM maker and an XLM→MXN maker, then pay USD→XLM→MXN.
+        let mut store = market();
+        let usd = Asset::issued(acct(9), "USD");
+        let mxn = Asset::issued(acct(8), "MXN");
+        {
+            let mut d = store.begin();
+            // Maker sells XLM for USD at 1 USD per 10 XLM.
+            apply_operation(
+                &mut d,
+                acct(5),
+                &Operation::ManageOffer {
+                    offer_id: 0,
+                    selling: Asset::Native,
+                    buying: usd.clone(),
+                    amount: xlm(100),
+                    price: Price::new(1, 10),
+                    passive: false,
+                },
+                &ExecEnv::default(),
+            )
+            .unwrap();
+            // Maker sells MXN for XLM at 2 MXN per XLM → price 1 XLM per 2 MXN.
+            apply_operation(
+                &mut d,
+                acct(5),
+                &Operation::ManageOffer {
+                    offer_id: 0,
+                    selling: mxn.clone(),
+                    buying: Asset::Native,
+                    amount: 1_000_000,
+                    price: Price::new(1, 2),
+                    passive: false,
+                },
+                &ExecEnv::default(),
+            )
+            .unwrap();
+            let ch = d.into_changes();
+            store.commit(ch);
+        }
+        let mut d = store.begin();
+        apply_path_payment(
+            &mut d,
+            acct(1),
+            &usd,
+            1_000,
+            acct(2),
+            &mxn,
+            40,
+            &[Asset::Native],
+            &ExecEnv::default(),
+        )
+        .unwrap();
+        assert_eq!(d.trustline(acct(2), &mxn).unwrap().balance, 40);
+    }
+
+    #[test]
+    fn same_asset_path_is_direct_transfer() {
+        let store = market();
+        let usd = Asset::issued(acct(9), "USD");
+        let mut d = store.begin();
+        // Receiver needs a USD trustline.
+        apply_operation(
+            &mut d,
+            acct(2),
+            &Operation::ChangeTrust {
+                asset: usd.clone(),
+                limit: 1000,
+            },
+            &ExecEnv::default(),
+        )
+        .unwrap();
+        apply_path_payment(
+            &mut d,
+            acct(1),
+            &usd,
+            50,
+            acct(2),
+            &usd,
+            50,
+            &[],
+            &ExecEnv::default(),
+        )
+        .unwrap();
+        assert_eq!(d.trustline(acct(2), &usd).unwrap().balance, 50);
+    }
+
+    #[test]
+    fn quote_matches_execution_cost() {
+        let store = market();
+        let usd = Asset::issued(acct(9), "USD");
+        let mxn = Asset::issued(acct(8), "MXN");
+        let d = store.begin();
+        let quoted = quote_path(&d, &usd, &mxn, 200, &[]).unwrap();
+        assert_eq!(quoted, 10); // 200 MXN at 20 MXN/USD
+        let mut d2 = store.begin();
+        apply_path_payment(
+            &mut d2,
+            acct(1),
+            &usd,
+            quoted,
+            acct(2),
+            &mxn,
+            200,
+            &[],
+            &ExecEnv::default(),
+        )
+        .unwrap();
+        assert_eq!(d2.trustline(acct(1), &usd).unwrap().balance, 1000 - quoted);
+    }
+
+    #[test]
+    fn find_best_path_picks_cheaper_route() {
+        // Direct book at 20 MXN/USD; also a (better) two-hop via XLM:
+        // 1 USD → 12 XLM → 36 MXN (3 MXN per XLM) ⇒ cheaper per MXN.
+        let mut store = market();
+        let usd = Asset::issued(acct(9), "USD");
+        let mxn = Asset::issued(acct(8), "MXN");
+        {
+            let mut d = store.begin();
+            apply_operation(
+                &mut d,
+                acct(5),
+                &Operation::ManageOffer {
+                    offer_id: 0,
+                    selling: Asset::Native,
+                    buying: usd.clone(),
+                    amount: xlm(100),
+                    price: Price::new(1, 12),
+                    passive: false,
+                },
+                &ExecEnv::default(),
+            )
+            .unwrap();
+            apply_operation(
+                &mut d,
+                acct(5),
+                &Operation::ManageOffer {
+                    offer_id: 0,
+                    selling: mxn.clone(),
+                    buying: Asset::Native,
+                    amount: 1_000_000,
+                    price: Price::new(1, 3),
+                    passive: false,
+                },
+                &ExecEnv::default(),
+            )
+            .unwrap();
+            let ch = d.into_changes();
+            store.commit(ch);
+        }
+        let d = store.begin();
+        let (path, cost) = find_best_path(&d, &usd, &mxn, 360, &[Asset::Native]).unwrap();
+        assert_eq!(path, vec![Asset::Native]);
+        let direct = quote_path(&d, &usd, &mxn, 360, &[]).unwrap();
+        assert!(
+            cost < direct,
+            "via-XLM path ({cost}) should beat direct ({direct})"
+        );
+    }
+
+    #[test]
+    fn malformed_paths_rejected() {
+        let store = market();
+        let usd = Asset::issued(acct(9), "USD");
+        let mxn = Asset::issued(acct(8), "MXN");
+        let mut d = store.begin();
+        let too_long = vec![Asset::Native; MAX_PATH_LEN + 1];
+        assert_eq!(
+            apply_path_payment(
+                &mut d,
+                acct(1),
+                &usd,
+                10,
+                acct(2),
+                &mxn,
+                10,
+                &too_long,
+                &ExecEnv::default()
+            ),
+            Err(OpError::Malformed)
+        );
+        assert_eq!(
+            apply_path_payment(
+                &mut d,
+                acct(1),
+                &usd,
+                10,
+                acct(2),
+                &mxn,
+                0,
+                &[],
+                &ExecEnv::default()
+            ),
+            Err(OpError::Malformed)
+        );
+    }
+}

@@ -1,0 +1,493 @@
+//! The ledger entry store with copy-on-write deltas.
+//!
+//! Production `stellar-core` keeps the ledger in a SQL database; this
+//! reproduction substitutes in-memory ordered maps behind the same
+//! read/modify interface (see `DESIGN.md`). The important structural
+//! property is shared: transactions execute against a [`LedgerDelta`]
+//! overlay that is either *committed* into the base store or discarded —
+//! which is how "transactions are atomic: if any operation fails, none of
+//! them execute" (§5.2) is implemented.
+//!
+//! The store also tracks, per ledger close, which entries changed; that
+//! change feed drives the bucket list in `stellar-buckets`.
+
+use crate::asset::Asset;
+use crate::entry::{
+    AccountEntry, AccountId, DataEntry, LedgerEntry, LedgerKey, OfferEntry, TrustLineEntry,
+};
+use std::collections::BTreeMap;
+
+/// The base ledger state: all live entries.
+#[derive(Clone, Debug, Default)]
+pub struct LedgerStore {
+    accounts: BTreeMap<AccountId, AccountEntry>,
+    trustlines: BTreeMap<(AccountId, Asset), TrustLineEntry>,
+    offers: BTreeMap<u64, OfferEntry>,
+    data: BTreeMap<(AccountId, String), DataEntry>,
+    /// Next offer id to allocate.
+    next_offer_id: u64,
+}
+
+impl LedgerStore {
+    /// An empty store.
+    pub fn new() -> LedgerStore {
+        LedgerStore {
+            next_offer_id: 1,
+            ..LedgerStore::default()
+        }
+    }
+
+    /// Number of accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Number of open offers.
+    pub fn offer_count(&self) -> usize {
+        self.offers.len()
+    }
+
+    /// Looks up an account.
+    pub fn account(&self, id: AccountId) -> Option<&AccountEntry> {
+        self.accounts.get(&id)
+    }
+
+    /// Looks up a trustline.
+    pub fn trustline(&self, id: AccountId, asset: &Asset) -> Option<&TrustLineEntry> {
+        self.trustlines.get(&(id, asset.clone()))
+    }
+
+    /// Looks up an offer by id.
+    pub fn offer(&self, id: u64) -> Option<&OfferEntry> {
+        self.offers.get(&id)
+    }
+
+    /// Looks up a data entry.
+    pub fn data(&self, id: AccountId, name: &str) -> Option<&DataEntry> {
+        self.data.get(&(id, name.to_string()))
+    }
+
+    /// All offers selling `selling` for `buying`, best (lowest) price
+    /// first, ties by offer id (time priority).
+    pub fn offers_for_pair(&self, selling: &Asset, buying: &Asset) -> Vec<OfferEntry> {
+        let mut out: Vec<OfferEntry> = self
+            .offers
+            .values()
+            .filter(|o| &o.selling == selling && &o.buying == buying)
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.price.cmp(&b.price).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    /// Directly inserts an account (genesis / test setup).
+    pub fn put_account(&mut self, account: AccountEntry) {
+        self.accounts.insert(account.id, account);
+    }
+
+    /// Directly inserts a trustline (genesis / test setup).
+    pub fn put_trustline(&mut self, tl: TrustLineEntry) {
+        self.trustlines.insert((tl.account, tl.asset.clone()), tl);
+    }
+
+    /// Iterates over every live entry (snapshot hashing, bucket seeding).
+    pub fn all_entries(&self) -> impl Iterator<Item = LedgerEntry> + '_ {
+        let accounts = self.accounts.values().cloned().map(LedgerEntry::Account);
+        let tls = self
+            .trustlines
+            .values()
+            .cloned()
+            .map(LedgerEntry::TrustLine);
+        let offers = self.offers.values().cloned().map(LedgerEntry::Offer);
+        let data = self.data.values().cloned().map(LedgerEntry::Data);
+        accounts.chain(tls).chain(offers).chain(data)
+    }
+
+    /// Rebuilds a store from a flat entry dump (bucket-list catch-up).
+    pub fn from_entries(entries: impl IntoIterator<Item = LedgerEntry>) -> LedgerStore {
+        let mut store = LedgerStore::new();
+        for e in entries {
+            match e {
+                LedgerEntry::Account(a) => {
+                    store.accounts.insert(a.id, a);
+                }
+                LedgerEntry::TrustLine(t) => {
+                    store.trustlines.insert((t.account, t.asset.clone()), t);
+                }
+                LedgerEntry::Offer(o) => {
+                    store.next_offer_id = store.next_offer_id.max(o.id + 1);
+                    store.offers.insert(o.id, o);
+                }
+                LedgerEntry::Data(d) => {
+                    store.data.insert((d.account, d.name.clone()), d);
+                }
+            }
+        }
+        store
+    }
+
+    /// Starts a delta (scratch overlay) over this store.
+    pub fn begin(&self) -> LedgerDelta<'_> {
+        LedgerDelta {
+            base: self,
+            accounts: BTreeMap::new(),
+            trustlines: BTreeMap::new(),
+            offers: BTreeMap::new(),
+            data: BTreeMap::new(),
+            next_offer_id: self.next_offer_id,
+        }
+    }
+
+    /// Applies a committed delta's changes, returning the change feed for
+    /// the bucket list: `(key, Some(entry))` for creates/updates,
+    /// `(key, None)` for deletions.
+    pub fn commit(&mut self, changes: DeltaChanges) -> Vec<(LedgerKey, Option<LedgerEntry>)> {
+        let mut feed = Vec::new();
+        for (id, slot) in changes.accounts {
+            let key = LedgerKey::Account(id);
+            match slot {
+                Some(a) => {
+                    feed.push((key, Some(LedgerEntry::Account(a.clone()))));
+                    self.accounts.insert(id, a);
+                }
+                None => {
+                    feed.push((key, None));
+                    self.accounts.remove(&id);
+                }
+            }
+        }
+        for ((id, asset), slot) in changes.trustlines {
+            let key = LedgerKey::TrustLine(id, asset.clone());
+            match slot {
+                Some(t) => {
+                    feed.push((key, Some(LedgerEntry::TrustLine(t.clone()))));
+                    self.trustlines.insert((id, asset), t);
+                }
+                None => {
+                    feed.push((key, None));
+                    self.trustlines.remove(&(id, asset));
+                }
+            }
+        }
+        for (id, slot) in changes.offers {
+            let key = LedgerKey::Offer(id);
+            match slot {
+                Some(o) => {
+                    feed.push((key, Some(LedgerEntry::Offer(o.clone()))));
+                    self.offers.insert(id, o);
+                }
+                None => {
+                    feed.push((key, None));
+                    self.offers.remove(&id);
+                }
+            }
+        }
+        for ((id, name), slot) in changes.data {
+            let key = LedgerKey::Data(id, name.clone());
+            match slot {
+                Some(d) => {
+                    feed.push((key, Some(LedgerEntry::Data(d.clone()))));
+                    self.data.insert((id, name), d);
+                }
+                None => {
+                    feed.push((key, None));
+                    self.data.remove(&(id, name));
+                }
+            }
+        }
+        self.next_offer_id = changes.next_offer_id;
+        feed
+    }
+}
+
+/// The owned changes extracted from a delta at commit time.
+#[derive(Debug)]
+pub struct DeltaChanges {
+    accounts: BTreeMap<AccountId, Option<AccountEntry>>,
+    trustlines: BTreeMap<(AccountId, Asset), Option<TrustLineEntry>>,
+    offers: BTreeMap<u64, Option<OfferEntry>>,
+    data: BTreeMap<(AccountId, String), Option<DataEntry>>,
+    next_offer_id: u64,
+}
+
+/// A copy-on-write overlay over a [`LedgerStore`].
+///
+/// Reads fall through to the base store; writes land in the overlay.
+/// `None` in an overlay slot means "deleted". Dropping the delta discards
+/// all changes; [`LedgerDelta::into_changes`] extracts them for commit.
+pub struct LedgerDelta<'a> {
+    base: &'a LedgerStore,
+    accounts: BTreeMap<AccountId, Option<AccountEntry>>,
+    trustlines: BTreeMap<(AccountId, Asset), Option<TrustLineEntry>>,
+    offers: BTreeMap<u64, Option<OfferEntry>>,
+    data: BTreeMap<(AccountId, String), Option<DataEntry>>,
+    next_offer_id: u64,
+}
+
+impl LedgerDelta<'_> {
+    /// Looks up an account through the overlay.
+    pub fn account(&self, id: AccountId) -> Option<AccountEntry> {
+        match self.accounts.get(&id) {
+            Some(slot) => slot.clone(),
+            None => self.base.accounts.get(&id).cloned(),
+        }
+    }
+
+    /// Writes an account.
+    pub fn put_account(&mut self, account: AccountEntry) {
+        self.accounts.insert(account.id, Some(account));
+    }
+
+    /// Deletes an account.
+    pub fn delete_account(&mut self, id: AccountId) {
+        self.accounts.insert(id, None);
+    }
+
+    /// Looks up a trustline through the overlay.
+    pub fn trustline(&self, id: AccountId, asset: &Asset) -> Option<TrustLineEntry> {
+        match self.trustlines.get(&(id, asset.clone())) {
+            Some(slot) => slot.clone(),
+            None => self.base.trustlines.get(&(id, asset.clone())).cloned(),
+        }
+    }
+
+    /// Writes a trustline.
+    pub fn put_trustline(&mut self, tl: TrustLineEntry) {
+        self.trustlines
+            .insert((tl.account, tl.asset.clone()), Some(tl));
+    }
+
+    /// Deletes a trustline.
+    pub fn delete_trustline(&mut self, id: AccountId, asset: &Asset) {
+        self.trustlines.insert((id, asset.clone()), None);
+    }
+
+    /// Looks up an offer through the overlay.
+    pub fn offer(&self, id: u64) -> Option<OfferEntry> {
+        match self.offers.get(&id) {
+            Some(slot) => slot.clone(),
+            None => self.base.offers.get(&id).cloned(),
+        }
+    }
+
+    /// Writes an offer.
+    pub fn put_offer(&mut self, offer: OfferEntry) {
+        self.offers.insert(offer.id, Some(offer));
+    }
+
+    /// Deletes an offer.
+    pub fn delete_offer(&mut self, id: u64) {
+        self.offers.insert(id, None);
+    }
+
+    /// Allocates a fresh ledger-unique offer id.
+    pub fn allocate_offer_id(&mut self) -> u64 {
+        let id = self.next_offer_id;
+        self.next_offer_id += 1;
+        id
+    }
+
+    /// Looks up a data entry through the overlay.
+    pub fn data(&self, id: AccountId, name: &str) -> Option<DataEntry> {
+        match self.data.get(&(id, name.to_string())) {
+            Some(slot) => slot.clone(),
+            None => self.base.data.get(&(id, name.to_string())).cloned(),
+        }
+    }
+
+    /// Writes a data entry.
+    pub fn put_data(&mut self, entry: DataEntry) {
+        self.data
+            .insert((entry.account, entry.name.clone()), Some(entry));
+    }
+
+    /// Deletes a data entry.
+    pub fn delete_data(&mut self, id: AccountId, name: &str) {
+        self.data.insert((id, name.to_string()), None);
+    }
+
+    /// Offers for a pair, merged overlay-over-base, best price first.
+    pub fn offers_for_pair(&self, selling: &Asset, buying: &Asset) -> Vec<OfferEntry> {
+        let mut merged: BTreeMap<u64, OfferEntry> = self
+            .base
+            .offers
+            .values()
+            .filter(|o| &o.selling == selling && &o.buying == buying)
+            .map(|o| (o.id, o.clone()))
+            .collect();
+        for (id, slot) in &self.offers {
+            match slot {
+                Some(o) if &o.selling == selling && &o.buying == buying => {
+                    merged.insert(*id, o.clone());
+                }
+                _ => {
+                    merged.remove(id);
+                }
+            }
+        }
+        let mut out: Vec<OfferEntry> = merged.into_values().collect();
+        out.sort_by(|a, b| a.price.cmp(&b.price).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    /// Extracts the accumulated changes for commit.
+    pub fn into_changes(self) -> DeltaChanges {
+        DeltaChanges {
+            accounts: self.accounts,
+            trustlines: self.trustlines,
+            offers: self.offers,
+            data: self.data,
+            next_offer_id: self.next_offer_id,
+        }
+    }
+
+    /// Merges a nested (per-transaction) delta's changes into this one.
+    pub fn absorb(&mut self, changes: DeltaChanges) {
+        self.accounts.extend(changes.accounts);
+        self.trustlines.extend(changes.trustlines);
+        self.offers.extend(changes.offers);
+        self.data.extend(changes.data);
+        self.next_offer_id = self.next_offer_id.max(changes.next_offer_id);
+    }
+
+    /// Starts a nested scratch delta that snapshots this delta's current
+    /// state (used per-operation group inside a transaction).
+    pub fn fork(&self) -> LedgerDelta<'_> {
+        // A fork layers fresh maps over a frozen clone of our maps by
+        // copying them: cheap relative to transaction sizes (a handful of
+        // touched entries each).
+        LedgerDelta {
+            base: self.base,
+            accounts: self.accounts.clone(),
+            trustlines: self.trustlines.clone(),
+            offers: self.offers.clone(),
+            data: self.data.clone(),
+            next_offer_id: self.next_offer_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amount::Price;
+    use stellar_crypto::sign::PublicKey;
+
+    fn acct(n: u64) -> AccountId {
+        AccountId(PublicKey(n))
+    }
+
+    #[test]
+    fn delta_reads_fall_through() {
+        let mut store = LedgerStore::new();
+        store.put_account(AccountEntry::new(acct(1), 100));
+        let delta = store.begin();
+        assert_eq!(delta.account(acct(1)).unwrap().balance, 100);
+        assert!(delta.account(acct(2)).is_none());
+    }
+
+    #[test]
+    fn delta_writes_do_not_touch_base_until_commit() {
+        let mut store = LedgerStore::new();
+        store.put_account(AccountEntry::new(acct(1), 100));
+        let mut delta = store.begin();
+        let mut a = delta.account(acct(1)).unwrap();
+        a.balance = 50;
+        delta.put_account(a);
+        assert_eq!(delta.account(acct(1)).unwrap().balance, 50);
+        assert_eq!(store.account(acct(1)).unwrap().balance, 100);
+        let changes = delta.into_changes();
+        store.commit(changes);
+        assert_eq!(store.account(acct(1)).unwrap().balance, 50);
+    }
+
+    #[test]
+    fn dropping_delta_discards() {
+        let mut store = LedgerStore::new();
+        store.put_account(AccountEntry::new(acct(1), 100));
+        {
+            let mut delta = store.begin();
+            delta.delete_account(acct(1));
+            assert!(delta.account(acct(1)).is_none());
+        }
+        assert!(store.account(acct(1)).is_some());
+    }
+
+    #[test]
+    fn delete_shadows_base() {
+        let mut store = LedgerStore::new();
+        store.put_account(AccountEntry::new(acct(1), 100));
+        let mut delta = store.begin();
+        delta.delete_account(acct(1));
+        let changes = delta.into_changes();
+        let feed = store.commit(changes);
+        assert!(store.account(acct(1)).is_none());
+        assert!(feed
+            .iter()
+            .any(|(k, v)| matches!(k, LedgerKey::Account(_)) && v.is_none()));
+    }
+
+    #[test]
+    fn offer_ids_are_unique_across_commit() {
+        let mut store = LedgerStore::new();
+        let mut delta = store.begin();
+        let id1 = delta.allocate_offer_id();
+        let id2 = delta.allocate_offer_id();
+        assert_ne!(id1, id2);
+        let changes = delta.into_changes();
+        store.commit(changes);
+        let mut delta2 = store.begin();
+        let id3 = delta2.allocate_offer_id();
+        assert!(id3 > id2);
+    }
+
+    #[test]
+    fn offers_for_pair_sorted_by_price_then_id() {
+        let mut store = LedgerStore::new();
+        let usd = Asset::issued(acct(9), "USD");
+        let mk = |id: u64, n: u32| OfferEntry {
+            id,
+            account: acct(1),
+            selling: Asset::Native,
+            buying: usd.clone(),
+            amount: 10,
+            price: Price::new(n, 2),
+            passive: false,
+        };
+        let mut delta = store.begin();
+        delta.put_offer(mk(2, 3));
+        delta.put_offer(mk(1, 3));
+        delta.put_offer(mk(3, 1));
+        let changes = delta.into_changes();
+        store.commit(changes);
+        let book = store.offers_for_pair(&Asset::Native, &usd);
+        assert_eq!(book.iter().map(|o| o.id).collect::<Vec<_>>(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn fork_and_absorb() {
+        let mut store = LedgerStore::new();
+        store.put_account(AccountEntry::new(acct(1), 100));
+        let mut outer = store.begin();
+        let mut inner = outer.fork();
+        let mut a = inner.account(acct(1)).unwrap();
+        a.balance = 42;
+        inner.put_account(a);
+        outer.absorb(inner.into_changes());
+        assert_eq!(outer.account(acct(1)).unwrap().balance, 42);
+    }
+
+    #[test]
+    fn change_feed_reports_all_mutations() {
+        let mut store = LedgerStore::new();
+        let mut delta = store.begin();
+        delta.put_account(AccountEntry::new(acct(1), 7));
+        delta.put_data(DataEntry {
+            account: acct(1),
+            name: "k".into(),
+            value: vec![1],
+        });
+        let feed = store.commit(delta.into_changes());
+        assert_eq!(feed.len(), 2);
+    }
+}

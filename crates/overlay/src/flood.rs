@@ -1,0 +1,174 @@
+//! Per-node flood state: naïve gossip with de-duplication.
+//!
+//! "Transactions and SCP messages are broadcast by validators using a
+//! naïve flooding protocol" (§7.5). Each node remembers what it has seen
+//! and relays new messages to every peer except the one it came from.
+//! The seen-cache is bounded and evicts oldest-first, mirroring
+//! production's per-ledger flood maps.
+
+use crate::message::FloodMessage;
+use std::collections::{HashSet, VecDeque};
+use stellar_crypto::Hash256;
+use stellar_scp::NodeId;
+
+/// Flood bookkeeping for one node.
+#[derive(Debug)]
+pub struct FloodState {
+    seen: HashSet<Hash256>,
+    order: VecDeque<Hash256>,
+    capacity: usize,
+}
+
+impl FloodState {
+    /// A flood cache remembering up to `capacity` message ids.
+    pub fn new(capacity: usize) -> FloodState {
+        FloodState {
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records a message; returns `true` if it is new (and should be
+    /// processed and relayed) or `false` if it is a duplicate.
+    pub fn record(&mut self, msg: &FloodMessage) -> bool {
+        self.record_id(msg.id())
+    }
+
+    /// Whether `id` has been seen (read-only check).
+    pub fn contains(&self, id: Hash256) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Id-based variant of [`FloodState::record`].
+    pub fn record_id(&mut self, id: Hash256) -> bool {
+        if !self.seen.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        while self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// The peers a new message should be relayed to.
+    pub fn relay_targets<'a>(
+        &self,
+        peers: impl Iterator<Item = NodeId> + 'a,
+        from: Option<NodeId>,
+    ) -> Vec<NodeId> {
+        peers.filter(|p| Some(*p) != from).collect()
+    }
+
+    /// Number of ids currently remembered.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when nothing has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u8) -> Hash256 {
+        let mut b = [0u8; 32];
+        b[0] = n;
+        Hash256(b)
+    }
+
+    #[test]
+    fn duplicates_suppressed() {
+        let mut f = FloodState::new(10);
+        assert!(f.record_id(id(1)));
+        assert!(!f.record_id(id(1)));
+        assert!(f.record_id(id(2)));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut f = FloodState::new(2);
+        f.record_id(id(1));
+        f.record_id(id(2));
+        f.record_id(id(3)); // evicts 1
+        assert_eq!(f.len(), 2);
+        assert!(f.record_id(id(1)), "evicted id is new again");
+    }
+
+    #[test]
+    fn relay_skips_sender() {
+        let f = FloodState::new(10);
+        let peers = [NodeId(1), NodeId(2), NodeId(3)];
+        let targets = f.relay_targets(peers.iter().copied(), Some(NodeId(2)));
+        assert_eq!(targets, vec![NodeId(1), NodeId(3)]);
+        let all = f.relay_targets(peers.iter().copied(), None);
+        assert_eq!(all.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod propagation_tests {
+    use super::*;
+    use crate::topology::PeerGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn bfs_flood(graph: &PeerGraph, origin: NodeId) -> (usize, usize) {
+        // Simulates flood propagation: returns (nodes reached, total sends).
+        let mut states: BTreeMap<NodeId, FloodState> =
+            graph.nodes().map(|n| (n, FloodState::new(64))).collect();
+        let id = Hash256([7u8; 32]);
+        let mut frontier: Vec<(NodeId, Option<NodeId>)> = vec![(origin, None)];
+        let mut reached = 0usize;
+        let mut sends = 0usize;
+        while let Some((node, from)) = frontier.pop() {
+            if !states.get_mut(&node).unwrap().record_id(id) {
+                continue;
+            }
+            reached += 1;
+            let targets = states[&node].relay_targets(graph.peers(node), from);
+            sends += targets.len();
+            for t in targets {
+                frontier.push((t, Some(node)));
+            }
+        }
+        (reached, sends)
+    }
+
+    #[test]
+    fn flood_reaches_every_node_on_connected_graphs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nodes: Vec<NodeId> = (0..30).map(NodeId).collect();
+        for g in [
+            PeerGraph::full_mesh(&nodes),
+            PeerGraph::random_regular(&nodes, 6, &mut rng),
+        ] {
+            let (reached, _) = bfs_flood(&g, NodeId(0));
+            assert_eq!(reached, 30, "flood must reach the whole overlay");
+        }
+    }
+
+    #[test]
+    fn sparse_graphs_flood_with_fewer_sends() {
+        // The §7.5 point: naïve flooding costs O(edges); sparser overlays
+        // transmit less. (Structured multicast would cut this to O(n).)
+        let mut rng = StdRng::seed_from_u64(6);
+        let nodes: Vec<NodeId> = (0..40).map(NodeId).collect();
+        let (_, mesh_sends) = bfs_flood(&PeerGraph::full_mesh(&nodes), NodeId(0));
+        let sparse = PeerGraph::random_regular(&nodes, 6, &mut rng);
+        let (reached, sparse_sends) = bfs_flood(&sparse, NodeId(0));
+        assert_eq!(reached, 40);
+        assert!(
+            sparse_sends < mesh_sends / 3,
+            "{sparse_sends} vs {mesh_sends}"
+        );
+    }
+}

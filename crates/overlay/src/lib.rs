@@ -1,0 +1,29 @@
+//! The overlay network substrate (§5.4, §7.5).
+//!
+//! Production Stellar floods transactions and SCP messages over a partial
+//! mesh of peer connections using "a naïve flooding protocol" (the paper
+//! explicitly defers structured multicast to future work). This crate
+//! provides the pieces the simulator composes into that behaviour:
+//!
+//! * [`message`] — the three flooded payload kinds (SCP envelopes,
+//!   transaction sets, transactions), each content-addressed for
+//!   de-duplication;
+//! * [`topology`] — peer-graph builders: full mesh, random k-regular
+//!   gossip graphs, and the tiered production-like shape of Fig. 7;
+//! * [`flood`] — per-node flood state: seen-message cache and relay
+//!   fan-out selection;
+//! * [`stats`] — per-node traffic counters (messages and bytes in/out)
+//!   backing the §7.4 validator-cost numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flood;
+pub mod message;
+pub mod stats;
+pub mod topology;
+
+pub use flood::FloodState;
+pub use message::FloodMessage;
+pub use stats::TrafficStats;
+pub use topology::PeerGraph;

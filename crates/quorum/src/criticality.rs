@@ -1,0 +1,183 @@
+//! Criticality detection (paper §6.2.2): warn *before* divergence.
+//!
+//! "Detecting that the network admits disjoint quorums is a step in the
+//! right direction, but flags the danger uncomfortably late. … We therefore
+//! extended the quorum-intersection checker to detect a condition we call
+//! criticality: when the current collective configuration is one
+//! misconfiguration away from a state that admits disjoint quorums."
+//!
+//! The checker simulates, for each organization in turn, a worst-case
+//! misconfiguration — the organization's validators declaring themselves a
+//! self-sufficient quorum and dropping every outside dependency — then
+//! re-runs the inner intersection checker. Any organization whose simulated
+//! misconfiguration splits the network is reported.
+
+use crate::intersection::{find_disjoint_quorums, FbaSystem, IntersectionResult};
+use std::collections::BTreeMap;
+use stellar_scp::{NodeId, QuorumSet};
+
+/// A grouping of nodes into organizations for criticality analysis.
+pub type OrgMap = BTreeMap<String, Vec<NodeId>>;
+
+/// Result of a criticality scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalityReport {
+    /// Whether the configuration as-is already admits disjoint quorums.
+    pub already_split: bool,
+    /// Organizations whose single worst-case misconfiguration would admit
+    /// disjoint quorums.
+    pub critical_orgs: Vec<String>,
+}
+
+impl CriticalityReport {
+    /// True when no org can single-handedly split the network.
+    pub fn is_safe(&self) -> bool {
+        !self.already_split && self.critical_orgs.is_empty()
+    }
+}
+
+/// Deletes a set of (worst-case misconfigured / Byzantine) nodes from a
+/// quorum set: slice entries they occupied become free for everyone.
+///
+/// This is the FBA "delete" operation: a node whose behaviour is arbitrary
+/// can lend its vote to *both* sides of a split, which is modeled by
+/// removing it from every slice and lowering the threshold accordingly.
+/// An inner set whose threshold drops to zero is unconditionally satisfied
+/// and likewise lowers its parent's threshold.
+pub fn delete_nodes(q: &QuorumSet, bad: &std::collections::BTreeSet<NodeId>) -> QuorumSet {
+    let mut threshold = i64::from(q.threshold);
+    let mut validators = Vec::new();
+    for v in &q.validators {
+        if bad.contains(v) {
+            threshold -= 1;
+        } else {
+            validators.push(*v);
+        }
+    }
+    let mut inner = Vec::new();
+    for i in &q.inner {
+        let di = delete_nodes(i, bad);
+        if di.threshold == 0 {
+            threshold -= 1;
+        } else {
+            inner.push(di);
+        }
+    }
+    QuorumSet {
+        threshold: threshold.max(0) as u32,
+        validators,
+        inner,
+    }
+}
+
+/// Scans the system for criticality (§6.2.2).
+///
+/// For each org in turn, its validators are given worst-case behaviour —
+/// they are deleted from every quorum set (free votes for any side) and
+/// removed from the system — and the intersection checker re-runs on what
+/// remains. Orgs whose simulated misconfiguration admits disjoint quorums
+/// are reported. The base configuration is also checked as-is.
+pub fn check_criticality(sys: &FbaSystem, orgs: &OrgMap) -> CriticalityReport {
+    let base = find_disjoint_quorums(sys);
+    let already_split = matches!(base, IntersectionResult::Disjoint(_, _));
+    let mut critical_orgs = Vec::new();
+    for (name, members) in orgs {
+        if members.is_empty() {
+            continue;
+        }
+        let bad: std::collections::BTreeSet<NodeId> = members.iter().copied().collect();
+        let sim = FbaSystem::new(
+            sys.nodes
+                .iter()
+                .filter(|(n, _)| !bad.contains(n))
+                .map(|(n, q)| (*n, delete_nodes(q, &bad))),
+        );
+        if matches!(
+            find_disjoint_quorums(&sim),
+            IntersectionResult::Disjoint(_, _)
+        ) {
+            critical_orgs.push(name.clone());
+        }
+    }
+    CriticalityReport {
+        already_split,
+        critical_orgs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiers::{synthesize_all, OrgConfig, Quality};
+
+    fn ids(range: std::ops::Range<u32>) -> Vec<NodeId> {
+        range.map(NodeId).collect()
+    }
+
+    fn org_map(orgs: &[OrgConfig]) -> OrgMap {
+        orgs.iter()
+            .map(|o| (o.name.clone(), o.validators.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn five_org_tiered_config_is_not_critical() {
+        // Five 3-validator orgs at 67%: one org misbehaving cannot split
+        // the remaining 4-of-5 requirement.
+        let orgs: Vec<OrgConfig> = (0..5)
+            .map(|i| OrgConfig::new(&format!("org{i}"), ids(i * 3..i * 3 + 3), Quality::High))
+            .collect();
+        let sys = FbaSystem::new(synthesize_all(&orgs));
+        let report = check_criticality(&sys, &org_map(&orgs));
+        assert!(!report.already_split);
+        assert!(
+            report.is_safe(),
+            "critical orgs: {:?}",
+            report.critical_orgs
+        );
+    }
+
+    #[test]
+    fn two_org_config_is_critical() {
+        // With only two orgs at 67% (= both required), either org
+        // misconfiguring to self-quorum splits the network: the rogue org
+        // forms a quorum alone while… actually the other org still needs
+        // the rogue one, so check what the checker says — the rogue org's
+        // self-quorum is disjoint from nothing unless the healthy org can
+        // also form a quorum. Use three orgs at threshold 2 so the healthy
+        // majority remains a quorum.
+        let orgs: Vec<OrgConfig> = (0..3)
+            .map(|i| OrgConfig::new(&format!("org{i}"), ids(i * 3..i * 3 + 3), Quality::High))
+            .collect();
+        let sys = FbaSystem::new(synthesize_all(&orgs));
+        // Base config: top threshold 2-of-3 orgs ⇒ two disjoint "2 org"
+        // coalitions cannot exist (they'd share an org), so base is safe…
+        let report = check_criticality(&sys, &org_map(&orgs));
+        assert!(!report.already_split);
+        // …but any single org going rogue yields: rogue-org self quorum
+        // (1 node) vs the other two orgs (a 2-of-3 quorum that includes
+        // the rogue org? no — the other two orgs' slices need 2 org
+        // entries, satisfiable by themselves). These are disjoint.
+        assert_eq!(report.critical_orgs.len(), 3, "{report:?}");
+    }
+
+    #[test]
+    fn already_split_reported() {
+        let half = QuorumSet::threshold_of(2, ids(0..4));
+        let sys = FbaSystem::new((0..4).map(|n| (NodeId(n), half.clone())));
+        let report = check_criticality(&sys, &OrgMap::new());
+        assert!(report.already_split);
+    }
+
+    #[test]
+    fn empty_orgs_are_skipped() {
+        let orgs: Vec<OrgConfig> = (0..5)
+            .map(|i| OrgConfig::new(&format!("org{i}"), ids(i * 3..i * 3 + 3), Quality::High))
+            .collect();
+        let sys = FbaSystem::new(synthesize_all(&orgs));
+        let mut map = org_map(&orgs);
+        map.insert("ghost".into(), vec![]);
+        let report = check_criticality(&sys, &map);
+        assert!(report.is_safe());
+    }
+}

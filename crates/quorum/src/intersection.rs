@@ -1,0 +1,466 @@
+//! Quorum-intersection checking (paper §6.2.1).
+//!
+//! "While gathering quorum slices is easy, finding disjoint quorums among
+//! them is co-NP-hard. However, we adopted a set of algorithmic heuristics
+//! and case-elimination rules proposed by Lachowski that check typical
+//! instances of the problem several orders of magnitude faster than the
+//! worst-case cost."
+//!
+//! The checker here follows the same playbook:
+//!
+//! 1. restrict to nodes that can appear in *some* quorum (prune nodes whose
+//!    slices cannot be satisfied at all);
+//! 2. compute strongly connected components of the trust digraph
+//!    (`u → v` iff `v` appears in `u`'s quorum set) — every quorum is
+//!    contained in the downward closure of one SCC, and any two quorums in
+//!    *different* sink-reachable SCCs are disjoint, giving an immediate
+//!    counterexample;
+//! 3. inside the single candidate SCC, branch-and-bound over a two-way
+//!    partition with quorum-embedding pruning: a branch `(A, B, undecided)`
+//!    survives only while both `A ∪ undecided` and `B ∪ undecided` still
+//!    contain quorums.
+
+use std::collections::{BTreeMap, BTreeSet};
+use stellar_scp::quorum::{find_quorum, QuorumSetMap};
+use stellar_scp::{NodeId, QuorumSet};
+
+/// An FBA system: every known node's declared quorum set.
+#[derive(Clone, Debug, Default)]
+pub struct FbaSystem {
+    /// Per-node quorum sets.
+    pub nodes: BTreeMap<NodeId, QuorumSet>,
+}
+
+impl QuorumSetMap for FbaSystem {
+    fn quorum_set(&self, node: NodeId) -> Option<&QuorumSet> {
+        self.nodes.get(&node)
+    }
+}
+
+impl FbaSystem {
+    /// Builds a system from `(node, qset)` pairs.
+    pub fn new(entries: impl IntoIterator<Item = (NodeId, QuorumSet)>) -> FbaSystem {
+        FbaSystem {
+            nodes: entries.into_iter().collect(),
+        }
+    }
+
+    /// All node ids in the system.
+    pub fn ids(&self) -> BTreeSet<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Whether `set` contains a quorum of this system.
+    pub fn contains_quorum(&self, set: &BTreeSet<NodeId>) -> bool {
+        !find_quorum(self, set).is_empty()
+    }
+
+    /// The maximal quorum within `set` (empty if none).
+    pub fn max_quorum_in(&self, set: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+        find_quorum(self, set)
+    }
+}
+
+/// Outcome of a disjoint-quorum search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IntersectionResult {
+    /// Every pair of quorums intersects.
+    Intersecting,
+    /// Two disjoint quorums exist — the network can diverge.
+    Disjoint(BTreeSet<NodeId>, BTreeSet<NodeId>),
+    /// No quorum exists at all (degenerate configuration).
+    NoQuorum,
+}
+
+/// Checks whether the system enjoys quorum intersection.
+pub fn enjoys_quorum_intersection(sys: &FbaSystem) -> bool {
+    matches!(find_disjoint_quorums(sys), IntersectionResult::Intersecting)
+}
+
+/// Searches for two disjoint quorums, returning them if found.
+pub fn find_disjoint_quorums(sys: &FbaSystem) -> IntersectionResult {
+    let all = sys.ids();
+    let core = sys.max_quorum_in(&all);
+    if core.is_empty() {
+        return IntersectionResult::NoQuorum;
+    }
+
+    // SCC case elimination: two different SCCs each containing a quorum
+    // yield disjoint quorums directly.
+    let sccs = trust_sccs(sys, &core);
+    let mut quorum_sccs: Vec<BTreeSet<NodeId>> = Vec::new();
+    for scc in &sccs {
+        let q = sys.max_quorum_in(scc);
+        if !q.is_empty() {
+            quorum_sccs.push(q);
+        }
+    }
+    if quorum_sccs.len() >= 2 {
+        return IntersectionResult::Disjoint(quorum_sccs[0].clone(), quorum_sccs[1].clone());
+    }
+
+    // Branch and bound within the candidate node set. Quorums can span
+    // SCC boundaries only downward, and `core` (the maximal quorum) is the
+    // union of all quorums, so the search space is `core`.
+    let nodes: Vec<NodeId> = core.iter().copied().collect();
+    let mut a = BTreeSet::new();
+    let mut b = BTreeSet::new();
+    match split_search(sys, &nodes, 0, &mut a, &mut b) {
+        Some((qa, qb)) => IntersectionResult::Disjoint(qa, qb),
+        None => IntersectionResult::Intersecting,
+    }
+}
+
+/// Recursive two-way partition search with embedding pruning.
+fn split_search(
+    sys: &FbaSystem,
+    nodes: &[NodeId],
+    idx: usize,
+    a: &mut BTreeSet<NodeId>,
+    b: &mut BTreeSet<NodeId>,
+) -> Option<(BTreeSet<NodeId>, BTreeSet<NodeId>)> {
+    // Success test on committed sets: both sides already contain quorums.
+    let qa = sys.max_quorum_in(a);
+    if !qa.is_empty() {
+        let qb = sys.max_quorum_in(b);
+        if !qb.is_empty() {
+            return Some((qa, qb));
+        }
+    }
+    if idx == nodes.len() {
+        return None;
+    }
+    // Pruning: each side plus all undecided nodes must still embed a
+    // quorum, otherwise this branch can never succeed.
+    let undecided: BTreeSet<NodeId> = nodes[idx..].iter().copied().collect();
+    let a_potential: BTreeSet<NodeId> = a.union(&undecided).copied().collect();
+    if !sys.contains_quorum(&a_potential) {
+        return None;
+    }
+    let b_potential: BTreeSet<NodeId> = b.union(&undecided).copied().collect();
+    if !sys.contains_quorum(&b_potential) {
+        return None;
+    }
+
+    let n = nodes[idx];
+    // Symmetry breaking: the first node always goes to side A.
+    a.insert(n);
+    if let Some(hit) = split_search(sys, nodes, idx + 1, a, b) {
+        return Some(hit);
+    }
+    a.remove(&n);
+    if idx > 0 || !b.is_empty() {
+        b.insert(n);
+        if let Some(hit) = split_search(sys, nodes, idx + 1, a, b) {
+            return Some(hit);
+        }
+        b.remove(&n);
+    }
+    None
+}
+
+/// Strongly connected components of the trust digraph restricted to
+/// `within` (iterative Tarjan).
+pub fn trust_sccs(sys: &FbaSystem, within: &BTreeSet<NodeId>) -> Vec<BTreeSet<NodeId>> {
+    // Build adjacency restricted to `within`.
+    let idx_of: BTreeMap<NodeId, usize> = within
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, n)| (n, i))
+        .collect();
+    let nodes: Vec<NodeId> = within.iter().copied().collect();
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|n| {
+            sys.nodes
+                .get(n)
+                .map(|q| {
+                    q.all_validators()
+                        .into_iter()
+                        .filter_map(|v| idx_of.get(&v).copied())
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Iterative Tarjan's algorithm.
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<BTreeSet<NodeId>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // Call stack of (node, next-child-position).
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = BTreeSet::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.insert(nodes[w]);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    fn uniform(qset: QuorumSet, nodes: &[u32]) -> FbaSystem {
+        FbaSystem::new(nodes.iter().map(|&n| (NodeId(n), qset.clone())))
+    }
+
+    #[test]
+    fn majority_of_four_intersects() {
+        let sys = uniform(QuorumSet::majority(ids(&[0, 1, 2, 3])), &[0, 1, 2, 3]);
+        assert!(enjoys_quorum_intersection(&sys));
+    }
+
+    #[test]
+    fn half_threshold_splits() {
+        // 2-of-4 slices: {0,1} and {2,3} are disjoint quorums.
+        let sys = uniform(
+            QuorumSet::threshold_of(2, ids(&[0, 1, 2, 3])),
+            &[0, 1, 2, 3],
+        );
+        match find_disjoint_quorums(&sys) {
+            IntersectionResult::Disjoint(a, b) => {
+                assert!(a.is_disjoint(&b));
+                assert!(sys.contains_quorum(&a));
+                assert!(sys.contains_quorum(&b));
+            }
+            other => panic!("expected disjoint quorums, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_islands_split_via_scc_rule() {
+        // Two self-contained cliques that never reference each other.
+        let mut sys = uniform(QuorumSet::majority(ids(&[0, 1, 2])), &[0, 1, 2]);
+        let island2 = uniform(QuorumSet::majority(ids(&[3, 4, 5])), &[3, 4, 5]);
+        sys.nodes.extend(island2.nodes);
+        match find_disjoint_quorums(&sys) {
+            IntersectionResult::Disjoint(a, b) => assert!(a.is_disjoint(&b)),
+            other => panic!("expected disjoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_quorum_detected() {
+        // Node 0 requires node 1, whose qset is unknown.
+        let sys = FbaSystem::new([(NodeId(0), QuorumSet::threshold_of(2, ids(&[0, 1])))]);
+        assert_eq!(find_disjoint_quorums(&sys), IntersectionResult::NoQuorum);
+    }
+
+    #[test]
+    fn byzantine_threshold_intersects() {
+        for n in [4u32, 7, 10, 13] {
+            let nodes: Vec<u32> = (0..n).collect();
+            let sys = uniform(QuorumSet::byzantine(ids(&nodes)), &nodes);
+            assert!(enjoys_quorum_intersection(&sys), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn tiered_production_like_topology_intersects() {
+        // 3 orgs of 3 validators, org slices 2-of-3, top 2-of-3 orgs —
+        // the Fig. 6 shape at small scale.
+        let orgs: Vec<Vec<u32>> = vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]];
+        let org_sets: Vec<QuorumSet> = orgs
+            .iter()
+            .map(|o| QuorumSet::threshold_of(2, ids(o)))
+            .collect();
+        let top = QuorumSet {
+            threshold: 2,
+            validators: vec![],
+            inner: org_sets,
+        };
+        let all: Vec<u32> = (0..9).collect();
+        let sys = uniform(top, &all);
+        assert!(enjoys_quorum_intersection(&sys));
+    }
+
+    #[test]
+    fn lopsided_trust_still_intersects() {
+        // Everyone requires node 0 plus a majority: all quorums contain 0.
+        let mut sys = FbaSystem::default();
+        for n in 0..5u32 {
+            let q = QuorumSet::threshold_of(3, ids(&[0, 1, 2, 3, 4]));
+            // Node 0 mandatory: wrap as 2-of-{0, majority-set}.
+            let wrapped = QuorumSet {
+                threshold: 2,
+                validators: vec![NodeId(0)],
+                inner: vec![q],
+            };
+            sys.nodes.insert(NodeId(n), wrapped);
+        }
+        assert!(enjoys_quorum_intersection(&sys));
+    }
+
+    #[test]
+    fn scc_computation_basic() {
+        // 0 → 1 → 2 → 0 cycle plus a dangling 3 → 0.
+        let mut sys = FbaSystem::default();
+        sys.nodes
+            .insert(NodeId(0), QuorumSet::threshold_of(1, ids(&[1])));
+        sys.nodes
+            .insert(NodeId(1), QuorumSet::threshold_of(1, ids(&[2])));
+        sys.nodes
+            .insert(NodeId(2), QuorumSet::threshold_of(1, ids(&[0])));
+        sys.nodes
+            .insert(NodeId(3), QuorumSet::threshold_of(1, ids(&[0])));
+        let within: BTreeSet<NodeId> = ids(&[0, 1, 2, 3]).into_iter().collect();
+        let sccs = trust_sccs(&sys, &within);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = sccs.iter().map(|c| c.len()).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 3]);
+    }
+
+    #[test]
+    fn checker_handles_25_node_tiered_closure_quickly() {
+        // Production-like scale from §6.2.1: ~25 nodes in the closure.
+        let mut org_sets = Vec::new();
+        let mut all = Vec::new();
+        for org in 0..5u32 {
+            let members: Vec<u32> = (org * 5..org * 5 + 5).collect();
+            all.extend(members.clone());
+            org_sets.push(QuorumSet::threshold_of(3, ids(&members)));
+        }
+        let top = QuorumSet {
+            threshold: 4,
+            validators: vec![],
+            inner: org_sets,
+        };
+        let sys = uniform(top, &all);
+        let start = std::time::Instant::now();
+        assert!(enjoys_quorum_intersection(&sys));
+        assert!(
+            start.elapsed().as_secs() < 30,
+            "checker too slow: {:?}",
+            start.elapsed()
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids_vec(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    proptest! {
+        /// Uniform flat systems with threshold > n/2 always intersect
+        /// (two majorities share a node).
+        #[test]
+        fn majority_thresholds_always_intersect(n in 2u32..9) {
+            let t = n / 2 + 1;
+            let q = QuorumSet::threshold_of(t, ids_vec(n));
+            let sys = FbaSystem::new((0..n).map(|i| (NodeId(i), q.clone())));
+            prop_assert!(enjoys_quorum_intersection(&sys));
+        }
+
+        /// Uniform flat systems with threshold ≤ n/2 always admit a split
+        /// (two disjoint halves each form a quorum).
+        #[test]
+        fn sub_majority_thresholds_always_split(n in 2u32..9) {
+            let t = (n / 2).max(1);
+            let q = QuorumSet::threshold_of(t, ids_vec(n));
+            let sys = FbaSystem::new((0..n).map(|i| (NodeId(i), q.clone())));
+            match find_disjoint_quorums(&sys) {
+                IntersectionResult::Disjoint(a, b) => {
+                    prop_assert!(a.is_disjoint(&b));
+                    prop_assert!(sys.contains_quorum(&a));
+                    prop_assert!(sys.contains_quorum(&b));
+                }
+                other => prop_assert!(false, "expected split, got {:?}", other),
+            }
+        }
+
+        /// Whatever the checker reports as disjoint quorums really are
+        /// disjoint quorums (soundness of the counterexample) on random
+        /// heterogeneous systems.
+        #[test]
+        fn counterexamples_are_sound(
+            thresholds in proptest::collection::vec(1u32..6, 6..10),
+        ) {
+            let n = thresholds.len() as u32;
+            let all = ids_vec(n);
+            let sys = FbaSystem::new(thresholds.iter().enumerate().map(|(i, t)| {
+                (NodeId(i as u32), QuorumSet::threshold_of((*t).min(n), all.clone()))
+            }));
+            match find_disjoint_quorums(&sys) {
+                IntersectionResult::Disjoint(a, b) => {
+                    prop_assert!(a.is_disjoint(&b));
+                    prop_assert!(!a.is_empty() && !b.is_empty());
+                    prop_assert!(sys.contains_quorum(&a), "A not a quorum");
+                    prop_assert!(sys.contains_quorum(&b), "B not a quorum");
+                }
+                IntersectionResult::Intersecting | IntersectionResult::NoQuorum => {}
+            }
+        }
+
+        /// The maximal quorum really is a quorum and contains every other
+        /// quorum the system has.
+        #[test]
+        fn max_quorum_is_maximal(
+            thresholds in proptest::collection::vec(1u32..5, 4..8),
+        ) {
+            let n = thresholds.len() as u32;
+            let all = ids_vec(n);
+            let sys = FbaSystem::new(thresholds.iter().enumerate().map(|(i, t)| {
+                (NodeId(i as u32), QuorumSet::threshold_of((*t).min(n), all.clone()))
+            }));
+            let everyone: std::collections::BTreeSet<NodeId> = all.iter().copied().collect();
+            let maxq = sys.max_quorum_in(&everyone);
+            if !maxq.is_empty() {
+                prop_assert!(sys.contains_quorum(&maxq));
+            }
+        }
+    }
+}

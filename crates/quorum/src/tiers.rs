@@ -1,0 +1,243 @@
+//! Quality-tier quorum-set synthesis (paper §6.1, Fig. 6).
+//!
+//! After the 2019 incident, Stellar replaced hand-written nested quorum
+//! sets with a mechanical synthesis: operators group validators by
+//! *organization* and label each organization with a *quality*
+//! (`Critical`, `High`, `Medium`, or `Low`). The synthesized structure is:
+//!
+//! * each organization becomes an inner set with a **51%** threshold over
+//!   its own validators;
+//! * organizations of one quality form a group with a **67%** threshold
+//!   (**100%** for `Critical`);
+//! * each group is one entry in the next-higher-quality group.
+//!
+//! Organizations at `High` and above are expected to publish history
+//! archives (§6.1); that expectation is surfaced as a validation warning
+//! here rather than enforced.
+
+use stellar_scp::{NodeId, QuorumSet};
+
+/// Trust classification of an organization (§6.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Quality {
+    /// Lowest tier: grouped under medium with 67% threshold.
+    Low,
+    /// Middle tier.
+    Medium,
+    /// High tier; expected to publish history archives.
+    High,
+    /// Critical tier: 100% threshold — all critical entries required.
+    Critical,
+}
+
+/// One organization: a named group of validators with a quality label.
+#[derive(Clone, Debug)]
+pub struct OrgConfig {
+    /// Display name (e.g. "SDF", "SatoshiPay").
+    pub name: String,
+    /// The organization's validators.
+    pub validators: Vec<NodeId>,
+    /// Trust classification.
+    pub quality: Quality,
+    /// Whether the org publishes history archives.
+    pub publishes_history: bool,
+}
+
+impl OrgConfig {
+    /// Convenience constructor.
+    pub fn new(name: &str, validators: Vec<NodeId>, quality: Quality) -> OrgConfig {
+        OrgConfig {
+            name: name.to_string(),
+            validators,
+            quality,
+            publishes_history: quality >= Quality::High,
+        }
+    }
+
+    /// The 51%-threshold inner set representing this organization.
+    pub fn to_quorum_set(&self) -> QuorumSet {
+        QuorumSet::majority(self.validators.clone())
+    }
+}
+
+/// A warning produced while synthesizing a configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigWarning {
+    /// A High/Critical org does not publish history archives (§6.1).
+    MissingHistoryArchive(String),
+    /// An org has fewer than 3 validators, so losing one node halts it.
+    TooFewValidators(String, usize),
+}
+
+/// Synthesizes the nested quorum set of Fig. 6 from org configurations.
+///
+/// Returns the quorum set plus any configuration warnings. Orgs are grouped
+/// by quality; each group is an entry of the group one tier up; the
+/// top-most non-empty tier is the root.
+///
+/// # Panics
+///
+/// Panics if `orgs` is empty or any org has no validators (meaningless
+/// configurations that indicate caller bugs).
+pub fn synthesize_quorum_set(orgs: &[OrgConfig]) -> (QuorumSet, Vec<ConfigWarning>) {
+    assert!(!orgs.is_empty(), "no organizations configured");
+    let mut warnings = Vec::new();
+    for o in orgs {
+        assert!(!o.validators.is_empty(), "org {} has no validators", o.name);
+        if o.quality >= Quality::High && !o.publishes_history {
+            warnings.push(ConfigWarning::MissingHistoryArchive(o.name.clone()));
+        }
+        if o.validators.len() < 3 {
+            warnings.push(ConfigWarning::TooFewValidators(
+                o.name.clone(),
+                o.validators.len(),
+            ));
+        }
+    }
+
+    // Build from the bottom tier upward; each tier's group becomes an
+    // entry in the tier above.
+    let mut carried: Option<QuorumSet> = None;
+    for quality in [
+        Quality::Low,
+        Quality::Medium,
+        Quality::High,
+        Quality::Critical,
+    ] {
+        let mut entries: Vec<QuorumSet> = orgs
+            .iter()
+            .filter(|o| o.quality == quality)
+            .map(OrgConfig::to_quorum_set)
+            .collect();
+        if let Some(lower) = carried.take() {
+            if entries.is_empty() {
+                // Nothing at this tier: pass the lower group through.
+                carried = Some(lower);
+                continue;
+            }
+            entries.push(lower);
+        }
+        if entries.is_empty() {
+            continue;
+        }
+        let n = entries.len() as u32;
+        let threshold = match quality {
+            // 100% of critical entries; 67% elsewhere (rounded up).
+            Quality::Critical => n,
+            _ => (2 * n).div_ceil(3).max(1),
+        };
+        carried = Some(QuorumSet {
+            threshold,
+            validators: vec![],
+            inner: entries,
+        });
+    }
+    let qset = carried.expect("at least one tier is non-empty");
+    (qset, warnings)
+}
+
+/// Synthesizes per-node quorum sets for every validator of every org: each
+/// validator gets the same Fig. 6 structure (production behaviour — the
+/// synthesized configuration is shared).
+pub fn synthesize_all(orgs: &[OrgConfig]) -> Vec<(NodeId, QuorumSet)> {
+    let (qset, _) = synthesize_quorum_set(orgs);
+    orgs.iter()
+        .flat_map(|o| o.validators.iter().copied())
+        .map(|v| (v, qset.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersection::{enjoys_quorum_intersection, FbaSystem};
+
+    fn ids(range: std::ops::Range<u32>) -> Vec<NodeId> {
+        range.map(NodeId).collect()
+    }
+
+    fn three_org_setup(q: Quality) -> Vec<OrgConfig> {
+        vec![
+            OrgConfig::new("a", ids(0..3), q),
+            OrgConfig::new("b", ids(3..6), q),
+            OrgConfig::new("c", ids(6..9), q),
+        ]
+    }
+
+    #[test]
+    fn single_tier_uses_67_percent() {
+        let (qset, _) = synthesize_quorum_set(&three_org_setup(Quality::High));
+        assert_eq!(qset.inner.len(), 3);
+        assert_eq!(qset.threshold, 2); // ceil(2*3/3) = 2
+        for org in &qset.inner {
+            assert_eq!(org.threshold, 2); // majority of 3
+        }
+    }
+
+    #[test]
+    fn critical_tier_uses_100_percent() {
+        let (qset, _) = synthesize_quorum_set(&three_org_setup(Quality::Critical));
+        assert_eq!(qset.threshold, 3);
+    }
+
+    #[test]
+    fn tiers_nest_downward() {
+        let mut orgs = three_org_setup(Quality::High);
+        orgs.push(OrgConfig::new("d", ids(9..12), Quality::Medium));
+        orgs.push(OrgConfig::new("e", ids(12..15), Quality::Medium));
+        let (qset, _) = synthesize_quorum_set(&orgs);
+        // Top level: 3 high orgs + 1 medium group = 4 entries.
+        assert_eq!(qset.inner.len(), 4);
+        assert_eq!(qset.threshold, 3); // ceil(8/3) = 3
+        let medium_group = qset
+            .inner
+            .iter()
+            .find(|e| e.inner.len() == 2)
+            .expect("medium group nested");
+        assert_eq!(medium_group.threshold, 2);
+    }
+
+    #[test]
+    fn synthesized_config_enjoys_intersection() {
+        let orgs = three_org_setup(Quality::High);
+        let sys = FbaSystem::new(synthesize_all(&orgs));
+        assert!(enjoys_quorum_intersection(&sys));
+    }
+
+    #[test]
+    fn warnings_for_risky_orgs() {
+        let mut org = OrgConfig::new("tiny", ids(0..2), Quality::High);
+        org.publishes_history = false;
+        let (_, warnings) =
+            synthesize_quorum_set(&[org, OrgConfig::new("b", ids(3..6), Quality::High)]);
+        assert!(warnings.contains(&ConfigWarning::MissingHistoryArchive("tiny".into())));
+        assert!(warnings.contains(&ConfigWarning::TooFewValidators("tiny".into(), 2)));
+    }
+
+    #[test]
+    fn empty_tier_passthrough() {
+        // Only low-tier orgs: the low group is the root.
+        let orgs = three_org_setup(Quality::Low);
+        let (qset, _) = synthesize_quorum_set(&orgs);
+        assert_eq!(qset.inner.len(), 3);
+        assert_eq!(qset.threshold, 2);
+    }
+
+    #[test]
+    fn is_well_formed() {
+        let mut orgs = three_org_setup(Quality::Critical);
+        orgs.extend(three_org_setup(Quality::Medium).into_iter().map(|mut o| {
+            o.name += "-m";
+            o.validators = o.validators.iter().map(|v| NodeId(v.0 + 20)).collect();
+            o
+        }));
+        let (qset, _) = synthesize_quorum_set(&orgs);
+        assert!(qset.is_well_formed());
+    }
+
+    #[test]
+    #[should_panic(expected = "no organizations")]
+    fn empty_orgs_panics() {
+        let _ = synthesize_quorum_set(&[]);
+    }
+}

@@ -1,0 +1,168 @@
+//! A multi-slot SCP node: the crate's main entry point.
+//!
+//! [`ScpNode`] owns one [`crate::slot::Slot`] per consensus instance
+//! and handles envelope verification, slot routing, quorum-set updates
+//! (nodes may retune slices at any time, §3.1.1), and old-slot pruning.
+
+use crate::driver::{Driver, TimerKind};
+use crate::slot::{Ctx, Slot};
+use crate::{Envelope, NodeId, QuorumSet, SlotIndex, Value};
+use std::collections::BTreeMap;
+use stellar_crypto::sign::KeyPair;
+
+/// A validator participating in SCP across many slots.
+pub struct ScpNode {
+    id: NodeId,
+    keys: KeyPair,
+    qset: QuorumSet,
+    slots: BTreeMap<SlotIndex, Slot>,
+    /// Envelopes dropped due to bad signatures (metric / test hook).
+    bad_signatures: u64,
+}
+
+impl ScpNode {
+    /// Creates a node with the given identity, signing keys, and slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qset` is not well-formed (zero or unsatisfiable
+    /// thresholds) — such configurations are always bugs.
+    pub fn new(id: NodeId, keys: KeyPair, qset: QuorumSet) -> ScpNode {
+        assert!(qset.is_well_formed(), "malformed quorum set for {id}");
+        ScpNode {
+            id,
+            keys,
+            qset,
+            slots: BTreeMap::new(),
+            bad_signatures: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's current quorum set.
+    pub fn quorum_set(&self) -> &QuorumSet {
+        &self.qset
+    }
+
+    /// Replaces this node's quorum slices (takes effect for subsequent
+    /// messages; "any node can unilaterally adjust its quorum slices at
+    /// any time", §3.1.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qset` is malformed.
+    pub fn set_quorum_set(&mut self, qset: QuorumSet) {
+        assert!(
+            qset.is_well_formed(),
+            "malformed quorum set for {}",
+            self.id
+        );
+        self.qset = qset;
+    }
+
+    /// Count of envelopes rejected for bad signatures.
+    pub fn bad_signature_count(&self) -> u64 {
+        self.bad_signatures
+    }
+
+    /// Access a slot's state (for metrics and tests).
+    pub fn slot(&self, index: SlotIndex) -> Option<&Slot> {
+        self.slots.get(&index)
+    }
+
+    /// The decided value for `index`, if externalized.
+    pub fn decision(&self, index: SlotIndex) -> Option<&Value> {
+        self.slots.get(&index).and_then(Slot::decision)
+    }
+
+    /// Proposes `value` for slot `index`, starting nomination there.
+    pub fn propose<D: Driver>(&mut self, driver: &mut D, index: SlotIndex, value: Value) {
+        let slot = self.slots.entry(index).or_insert_with(|| Slot::new(index));
+        let mut ctx = Ctx {
+            node: self.id,
+            slot: index,
+            qset: &self.qset,
+            keys: &self.keys,
+            driver,
+        };
+        slot.propose(&mut ctx, value);
+    }
+
+    /// Handles an incoming envelope: verifies the signature and routes it
+    /// to its slot. Returns `false` if the envelope was rejected.
+    pub fn receive<D: Driver>(&mut self, driver: &mut D, envelope: &Envelope) -> bool {
+        let st = &envelope.statement;
+        if st.node == self.id {
+            return false; // our own flooding echo
+        }
+        let verified = match driver.public_key(st.node) {
+            Some(pk) => envelope.verify(pk),
+            None => false,
+        };
+        if !verified {
+            self.bad_signatures += 1;
+            return false;
+        }
+        if !st.quorum_set.is_well_formed() {
+            return false;
+        }
+        let slot = self
+            .slots
+            .entry(st.slot)
+            .or_insert_with(|| Slot::new(st.slot));
+        let mut ctx = Ctx {
+            node: self.id,
+            slot: st.slot,
+            qset: &self.qset,
+            keys: &self.keys,
+            driver,
+        };
+        slot.process(&mut ctx, st);
+        true
+    }
+
+    /// Re-runs nomination for `index` after the application learned state
+    /// that may unblock value validation (e.g. a tx set arrived).
+    pub fn retry_nomination<D: Driver>(&mut self, driver: &mut D, index: SlotIndex) {
+        if let Some(slot) = self.slots.get_mut(&index) {
+            let mut ctx = Ctx {
+                node: self.id,
+                slot: index,
+                qset: &self.qset,
+                keys: &self.keys,
+                driver,
+            };
+            slot.retry_nomination(&mut ctx);
+        }
+    }
+
+    /// Handles a timer expiry previously requested through the driver.
+    pub fn on_timeout<D: Driver>(&mut self, driver: &mut D, index: SlotIndex, kind: TimerKind) {
+        if let Some(slot) = self.slots.get_mut(&index) {
+            let mut ctx = Ctx {
+                node: self.id,
+                slot: index,
+                qset: &self.qset,
+                keys: &self.keys,
+                driver,
+            };
+            slot.on_timeout(&mut ctx, kind);
+        }
+    }
+
+    /// Drops state for slots below `keep_from` (ledger history is the
+    /// application's job; old SCP state is only needed to help stragglers,
+    /// which Stellar bounds to a small window).
+    pub fn prune_slots_below(&mut self, keep_from: SlotIndex) {
+        self.slots = self.slots.split_off(&keep_from);
+    }
+
+    /// Number of live slots.
+    pub fn live_slots(&self) -> usize {
+        self.slots.len()
+    }
+}

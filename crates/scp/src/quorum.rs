@@ -1,0 +1,309 @@
+//! Emergent quorums and the generic federated-voting predicates.
+//!
+//! In FBA a quorum is "a non-empty set S of nodes encompassing at least one
+//! quorum slice of each non-faulty member" (paper §3.1). Nodes only learn
+//! other nodes' slices from the envelopes those nodes send, so quorum
+//! discovery operates over whatever map of `NodeId → QuorumSet` the caller
+//! has assembled from its latest messages.
+//!
+//! The two primitives the whole protocol rests on:
+//!
+//! * [`find_quorum`] — the maximal quorum inside a candidate set, found by
+//!   pruning members without a satisfied slice until a fixpoint.
+//! * v-blocking checks (via [`crate::QuorumSet::is_v_blocking`]) — whether a
+//!   set intersects every slice of a given node.
+//!
+//! [`federated_accept`] and [`federated_confirm`] combine them into the
+//! three-stage voting of Fig. 1: *accept* on (quorum votes-or-accepts) ∨
+//! (v-blocking accepts); *confirm* on quorum accepts.
+
+use crate::{NodeId, QuorumSet};
+use std::collections::BTreeSet;
+
+/// Source of quorum-set declarations, typically backed by the latest
+/// envelope received from each node.
+pub trait QuorumSetMap {
+    /// The quorum set declared by `node`, if any message from it was seen.
+    fn quorum_set(&self, node: NodeId) -> Option<&QuorumSet>;
+}
+
+impl QuorumSetMap for std::collections::BTreeMap<NodeId, QuorumSet> {
+    fn quorum_set(&self, node: NodeId) -> Option<&QuorumSet> {
+        self.get(&node)
+    }
+}
+
+impl QuorumSetMap for std::collections::HashMap<NodeId, QuorumSet> {
+    fn quorum_set(&self, node: NodeId) -> Option<&QuorumSet> {
+        self.get(&node)
+    }
+}
+
+/// Adapter exposing the quorum sets advertised inside a map of latest
+/// statements (every envelope carries its sender's slices).
+pub struct StatementQSets<'a>(
+    pub &'a std::collections::BTreeMap<NodeId, crate::statement::Statement>,
+);
+
+impl QuorumSetMap for StatementQSets<'_> {
+    fn quorum_set(&self, node: NodeId) -> Option<&QuorumSet> {
+        self.0.get(&node).map(|st| &st.quorum_set)
+    }
+}
+
+/// Finds the maximal quorum contained in `candidates`.
+///
+/// Repeatedly removes any node whose quorum set is unknown or has no slice
+/// inside the current set; what survives (if non-empty) is a quorum, and it
+/// is the unique maximal one (the union of two quorums inside `candidates`
+/// also survives pruning).
+///
+/// Returns an empty set when no quorum exists inside `candidates`.
+pub fn find_quorum(qsets: &impl QuorumSetMap, candidates: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+    let mut current: BTreeSet<NodeId> = candidates.clone();
+    loop {
+        let next: BTreeSet<NodeId> = current
+            .iter()
+            .copied()
+            .filter(|n| match qsets.quorum_set(*n) {
+                Some(q) => q.is_quorum_slice(&current),
+                None => false,
+            })
+            .collect();
+        if next.len() == current.len() {
+            return next;
+        }
+        current = next;
+    }
+}
+
+/// Tests whether `nodes` is a quorum: non-empty and every member has a
+/// slice inside it.
+pub fn is_quorum(qsets: &impl QuorumSetMap, nodes: &BTreeSet<NodeId>) -> bool {
+    !nodes.is_empty()
+        && nodes.iter().all(|n| {
+            qsets
+                .quorum_set(*n)
+                .is_some_and(|q| q.is_quorum_slice(nodes))
+        })
+}
+
+/// Federated-voting *accept* check for node `self_id` (Fig. 1).
+///
+/// `self_id` accepts a statement iff:
+/// 1. a set of nodes that all **accept** it is v-blocking for `self_id`
+///    (this path can overrule `self_id`'s own contrary votes), or
+/// 2. `self_id` belongs to a quorum whose members all **vote for or
+///    accept** it.
+///
+/// `voted` and `accepted` report, from the latest statement of a given
+/// node, whether that statement carries a vote for / acceptance of the
+/// statement being evaluated (including implied statements — e.g. a vote
+/// for `prepare⟨n,x⟩` implies votes for all `prepare⟨n′,x⟩`, `n′ ≤ n`).
+pub fn federated_accept(
+    self_id: NodeId,
+    self_qset: &QuorumSet,
+    qsets: &impl QuorumSetMap,
+    known_nodes: &BTreeSet<NodeId>,
+    voted: &dyn Fn(NodeId) -> bool,
+    accepted: &dyn Fn(NodeId) -> bool,
+) -> bool {
+    // Path 1: v-blocking set of accepters.
+    let accepters: BTreeSet<NodeId> = known_nodes
+        .iter()
+        .copied()
+        .filter(|n| accepted(*n))
+        .collect();
+    if self_qset.is_v_blocking(&accepters) {
+        return true;
+    }
+    // Path 2: quorum of vote-or-accept, containing self.
+    let vote_or_accept: BTreeSet<NodeId> = known_nodes
+        .iter()
+        .copied()
+        .filter(|n| voted(*n) || accepted(*n))
+        .collect();
+    let quorum = find_quorum(qsets, &vote_or_accept);
+    quorum.contains(&self_id)
+}
+
+/// Federated-voting *confirm* check: `self_id` is in a quorum whose members
+/// all accept the statement.
+pub fn federated_confirm(
+    self_id: NodeId,
+    qsets: &impl QuorumSetMap,
+    known_nodes: &BTreeSet<NodeId>,
+    accepted: &dyn Fn(NodeId) -> bool,
+) -> bool {
+    let accepters: BTreeSet<NodeId> = known_nodes
+        .iter()
+        .copied()
+        .filter(|n| accepted(*n))
+        .collect();
+    let quorum = find_quorum(qsets, &accepters);
+    quorum.contains(&self_id)
+}
+
+/// Computes the transitive closure of nodes reachable from `root`'s quorum
+/// set by following quorum-set references.
+///
+/// This is the node set a validator can "see" — the input to the
+/// quorum-intersection checker of §6.2 and to Fig. 7-style topology maps.
+pub fn transitive_closure(qsets: &impl QuorumSetMap, root: NodeId) -> BTreeSet<NodeId> {
+    let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+    let mut frontier = vec![root];
+    while let Some(n) = frontier.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(q) = qsets.quorum_set(n) {
+            for v in q.all_validators() {
+                if !seen.contains(&v) {
+                    frontier.push(v);
+                }
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    fn set(v: &[u32]) -> BTreeSet<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    /// All nodes share one flat qset.
+    fn uniform(qset: &QuorumSet, nodes: &[u32]) -> BTreeMap<NodeId, QuorumSet> {
+        nodes.iter().map(|&n| (NodeId(n), qset.clone())).collect()
+    }
+
+    #[test]
+    fn find_quorum_uniform_majority() {
+        let q = QuorumSet::majority(ids(&[0, 1, 2, 3]));
+        let m = uniform(&q, &[0, 1, 2, 3]);
+        // Any 3 of 4 nodes form a quorum.
+        assert_eq!(find_quorum(&m, &set(&[0, 1, 2])), set(&[0, 1, 2]));
+        // 2 nodes do not.
+        assert!(find_quorum(&m, &set(&[0, 1])).is_empty());
+    }
+
+    #[test]
+    fn find_quorum_prunes_unsupported_members() {
+        // Node 4's slice {5} is outside the candidate set: 4 gets pruned,
+        // and the remaining 3-of-4 majority survives.
+        let q = QuorumSet::majority(ids(&[0, 1, 2, 3]));
+        let mut m = uniform(&q, &[0, 1, 2, 3]);
+        m.insert(NodeId(4), QuorumSet::threshold_of(1, ids(&[5])));
+        assert_eq!(find_quorum(&m, &set(&[0, 1, 2, 4])), set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn find_quorum_unknown_qset_prevents_membership() {
+        let q = QuorumSet::majority(ids(&[0, 1, 2]));
+        let mut m = uniform(&q, &[0, 1]);
+        m.remove(&NodeId(1));
+        // Node 1's qset is unknown so it cannot be in a quorum, and without
+        // it node 0 has no majority slice.
+        assert!(find_quorum(&m, &set(&[0, 1])).is_empty());
+    }
+
+    #[test]
+    fn is_quorum_matches_definition() {
+        let q = QuorumSet::majority(ids(&[0, 1, 2, 3]));
+        let m = uniform(&q, &[0, 1, 2, 3]);
+        assert!(is_quorum(&m, &set(&[0, 1, 2])));
+        assert!(is_quorum(&m, &set(&[0, 1, 2, 3])));
+        assert!(!is_quorum(&m, &set(&[0, 1])));
+        assert!(!is_quorum(&m, &set(&[])));
+    }
+
+    #[test]
+    fn heterogeneous_chain_quorum() {
+        // v1 requires v2, v2 requires v3, v3 requires itself only:
+        // {v1,v2,v3} is a quorum; {v1} alone is not.
+        let mut m = BTreeMap::new();
+        m.insert(NodeId(1), QuorumSet::threshold_of(2, ids(&[1, 2])));
+        m.insert(NodeId(2), QuorumSet::threshold_of(2, ids(&[2, 3])));
+        m.insert(NodeId(3), QuorumSet::threshold_of(1, ids(&[3])));
+        assert!(is_quorum(&m, &set(&[1, 2, 3])));
+        assert!(!is_quorum(&m, &set(&[1, 2])));
+        // {3} alone is a quorum of node 3.
+        assert!(is_quorum(&m, &set(&[3])));
+        assert_eq!(find_quorum(&m, &set(&[1, 2])), set(&[]));
+    }
+
+    #[test]
+    fn federated_accept_via_quorum() {
+        let q = QuorumSet::majority(ids(&[0, 1, 2, 3]));
+        let m = uniform(&q, &[0, 1, 2, 3]);
+        let known = set(&[0, 1, 2, 3]);
+        // 0,1,2 vote — that's a quorum containing 0.
+        let voted = |n: NodeId| n.0 <= 2;
+        let accepted = |_: NodeId| false;
+        assert!(federated_accept(
+            NodeId(0),
+            &q,
+            &m,
+            &known,
+            &voted,
+            &accepted
+        ));
+        // 3 never voted and is not in the voting quorum, but the voters are
+        // not unanimous accepters, so 3 cannot accept (not v-blocked, and
+        // 3's quorum requires itself… actually {0,1,2,3} needs 3 to vote).
+        assert!(!federated_accept(
+            NodeId(3),
+            &q,
+            &m,
+            &known,
+            &|n| n.0 <= 1,
+            &accepted
+        ));
+    }
+
+    #[test]
+    fn federated_accept_via_v_blocking_overrules() {
+        // 2-of-3 qset: any 2 accepters are v-blocking, no vote needed.
+        let q = QuorumSet::threshold_of(2, ids(&[0, 1, 2]));
+        let m = uniform(&q, &[0, 1, 2]);
+        let known = set(&[0, 1, 2]);
+        let accepted = |n: NodeId| n.0 >= 1;
+        assert!(federated_accept(
+            NodeId(0),
+            &q,
+            &m,
+            &known,
+            &|_| false,
+            &accepted
+        ));
+    }
+
+    #[test]
+    fn federated_confirm_needs_quorum_of_accepts() {
+        let q = QuorumSet::majority(ids(&[0, 1, 2, 3]));
+        let m = uniform(&q, &[0, 1, 2, 3]);
+        let known = set(&[0, 1, 2, 3]);
+        assert!(federated_confirm(NodeId(0), &m, &known, &|n| n.0 <= 2));
+        assert!(!federated_confirm(NodeId(0), &m, &known, &|n| n.0 <= 1));
+        // A quorum of accepters that does not include self confirms nothing.
+        assert!(!federated_confirm(NodeId(3), &m, &known, &|n| n.0 <= 2));
+    }
+
+    #[test]
+    fn transitive_closure_follows_references() {
+        let mut m = BTreeMap::new();
+        m.insert(NodeId(0), QuorumSet::threshold_of(1, ids(&[1])));
+        m.insert(NodeId(1), QuorumSet::threshold_of(1, ids(&[2])));
+        m.insert(NodeId(2), QuorumSet::threshold_of(1, ids(&[2])));
+        m.insert(NodeId(9), QuorumSet::threshold_of(1, ids(&[9])));
+        assert_eq!(transitive_closure(&m, NodeId(0)), set(&[0, 1, 2]));
+    }
+}

@@ -1,0 +1,156 @@
+//! A consensus slot: one instance of SCP (one ledger).
+//!
+//! The slot owns a [`NominationProtocol`] and a [`BallotProtocol`] and
+//! routes envelopes, timeouts, and nomination output between them:
+//! confirmed-nominated candidates are combined by the application
+//! ([`Driver::combine_candidates`]) into the composite value balloting
+//! proposes, and a decision shuts nomination down.
+
+use crate::ballot::{BallotPhase, BallotProtocol};
+use crate::driver::{Driver, TimerKind};
+use crate::nomination::NominationProtocol;
+use crate::statement::Statement;
+use crate::{Envelope, NodeId, QuorumSet, SlotIndex, Value};
+use stellar_crypto::sign::KeyPair;
+
+/// Shared context threaded through protocol methods: identity, slices,
+/// signing key, and the application driver.
+pub struct Ctx<'a, D: Driver> {
+    /// This node's id.
+    pub node: NodeId,
+    /// The slot being decided.
+    pub slot: SlotIndex,
+    /// This node's current quorum set.
+    pub qset: &'a QuorumSet,
+    /// Signing key for outgoing envelopes.
+    pub keys: &'a KeyPair,
+    /// The application driver.
+    pub driver: &'a mut D,
+}
+
+/// One consensus instance.
+pub struct Slot {
+    index: SlotIndex,
+    nomination: NominationProtocol,
+    ballot: BallotProtocol,
+}
+
+impl Slot {
+    /// Creates an idle slot.
+    pub fn new(index: SlotIndex) -> Slot {
+        Slot {
+            index,
+            nomination: NominationProtocol::new(),
+            ballot: BallotProtocol::new(),
+        }
+    }
+
+    /// The slot index.
+    pub fn index(&self) -> SlotIndex {
+        self.index
+    }
+
+    /// Read access to the nomination protocol (for metrics/tests).
+    pub fn nomination(&self) -> &NominationProtocol {
+        &self.nomination
+    }
+
+    /// Read access to the ballot protocol (for metrics/tests).
+    pub fn ballot(&self) -> &BallotProtocol {
+        &self.ballot
+    }
+
+    /// The decided value, if this slot has externalized.
+    pub fn decision(&self) -> Option<&Value> {
+        self.ballot.decision()
+    }
+
+    /// Proposes `value` for this slot, starting nomination.
+    pub fn propose<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>, value: Value) {
+        let candidates_changed = self.nomination.start(ctx, value);
+        if candidates_changed {
+            self.push_composite(ctx);
+        }
+    }
+
+    /// Handles an incoming envelope (assumed signature-verified by the
+    /// node layer).
+    pub fn process<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>, st: &Statement) {
+        if st.kind.is_nomination() {
+            let candidates_changed = self.nomination.process(ctx, st);
+            if candidates_changed {
+                self.push_composite(ctx);
+            }
+        } else {
+            self.ballot.process(ctx, st);
+            self.after_ballot_step(ctx);
+        }
+    }
+
+    /// Re-runs nomination voting after application state changed (new
+    /// transaction sets may make values validatable).
+    pub fn retry_nomination<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>) {
+        if self.nomination.retry(ctx) {
+            self.push_composite(ctx);
+        }
+    }
+
+    /// Handles a timer expiry.
+    pub fn on_timeout<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>, kind: TimerKind) {
+        match kind {
+            TimerKind::Nomination => {
+                let candidates_changed = self.nomination.on_timeout(ctx);
+                if candidates_changed {
+                    self.push_composite(ctx);
+                }
+            }
+            TimerKind::Ballot => {
+                self.ballot.on_timeout(ctx);
+                self.after_ballot_step(ctx);
+            }
+        }
+    }
+
+    /// Recombines candidates and feeds the ballot protocol.
+    fn push_composite<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>) {
+        let candidates = self.nomination.candidates().clone();
+        if candidates.is_empty() {
+            return;
+        }
+        if let Some(composite) = ctx.driver.combine_candidates(ctx.slot, &candidates) {
+            self.ballot.on_composite(ctx, composite);
+        }
+        self.after_ballot_step(ctx);
+    }
+
+    /// Post-processing after any ballot activity: once decided, stop
+    /// nominating.
+    fn after_ballot_step<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>) {
+        if self.ballot.phase() == BallotPhase::Externalize {
+            self.nomination.stop(ctx);
+        }
+    }
+
+    /// Statements this slot would re-broadcast to help a lagging peer
+    /// (our latest own statements).
+    pub fn own_statements(&self, node: NodeId) -> Vec<Statement> {
+        let mut out = Vec::new();
+        if let Some(st) = self.nomination.latest_statements().get(&node) {
+            out.push(st.clone());
+        }
+        if let Some(st) = self.ballot.latest_statements().get(&node) {
+            out.push(st.clone());
+        }
+        out
+    }
+}
+
+/// Convenience for tests and embedders: wraps an [`Envelope`] check +
+/// dispatch in one call. Returns `false` when the signature is invalid or
+/// the statement is for a different slot.
+pub fn verify_envelope<D: Driver>(driver: &D, envelope: &Envelope) -> bool {
+    match driver.public_key(envelope.statement.node) {
+        Some(pk) => envelope.verify(pk),
+        None => false,
+    }
+}

@@ -1,0 +1,240 @@
+//! The simulation event queue.
+//!
+//! A binary heap ordered by `(time, sequence)` — the sequence number makes
+//! simultaneous events deterministic. Timer events carry a version per
+//! `(node, slot, kind)`; re-arming bumps the version so stale expiries are
+//! ignored, giving SCP the replace/cancel timer semantics its driver
+//! contract requires.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
+use stellar_crypto::Hash256;
+use stellar_herder::validator::Outputs;
+use stellar_ledger::tx::TransactionEnvelope;
+use stellar_overlay::FloodMessage;
+use stellar_scp::driver::TimerKind;
+use stellar_scp::{NodeId, SlotIndex};
+
+/// A flood payload with its content id and wire size precomputed, shared
+/// between the many delivery events one broadcast fans out into.
+#[derive(Clone, Debug)]
+pub struct Flooded {
+    /// Content address (flood de-duplication key).
+    pub id: Hash256,
+    /// Encoded size in bytes (traffic accounting).
+    pub size: usize,
+    /// The payload itself.
+    pub msg: Arc<FloodMessage>,
+}
+
+impl Flooded {
+    /// Wraps a message, hashing and sizing it once.
+    pub fn new(msg: FloodMessage) -> Flooded {
+        Flooded {
+            id: msg.id(),
+            size: msg.wire_size(),
+            msg: Arc::new(msg),
+        }
+    }
+}
+
+/// A scheduled occurrence.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A flooded message arrives at `to` from peer `from`.
+    Deliver {
+        /// Receiving node.
+        to: NodeId,
+        /// Sending peer (for relay suppression).
+        from: NodeId,
+        /// The payload.
+        msg: Flooded,
+    },
+    /// An SCP timer expires (if `version` is still current).
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// Slot the timer belongs to.
+        slot: SlotIndex,
+        /// Nomination or ballot timer.
+        kind: TimerKind,
+        /// Arm version; stale versions are no-ops.
+        version: u64,
+    },
+    /// A node should start consensus on its next ledger.
+    TriggerLedger {
+        /// The node to trigger.
+        node: NodeId,
+    },
+    /// A client submits a transaction to a node.
+    SubmitTx {
+        /// Receiving node.
+        to: NodeId,
+        /// The transaction.
+        tx: Box<TransactionEnvelope>,
+    },
+}
+
+#[derive(Debug)]
+struct Queued {
+    time: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Deterministic time-ordered event queue with versioned timers.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Queued>>,
+    next_seq: u64,
+    timer_versions: BTreeMap<(NodeId, SlotIndex, TimerKind), u64>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at absolute time `time` (ms).
+    pub fn push(&mut self, time: u64, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Queued { time, seq, event }));
+    }
+
+    /// Pops the earliest event, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap.pop().map(|Reverse(q)| (q.time, q.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Arms (or cancels) a timer per the SCP driver contract; returns the
+    /// event to schedule, if any.
+    pub fn arm_timer(
+        &mut self,
+        now: u64,
+        node: NodeId,
+        slot: SlotIndex,
+        kind: TimerKind,
+        delay_ms: Option<u64>,
+    ) {
+        let v = self.timer_versions.entry((node, slot, kind)).or_insert(0);
+        *v += 1;
+        let version = *v;
+        if let Some(d) = delay_ms {
+            self.push(
+                now + d,
+                Event::Timer {
+                    node,
+                    slot,
+                    kind,
+                    version,
+                },
+            );
+        }
+    }
+
+    /// Whether a timer event is still current.
+    pub fn timer_current(
+        &self,
+        node: NodeId,
+        slot: SlotIndex,
+        kind: TimerKind,
+        version: u64,
+    ) -> bool {
+        self.timer_versions.get(&(node, slot, kind)) == Some(&version)
+    }
+
+    /// Applies a validator's buffered timer requests.
+    pub fn apply_outputs_timers(&mut self, now: u64, node: NodeId, outputs: &Outputs) {
+        for (slot, kind, delay) in &outputs.timers {
+            self.arm_timer(now, node, *slot, *kind, delay.map(|d| d.as_millis() as u64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::TriggerLedger { node: NodeId(1) });
+        q.push(5, Event::TriggerLedger { node: NodeId(2) });
+        q.push(5, Event::TriggerLedger { node: NodeId(3) });
+        let order: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| match e {
+                Event::TriggerLedger { node } => (t, node.0),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![(5, 2), (5, 3), (10, 1)]);
+    }
+
+    #[test]
+    fn rearming_invalidates_old_timer() {
+        let mut q = EventQueue::new();
+        q.arm_timer(0, NodeId(1), 1, TimerKind::Ballot, Some(100));
+        let (_, e1) = q.pop().unwrap();
+        let v1 = match e1 {
+            Event::Timer { version, .. } => version,
+            _ => unreachable!(),
+        };
+        assert!(q.timer_current(NodeId(1), 1, TimerKind::Ballot, v1));
+        // Re-arm: v1 becomes stale.
+        q.arm_timer(0, NodeId(1), 1, TimerKind::Ballot, Some(200));
+        assert!(!q.timer_current(NodeId(1), 1, TimerKind::Ballot, v1));
+        let (_, e2) = q.pop().unwrap();
+        match e2 {
+            Event::Timer { version, .. } => {
+                assert!(q.timer_current(NodeId(1), 1, TimerKind::Ballot, version));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn cancel_leaves_no_event_and_bumps_version() {
+        let mut q = EventQueue::new();
+        q.arm_timer(0, NodeId(1), 1, TimerKind::Nomination, Some(100));
+        q.arm_timer(0, NodeId(1), 1, TimerKind::Nomination, None);
+        // One stale event remains in the heap; it must be non-current.
+        let (_, e) = q.pop().unwrap();
+        match e {
+            Event::Timer { version, .. } => {
+                assert!(!q.timer_current(NodeId(1), 1, TimerKind::Nomination, version));
+            }
+            _ => unreachable!(),
+        }
+        assert!(q.is_empty());
+    }
+}

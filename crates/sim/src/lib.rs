@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulation of Stellar networks.
+//!
+//! The paper's evaluation (§7) ran on EC2 instances; this crate replaces
+//! the testbed with a seeded discrete-event simulator (see `DESIGN.md`,
+//! substitutions). Network propagation is *simulated* (configurable
+//! per-link latency distributions); transaction application and bucket
+//! merging are *real* — every simulated validator runs the actual ledger
+//! and bucket-list code, and ledger-update latency is measured with a
+//! wall clock, exactly the split the paper's latency components have.
+//!
+//! * [`latency`] — seeded link-latency models (LAN, same-region EC2, WAN);
+//! * [`events`] — the event queue (deliveries, timers, ledger triggers,
+//!   load arrivals) with versioned timer cancellation;
+//! * [`loadgen`] — the `generateload` equivalent: synthetic accounts and
+//!   Poisson payment load (§7.3);
+//! * [`simulation`] — the engine: validators + overlay + clock;
+//! * [`metrics`] — per-ledger latency decomposition (nomination,
+//!   balloting, ledger update), timeout counters, message and byte
+//!   accounting, percentile helpers;
+//! * [`scenario`] — canned topologies: the §7.3 controlled setups
+//!   (full-mesh majority quorums) and the Fig. 7-like tiered public
+//!   network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod latency;
+pub mod loadgen;
+pub mod metrics;
+pub mod scenario;
+pub mod simulation;
+
+pub use latency::LatencyModel;
+pub use metrics::{percentile, SimReport};
+pub use scenario::Scenario;
+pub use simulation::{SimConfig, Simulation};

@@ -1,0 +1,201 @@
+//! The paper's flagship scenario: "making it literally possible to send
+//! $0.50 to Mexico in 5 seconds with a fee of $0.000001" (§7.1).
+//!
+//! Setup: a USD anchor (AnchorUSD-style) and an MXN anchor each issue
+//! their token; a market maker posts offers on the USD/MXN book; Alice in
+//! the U.S. holds anchor-issued USD; Benito in Mexico holds a trustline
+//! for MXN. Alice sends a `PathPayment` that delivers an exact MXN amount
+//! while spending at most her USD budget — atomically, through consensus,
+//! with no solvency risk from the market maker.
+//!
+//! ```sh
+//! cargo run --release --example cross_border_payment
+//! ```
+
+use stellar::crypto::sign::KeyPair;
+use stellar::ledger::amount::{xlm, Price, BASE_FEE};
+use stellar::ledger::entry::{AccountEntry, AccountId};
+use stellar::ledger::ops::ExecEnv;
+use stellar::ledger::pathfind::find_best_path;
+use stellar::ledger::store::LedgerStore;
+use stellar::ledger::tx::{Memo, Operation, SourcedOperation, Transaction, TransactionEnvelope};
+use stellar::ledger::Asset;
+use stellar::sim::scenario::Scenario;
+use stellar::sim::simulation::SimSetup;
+use stellar::sim::{SimConfig, Simulation};
+
+fn keys(name: &str) -> KeyPair {
+    let mut seed = 0u64;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(131).wrapping_add(u64::from(b));
+    }
+    KeyPair::from_seed(seed)
+}
+
+fn account(name: &str) -> AccountId {
+    AccountId(keys(name).public())
+}
+
+/// Cents-scale integer amounts: 1 unit = $0.01 / 1 MXN centavo.
+const CENTS: i64 = 100;
+
+fn main() {
+    let anchor_usd = account("anchor-usd");
+    let anchor_mxn = account("anchor-mxn");
+    let maker = account("market-maker");
+    let alice = account("alice");
+    let benito = account("benito");
+
+    let usd = Asset::issued(anchor_usd, "USD");
+    let mxn = Asset::issued(anchor_mxn, "MXN");
+
+    // ---- genesis: accounts, trustlines, maker inventory, order book ----
+    let mut store = LedgerStore::new();
+    for id in [anchor_usd, anchor_mxn, maker, alice, benito] {
+        store.put_account(AccountEntry::new(id, xlm(100)));
+    }
+    {
+        let env = ExecEnv::default();
+        let mut d = store.begin();
+        use stellar::ledger::ops::apply_operation;
+        for (who, asset) in [
+            (maker, usd.clone()),
+            (maker, mxn.clone()),
+            (alice, usd.clone()),
+            (benito, mxn.clone()),
+        ] {
+            apply_operation(
+                &mut d,
+                who,
+                &Operation::ChangeTrust {
+                    asset,
+                    limit: i64::MAX / 8,
+                },
+                &env,
+            )
+            .expect("trustline");
+        }
+        // Fund the maker with both currencies and Alice with $100.
+        apply_operation(
+            &mut d,
+            anchor_usd,
+            &Operation::Payment {
+                destination: maker,
+                asset: usd.clone(),
+                amount: 1_000_000 * CENTS,
+            },
+            &env,
+        )
+        .unwrap();
+        apply_operation(
+            &mut d,
+            anchor_mxn,
+            &Operation::Payment {
+                destination: maker,
+                asset: mxn.clone(),
+                amount: 20_000_000 * CENTS,
+            },
+            &env,
+        )
+        .unwrap();
+        apply_operation(
+            &mut d,
+            anchor_usd,
+            &Operation::Payment {
+                destination: alice,
+                asset: usd.clone(),
+                amount: 100 * CENTS,
+            },
+            &env,
+        )
+        .unwrap();
+        // Maker quotes MXN/USD at 17.35 (sells MXN, buys USD).
+        apply_operation(
+            &mut d,
+            maker,
+            &Operation::ManageOffer {
+                offer_id: 0,
+                selling: mxn.clone(),
+                buying: usd.clone(),
+                amount: 10_000_000 * CENTS,
+                price: Price::new(100, 1735), // USD per MXN
+                passive: false,
+            },
+            &env,
+        )
+        .unwrap();
+        let ch = d.into_changes();
+        store.commit(ch);
+    }
+
+    // ---- find the best path for delivering 8.67 MXN (≈ $0.50) ----
+    let dest_amount = 867; // 8.67 MXN in centavos
+    let d = store.begin();
+    let (path, cost) = find_best_path(&d, &usd, &mxn, dest_amount, &[Asset::Native])
+        .expect("order book can fill the payment");
+    println!("=== cross-border payment: Alice (USD) → Benito (MXN) ===\n");
+    println!(
+        "quote: deliver {:.2} MXN for {:.2} USD via path {:?}",
+        dest_amount as f64 / 100.0,
+        cost as f64 / 100.0,
+        path
+    );
+
+    // ---- run it through a real consensus round ----
+    let tx = Transaction {
+        source: alice,
+        seq_num: 1,
+        fee: BASE_FEE, // 10⁻⁵ XLM ≈ $0.000001
+        time_bounds: None,
+        memo: Memo::Text("rent, love Alice".into()),
+        operations: vec![SourcedOperation {
+            source: None,
+            op: Operation::PathPayment {
+                send_asset: usd.clone(),
+                send_max: 50 * CENTS, // at most $0.50, end-to-end limit price
+                destination: benito,
+                dest_asset: mxn.clone(),
+                dest_amount,
+                path,
+            },
+        }],
+    };
+    let envelope = TransactionEnvelope::sign(tx, &[&keys("alice")]);
+
+    let mut sim = Simulation::with_setup(
+        SimConfig {
+            scenario: Scenario::ControlledMesh { n_validators: 4 },
+            n_accounts: 0,
+            tx_rate: 0.0,
+            target_ledgers: 2,
+            seed: 11,
+            ..SimConfig::default()
+        },
+        SimSetup {
+            genesis: Some(store),
+        },
+    );
+    sim.submit_transaction_at(1100, envelope);
+    let report = sim.run();
+
+    // ---- verify on every validator ----
+    let ids = sim.validator_ids();
+    for id in &ids {
+        let st = &sim.validator(*id).herder.store;
+        let benito_mxn = st.trustline(benito, &mxn).map(|t| t.balance).unwrap_or(0);
+        let alice_usd = st.trustline(alice, &usd).map(|t| t.balance).unwrap_or(0);
+        assert_eq!(benito_mxn, dest_amount, "validator {id} must credit Benito");
+        assert_eq!(
+            alice_usd,
+            100 * CENTS - cost,
+            "validator {id} must debit Alice"
+        );
+    }
+    println!(
+        "\nconfirmed in ledger {} after {:.1} s of simulated time",
+        report.ledgers.last().map(|l| l.slot).unwrap_or(0),
+        report.sim_duration_ms as f64 / 1000.0
+    );
+    println!("Benito now holds 8.67 MXN on all {} validators.", ids.len());
+    println!("fee paid: 100 stroops = 0.00001 XLM (≈ $0.000001)");
+}

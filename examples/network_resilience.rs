@@ -1,0 +1,135 @@
+//! Quorum health: intersection checking, criticality, and the §6 story.
+//!
+//! Replays the lessons of the paper's deployment experience:
+//!
+//! 1. synthesize Fig. 6 tiered quorum sets from organization configs;
+//! 2. check quorum intersection proactively (§6.2.1);
+//! 3. scan for *criticality* — orgs one misconfiguration away from
+//!    splitting the network (§6.2.2);
+//! 4. demonstrate the failure mode: a hand-written 2-of-4 configuration
+//!    that admits disjoint quorums (the divergence risk that §6 made
+//!    "very concrete");
+//! 5. show unilateral slice adjustment healing a liveness loss — SCP
+//!    needs no view-change protocol (§3.1.1).
+//!
+//! ```sh
+//! cargo run --release --example network_resilience
+//! ```
+
+use stellar::quorum::criticality::{check_criticality, OrgMap};
+use stellar::quorum::intersection::{find_disjoint_quorums, FbaSystem, IntersectionResult};
+use stellar::quorum::tiers::{synthesize_all, synthesize_quorum_set, OrgConfig, Quality};
+use stellar::scp::test_harness::InMemoryNetwork;
+use stellar::scp::{NodeId, QuorumSet, Value};
+
+fn ids(range: std::ops::Range<u32>) -> Vec<NodeId> {
+    range.map(NodeId).collect()
+}
+
+fn main() {
+    // ---- 1. a production-like tiered configuration (Fig. 6/7) ----
+    let orgs = vec![
+        OrgConfig::new("sdf", ids(0..3), Quality::High),
+        OrgConfig::new("satoshipay", ids(3..6), Quality::High),
+        OrgConfig::new("lobstr", ids(6..9), Quality::High),
+        OrgConfig::new("coinqvest", ids(9..12), Quality::High),
+        OrgConfig::new("keybase", ids(12..15), Quality::High),
+    ];
+    let (qset, warnings) = synthesize_quorum_set(&orgs);
+    println!("=== tiered quorum synthesis (Fig. 6) ===\n");
+    println!(
+        "5 orgs × 3 validators → top threshold {}-of-{}",
+        qset.threshold,
+        qset.num_entries()
+    );
+    println!("warnings: {warnings:?}");
+
+    let sys = FbaSystem::new(synthesize_all(&orgs));
+    let t0 = std::time::Instant::now();
+    let result = find_disjoint_quorums(&sys);
+    println!(
+        "\nquorum-intersection check over {} nodes: {:?} ({} µs)",
+        sys.nodes.len(),
+        matches!(result, IntersectionResult::Intersecting),
+        t0.elapsed().as_micros()
+    );
+    assert!(matches!(result, IntersectionResult::Intersecting));
+
+    // ---- 2. criticality scan (§6.2.2) ----
+    let org_map: OrgMap = orgs
+        .iter()
+        .map(|o| (o.name.clone(), o.validators.clone()))
+        .collect();
+    let t0 = std::time::Instant::now();
+    let report = check_criticality(&sys, &org_map);
+    println!(
+        "criticality scan: safe={} critical_orgs={:?} ({} ms)",
+        report.is_safe(),
+        report.critical_orgs,
+        t0.elapsed().as_millis()
+    );
+    assert!(
+        report.is_safe(),
+        "5-org/67% configuration tolerates any one org failing"
+    );
+
+    // With only 3 orgs, every org is critical — the checker warns *before*
+    // anything diverges.
+    let small_orgs: Vec<OrgConfig> = orgs[..3].to_vec();
+    let small_sys = FbaSystem::new(synthesize_all(&small_orgs));
+    let small_map: OrgMap = small_orgs
+        .iter()
+        .map(|o| (o.name.clone(), o.validators.clone()))
+        .collect();
+    let small_report = check_criticality(&small_sys, &small_map);
+    println!(
+        "3-org network: critical orgs = {:?}  ← operators get warned early",
+        small_report.critical_orgs
+    );
+    assert_eq!(small_report.critical_orgs.len(), 3);
+
+    // ---- 3. the misconfiguration §6 warns about ----
+    println!("\n=== hand-written misconfiguration: 2-of-4 slices ===\n");
+    let four = ids(0..4);
+    let half = QuorumSet::threshold_of(2, four.clone());
+    let bad = FbaSystem::new(four.iter().map(|n| (*n, half.clone())));
+    match find_disjoint_quorums(&bad) {
+        IntersectionResult::Disjoint(a, b) => {
+            println!("DANGER: disjoint quorums {a:?} and {b:?} — the network can double-spend");
+        }
+        other => panic!("expected disjoint quorums, got {other:?}"),
+    }
+
+    // ---- 4. liveness loss + unilateral slice adjustment (§3.1.1) ----
+    println!("\n=== healing a liveness failure by retuning slices ===\n");
+    let nodes = ids(0..4);
+    let qset = QuorumSet::byzantine(nodes.clone()); // 3-of-4
+    let mut net = InMemoryNetwork::new(&nodes, &qset, 99);
+    net.crash(NodeId(2));
+    net.crash(NodeId(3));
+    for n in &nodes[..2] {
+        net.propose(*n, 1, Value::new(b"ledger-1".to_vec()));
+    }
+    let decided = net.run_to_quiescence(1);
+    println!(
+        "with 2 of 4 crashed and 3-of-4 slices: {} nodes decided (blocked) ✓",
+        decided.len()
+    );
+    assert!(decided.is_empty());
+
+    // Node operators react: drop the dead nodes from their slices. No
+    // network-wide reconfiguration consensus needed.
+    let live = ids(0..2);
+    let retuned = QuorumSet::threshold_of(2, live.clone());
+    let mut net2 = InMemoryNetwork::new(&live, &retuned, 99);
+    for n in &live {
+        net2.propose(*n, 1, Value::new(b"ledger-1".to_vec()));
+    }
+    let decided = net2.run_to_quiescence(1);
+    println!(
+        "after both survivors retune slices to 2-of-2: {} nodes decided ✓",
+        decided.len()
+    );
+    assert_eq!(decided.len(), 2);
+    println!("\n(Retuning trades fault tolerance for liveness — exactly the §6 judgment call.)");
+}

@@ -1,0 +1,256 @@
+//! Token issuance with issuer-enforced policy (§5.1, §5.2).
+//!
+//! Demonstrates the paper's goal-2 machinery end to end:
+//!
+//! 1. an issuer sets `auth_required` + `auth_revocable` (KYC gating, as
+//!    the Stronghold USD anchor does in §7.1);
+//! 2. customers open trustlines, which start **unauthorized**;
+//! 3. payments bounce until the issuer runs `AllowTrust` (photo ID
+//!    checked!), and the issuer can later revoke;
+//! 4. finally, the paper's multi-party atomic deal (§5.2): a single
+//!    transaction carrying three operations — land parcel + $10,000 one
+//!    way, a bigger parcel the other — signed by both parties, all-or-
+//!    nothing.
+//!
+//! ```sh
+//! cargo run --release --example token_issuance
+//! ```
+
+use stellar::crypto::sign::KeyPair;
+use stellar::ledger::amount::xlm;
+use stellar::ledger::amount::BASE_FEE;
+use stellar::ledger::apply::{apply_transaction, check_validity};
+use stellar::ledger::entry::{AccountEntry, AccountId};
+use stellar::ledger::ops::{apply_operation, ExecEnv};
+use stellar::ledger::store::LedgerStore;
+use stellar::ledger::tx::{OpError, Operation, SourcedOperation, Transaction, TransactionEnvelope};
+use stellar::ledger::Asset;
+
+fn keys(seed: u64) -> KeyPair {
+    KeyPair::from_seed(seed)
+}
+
+fn main() {
+    let issuer_k = keys(1);
+    let alice_k = keys(2);
+    let bob_k = keys(3);
+    let issuer = AccountId(issuer_k.public());
+    let alice = AccountId(alice_k.public());
+    let bob = AccountId(bob_k.public());
+
+    let mut store = LedgerStore::new();
+    for id in [issuer, alice, bob] {
+        store.put_account(AccountEntry::new(id, xlm(100)));
+    }
+    let env = ExecEnv::default();
+    let usd = Asset::issued(issuer, "USD");
+    let deed = Asset::issued(issuer, "DEED");
+
+    println!("=== issuer-enforced finality: the KYC flow ===\n");
+    let mut d = store.begin();
+
+    // 1. Issuer requires authorization for its assets.
+    apply_operation(
+        &mut d,
+        issuer,
+        &Operation::SetOptions {
+            auth_required: Some(true),
+            auth_revocable: Some(true),
+            master_weight: None,
+            low_threshold: None,
+            medium_threshold: None,
+            high_threshold: None,
+            signer: None,
+        },
+        &env,
+    )
+    .unwrap();
+    println!("issuer set auth_required + auth_revocable");
+
+    // 2. Customers open trustlines (unauthorized until KYC).
+    for who in [alice, bob] {
+        apply_operation(
+            &mut d,
+            who,
+            &Operation::ChangeTrust {
+                asset: usd.clone(),
+                limit: 1_000_000,
+            },
+            &env,
+        )
+        .unwrap();
+        apply_operation(
+            &mut d,
+            who,
+            &Operation::ChangeTrust {
+                asset: deed.clone(),
+                limit: 1_000,
+            },
+            &env,
+        )
+        .unwrap();
+    }
+
+    // 3. Payment to an unauthorized line bounces.
+    let attempt = apply_operation(
+        &mut d,
+        issuer,
+        &Operation::Payment {
+            destination: alice,
+            asset: usd.clone(),
+            amount: 20_000,
+        },
+        &env,
+    );
+    assert_eq!(attempt, Err(OpError::NotAuthorized));
+    println!("payment before KYC: rejected (NotAuthorized) ✓");
+
+    // Issuer authorizes after checking IDs.
+    for who in [alice, bob] {
+        for code in ["USD", "DEED"] {
+            apply_operation(
+                &mut d,
+                issuer,
+                &Operation::AllowTrust {
+                    trustor: who,
+                    asset_code: code.into(),
+                    authorize: true,
+                },
+                &env,
+            )
+            .unwrap();
+        }
+    }
+    apply_operation(
+        &mut d,
+        issuer,
+        &Operation::Payment {
+            destination: alice,
+            asset: usd.clone(),
+            amount: 20_000,
+        },
+        &env,
+    )
+    .unwrap();
+    apply_operation(
+        &mut d,
+        issuer,
+        &Operation::Payment {
+            destination: alice,
+            asset: deed.clone(),
+            amount: 1,
+        },
+        &env,
+    )
+    .unwrap();
+    apply_operation(
+        &mut d,
+        issuer,
+        &Operation::Payment {
+            destination: bob,
+            asset: deed.clone(),
+            amount: 5,
+        },
+        &env,
+    )
+    .unwrap();
+    println!("after AllowTrust: issuer minted $20,000 + deeds to customers ✓");
+
+    let ch = d.into_changes();
+    store.commit(ch);
+
+    // 4. The atomic three-operation swap (§5.2): Alice gives her small
+    //    parcel (1 DEED) + $10,000; Bob gives his larger parcel (5 DEED).
+    println!("\n=== atomic multi-party land swap (one tx, three ops) ===\n");
+    let swap = Transaction {
+        source: alice,
+        seq_num: 1,
+        fee: BASE_FEE * 3,
+        time_bounds: Some(stellar::ledger::tx::TimeBounds {
+            min_time: 0,
+            max_time: 1_000_000,
+        }),
+        memo: stellar::ledger::tx::Memo::Text("land deal".into()),
+        operations: vec![
+            SourcedOperation {
+                source: None,
+                op: Operation::Payment {
+                    destination: bob,
+                    asset: deed.clone(),
+                    amount: 1,
+                },
+            },
+            SourcedOperation {
+                source: None,
+                op: Operation::Payment {
+                    destination: bob,
+                    asset: usd.clone(),
+                    amount: 10_000,
+                },
+            },
+            SourcedOperation {
+                source: Some(bob),
+                op: Operation::Payment {
+                    destination: alice,
+                    asset: deed.clone(),
+                    amount: 5,
+                },
+            },
+        ],
+    };
+
+    // Alice's signature alone is not enough: Bob sources an operation.
+    let half_signed = TransactionEnvelope::sign(swap.clone(), &[&alice_k]);
+    let d0 = store.begin();
+    assert!(check_validity(&d0, &half_signed, 10, BASE_FEE * 3).is_err());
+    println!("swap signed only by Alice: rejected (BadAuth) ✓");
+
+    let fully_signed = TransactionEnvelope::sign(swap, &[&alice_k, &bob_k]);
+    let mut d = store.begin();
+    let result = apply_transaction(&mut d, &fully_signed, 10, BASE_FEE * 3, &env);
+    assert!(result.is_success(), "{result:?}");
+    let ch = d.into_changes();
+    store.commit(ch);
+
+    let d = store.begin();
+    println!("swap signed by both: applied ✓");
+    println!(
+        "  Alice: {} DEED, ${}",
+        d.trustline(alice, &deed).unwrap().balance,
+        d.trustline(alice, &usd).unwrap().balance / 1
+    );
+    println!(
+        "  Bob:   {} DEED, ${}",
+        d.trustline(bob, &deed).unwrap().balance,
+        d.trustline(bob, &usd).unwrap().balance / 1
+    );
+    assert_eq!(d.trustline(alice, &deed).unwrap().balance, 5);
+    assert_eq!(d.trustline(bob, &deed).unwrap().balance, 1);
+    assert_eq!(d.trustline(bob, &usd).unwrap().balance, 10_000);
+
+    // 5. Revocation: the issuer can freeze a holder.
+    let mut d = store.begin();
+    apply_operation(
+        &mut d,
+        issuer,
+        &Operation::AllowTrust {
+            trustor: bob,
+            asset_code: "USD".into(),
+            authorize: false,
+        },
+        &env,
+    )
+    .unwrap();
+    let frozen = apply_operation(
+        &mut d,
+        bob,
+        &Operation::Payment {
+            destination: alice,
+            asset: usd.clone(),
+            amount: 1,
+        },
+        &env,
+    );
+    assert_eq!(frozen, Err(OpError::NotAuthorized));
+    println!("\nissuer revoked Bob's USD authorization: Bob's spend rejected ✓");
+}

@@ -1,0 +1,107 @@
+//! Wire-format golden vectors.
+//!
+//! Every node must serialize — and therefore hash — structures
+//! identically (§5.1's snapshot hashes, §5.3's tx-set hashes, envelope
+//! signatures). These pinned encodings catch accidental codec changes
+//! that would silently fork a network of mixed binaries.
+
+use stellar::crypto::codec::Encode;
+use stellar::crypto::hex;
+use stellar::crypto::sign::PublicKey;
+use stellar::crypto::Hash256;
+use stellar::ledger::amount::Price;
+use stellar::ledger::entry::{AccountEntry, AccountId, LedgerEntry};
+use stellar::ledger::Asset;
+use stellar::scp::statement::{Ballot, StatementKind};
+use stellar::scp::{NodeId, QuorumSet, Value};
+
+#[test]
+fn primitive_encodings_are_pinned() {
+    assert_eq!(hex::encode(&0x0102u16.to_bytes()), "0102");
+    assert_eq!(hex::encode(&1u64.to_bytes()), "0000000000000001");
+    assert_eq!(hex::encode(&true.to_bytes()), "01");
+    assert_eq!(hex::encode(&Some(7u8).to_bytes()), "0107");
+    assert_eq!(hex::encode(&Option::<u8>::None.to_bytes()), "00");
+    // Vec<u8>: u64 length prefix + raw bytes.
+    assert_eq!(
+        hex::encode(&vec![0xaau8, 0xbb].to_bytes()),
+        "0000000000000002aabb"
+    );
+    assert_eq!(
+        hex::encode(&"hi".to_string().to_bytes()),
+        "00000000000000026869"
+    );
+}
+
+#[test]
+fn quorum_set_encoding_is_pinned() {
+    let q = QuorumSet::threshold_of(2, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    assert_eq!(
+        hex::encode(&q.to_bytes()),
+        // threshold=2 (u32), 3 validators (u64 len + 3×u32), 0 inner sets.
+        "0000000200000000000000030000000100000002000000030000000000000000"
+    );
+}
+
+#[test]
+fn ballot_statement_encoding_is_pinned() {
+    let st = StatementKind::Externalize {
+        commit: Ballot::new(4, Value::new(b"x".to_vec())),
+        h_n: 6,
+    };
+    assert_eq!(
+        hex::encode(&st.to_bytes()),
+        // tag 3 (u32), counter 4 (u32), value (len 1 + 'x'), h_n 6 (u32).
+        "000000030000000400000000000000017800000006"
+    );
+}
+
+#[test]
+fn ledger_entry_encoding_is_pinned() {
+    let entry = LedgerEntry::Account(AccountEntry::new(AccountId(PublicKey(5)), 77));
+    let encoded = hex::encode(&entry.to_bytes());
+    assert_eq!(
+        encoded,
+        // tag 0, account id u64, balance i64, seq u64, subentries u32,
+        // flags u8, signers (empty vec), thresholds (1,0,0,0).
+        concat!(
+            "00",
+            "0000000000000005",
+            "000000000000004d",
+            "0000000000000000",
+            "00000000",
+            "00",
+            "0000000000000000",
+            "01000000",
+        )
+    );
+}
+
+#[test]
+fn asset_and_price_encodings_are_pinned() {
+    assert_eq!(hex::encode(&Asset::Native.to_bytes()), "00");
+    let usd = Asset::issued(AccountId(PublicKey(9)), "USD");
+    assert_eq!(
+        hex::encode(&usd.to_bytes()),
+        "0100000000000000090000000000000003555344"
+    );
+    assert_eq!(
+        hex::encode(&Price::new(3, 7).to_bytes()),
+        "0000000300000007"
+    );
+}
+
+#[test]
+fn hash_of_known_structure_is_stable() {
+    // The canonical hash-of-encoding convention: changing either the
+    // structure or the codec flips this value, which is exactly what it
+    // guards.
+    let q = QuorumSet::threshold_of(1, vec![NodeId(0)]);
+    let h = stellar::crypto::hash_xdr(&q);
+    assert_eq!(
+        h,
+        stellar::crypto::sha256::sha256(&q.to_bytes()),
+        "hash_xdr must be sha256 of the deterministic encoding"
+    );
+    assert_ne!(h, Hash256::ZERO);
+}
