@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, workspace tests, lints, formatting.
+# Run from the repo root. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI green."

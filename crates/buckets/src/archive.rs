@@ -64,7 +64,7 @@ impl HistoryArchive {
         self.bytes_written += bytes;
         self.tx_sets.insert(seq, tx_set.clone());
 
-        if seq % CHECKPOINT_PERIOD == 0 {
+        if seq.is_multiple_of(CHECKPOINT_PERIOD) {
             let hashes = buckets.level_hashes();
             for (i, h) in hashes.iter().enumerate() {
                 if !self.blobs.contains_key(h) {
@@ -129,6 +129,11 @@ impl HistoryArchive {
     /// Number of checkpoints taken.
     pub fn checkpoint_count(&self) -> usize {
         self.checkpoints.len()
+    }
+
+    /// The highest ledger sequence published, if any.
+    pub fn latest_seq(&self) -> Option<u64> {
+        self.headers.keys().next_back().copied()
     }
 }
 

@@ -66,7 +66,7 @@ impl BucketList {
         // leapfrogs levels within one close. Skip the bottom level (it
         // only accumulates).
         for i in (0..NUM_LEVELS - 1).rev() {
-            if ledger_seq % Self::spill_period(i) == 0 && !self.levels[i].is_empty() {
+            if ledger_seq.is_multiple_of(Self::spill_period(i)) && !self.levels[i].is_empty() {
                 let spilled = std::mem::take(&mut self.levels[i]);
                 let bottom = i + 1 == NUM_LEVELS - 1;
                 self.merge_work += (spilled.len() + self.levels[i + 1].len()) as u64;
@@ -194,7 +194,7 @@ mod tests {
         }
         // After 16 ledgers, level-0 spilled at 4, 8, 12, 16 and level-1
         // spilled at 16.
-        assert!(bl.level(1).len() > 0 || bl.level(2).len() > 0);
+        assert!(!bl.level(1).is_empty() || !bl.level(2).is_empty());
         assert_eq!(bl.reconstruct_state().len(), 16);
     }
 

@@ -1,0 +1,62 @@
+//! # stellar-chaos — fault injection, Byzantine adversaries, invariants
+//!
+//! The paper's claims are conditional ("safety for intact nodes",
+//! "liveness when a quorum survives"); this crate is the apparatus that
+//! attacks those conditions on purpose and checks that the guarantees
+//! hold exactly when promised. Three pillars, layered on the
+//! discrete-event simulator:
+//!
+//! - [`schedule`] — a timed fault-script DSL: crashes and revivals,
+//!   network partitions with scheduled heals, and per-link
+//!   drop/duplicate/delay/reorder models, all applied at deterministic
+//!   points in simulated time.
+//! - [`adversary`] — Byzantine drivers for puppet validators, forging
+//!   real signed envelopes (equivocating nomination votes, split ballot
+//!   confirmations, stale replays, strategic silence) so honest nodes
+//!   exercise their full validation paths.
+//! - [`monitor`] — an invariant monitor computing the *intact* set the
+//!   FBA way and checking, every tick, that no two intact nodes diverge
+//!   and that connected intact quorums keep closing ledgers.
+//!
+//! [`runner::ChaosRun`] glues them together; every run from one seed is
+//! bit-reproducible, and the resulting [`runner::ChaosReport`] carries
+//! the full event trace for replaying any violation it found.
+//!
+//! ```
+//! use stellar_chaos::adversary::Strategy;
+//! use stellar_chaos::runner::{ChaosConfig, ChaosRun};
+//! use stellar_chaos::schedule::FaultSchedule;
+//! use stellar_sim::scenario::Scenario;
+//! use stellar_sim::SimConfig;
+//! use stellar_scp::NodeId;
+//!
+//! let report = ChaosRun::new(ChaosConfig {
+//!     sim: SimConfig {
+//!         scenario: Scenario::ControlledMesh { n_validators: 5 },
+//!         target_ledgers: 2,
+//!         seed: 1,
+//!         ..SimConfig::default()
+//!     },
+//!     adversaries: vec![(NodeId(4), Strategy::EquivocateNomination)],
+//!     schedule: FaultSchedule::builder()
+//!         .crash_at(8_000, NodeId(3))
+//!         .revive_at(16_000, NodeId(3))
+//!         .build(),
+//!     ..ChaosConfig::default()
+//! })
+//! .run();
+//! assert!(report.is_clean(), "{:?}", report.violations);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod monitor;
+pub mod runner;
+pub mod schedule;
+
+pub use adversary::{Adversary, Injection, Strategy};
+pub use monitor::{intact_nodes, InvariantMonitor, Violation};
+pub use runner::{ChaosConfig, ChaosReport, ChaosRun};
+pub use schedule::{FaultAction, FaultSchedule};

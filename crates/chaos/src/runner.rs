@@ -1,0 +1,237 @@
+//! The chaos runner: schedule + adversaries + monitor around one sim.
+//!
+//! [`ChaosRun`] wraps a [`Simulation`] and, around every event step,
+//! interleaves the three chaos pillars deterministically:
+//!
+//! 1. fault-schedule actions due at or before the next event apply
+//!    first (crashes, partitions, link-fault changes);
+//! 2. the event fires;
+//! 3. each adversary (in node-id order) drains its puppet's inbox and
+//!    its injections enter the delivery pipeline;
+//! 4. the invariant monitor checks safety/liveness at a bounded cadence.
+//!
+//! Everything draws from seeded RNG streams, so one `(config, seed)`
+//! pair always produces the same event trace — enable tracing and two
+//! runs are comparable entry-for-entry, which is how violation reports
+//! become replayable.
+
+use crate::adversary::{Adversary, Injection, Strategy};
+use crate::monitor::{InvariantMonitor, Violation};
+use crate::schedule::{FaultAction, FaultSchedule};
+use std::collections::BTreeSet;
+use stellar_scp::NodeId;
+use stellar_sim::simulation::{validator_keys, TraceEntry};
+use stellar_sim::{SimConfig, Simulation};
+
+/// Configuration of a chaos experiment.
+pub struct ChaosConfig {
+    /// The underlying network/run parameters.
+    pub sim: SimConfig,
+    /// Puppets to demote and the attack each runs.
+    pub adversaries: Vec<(NodeId, Strategy)>,
+    /// Scripted faults.
+    pub schedule: FaultSchedule,
+    /// Longest a connected intact quorum may go without closing a
+    /// ledger before the monitor reports a stall; 0 disables.
+    pub liveness_bound_ms: u64,
+    /// Minimum simulated time between monitor sweeps.
+    pub monitor_interval_ms: u64,
+    /// Record the full event trace (costs memory; on for replays).
+    pub record_trace: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        let sim = SimConfig::default();
+        ChaosConfig {
+            // 10 ledger intervals of silence from a connected intact
+            // quorum is a stall by any reading of §7's pacing.
+            liveness_bound_ms: 10 * sim.ledger_interval_ms,
+            monitor_interval_ms: 250,
+            record_trace: true,
+            adversaries: Vec::new(),
+            schedule: FaultSchedule::empty(),
+            sim,
+        }
+    }
+}
+
+/// What a chaos run produced.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Invariant violations, in detection order (empty = clean run).
+    pub violations: Vec<Violation>,
+    /// The full event trace (empty unless `record_trace` was set).
+    pub trace: Vec<TraceEntry>,
+    /// Final ledger sequence per node.
+    pub final_seqs: Vec<(NodeId, u64)>,
+    /// The intact set at the end of the run.
+    pub intact: BTreeSet<NodeId>,
+    /// Total envelopes injected by adversaries.
+    pub injections: u64,
+    /// Simulated time at exit (ms).
+    pub sim_time_ms: u64,
+}
+
+impl ChaosReport {
+    /// True when every invariant held for the whole run.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// An in-flight chaos experiment.
+pub struct ChaosRun {
+    sim: Simulation,
+    schedule: FaultSchedule,
+    adversaries: Vec<Adversary>,
+    monitor: InvariantMonitor,
+    last_monitor_ms: u64,
+    monitor_interval_ms: u64,
+    target_seq: u64,
+}
+
+impl ChaosRun {
+    /// Builds the network, demotes the adversaries' nodes to puppets,
+    /// and arms the monitor.
+    pub fn new(cfg: ChaosConfig) -> ChaosRun {
+        let target_seq = 1 + cfg.sim.target_ledgers;
+        let seed = cfg.sim.seed;
+        let mut sim = Simulation::new(cfg.sim);
+        if cfg.record_trace {
+            sim.enable_trace();
+        }
+        let byzantine: BTreeSet<NodeId> = cfg.adversaries.iter().map(|(id, _)| *id).collect();
+        let honest: Vec<NodeId> = sim
+            .validator_ids()
+            .into_iter()
+            .filter(|id| !byzantine.contains(id))
+            .collect();
+        let mut adversaries = Vec::new();
+        for (id, strategy) in cfg.adversaries {
+            sim.make_puppet(id);
+            let qset = sim.validator(id).scp.quorum_set().clone();
+            adversaries.push(Adversary::new(
+                id,
+                validator_keys(id),
+                qset,
+                strategy,
+                honest.clone(),
+                seed,
+            ));
+        }
+        // Deterministic turn order regardless of construction order.
+        adversaries.sort_by_key(Adversary::id);
+        ChaosRun {
+            sim,
+            schedule: cfg.schedule,
+            adversaries,
+            monitor: InvariantMonitor::new(byzantine, cfg.liveness_bound_ms),
+            last_monitor_ms: 0,
+            monitor_interval_ms: cfg.monitor_interval_ms.max(1),
+            target_seq,
+        }
+    }
+
+    /// The wrapped simulation (inspection between steps).
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// The monitor's findings so far.
+    pub fn violations(&self) -> &[Violation] {
+        self.monitor.violations()
+    }
+
+    /// Applies every scheduled fault due at or before the next event.
+    fn apply_due_faults(&mut self) {
+        let horizon = self
+            .sim
+            .peek_time()
+            .unwrap_or(self.sim.now_ms())
+            .max(self.sim.now_ms());
+        while let Some(f) = self.schedule.pop_due(horizon) {
+            match f.action {
+                FaultAction::Crash(id) => self.sim.crash(id),
+                FaultAction::Revive(id) => self.sim.revive(id),
+                FaultAction::Partition { groups, heal_at_ms } => {
+                    self.sim.set_partition(&groups, heal_at_ms)
+                }
+                FaultAction::Heal => self.sim.clear_partition(),
+                FaultAction::LinkFault { from, to, fault } => {
+                    self.sim.link_faults_mut().set_link(from, to, fault)
+                }
+                FaultAction::DefaultLinkFault(fault) => {
+                    self.sim.link_faults_mut().set_default(fault)
+                }
+                FaultAction::ClearLinkFaults => self.sim.link_faults_mut().clear(),
+            }
+        }
+    }
+
+    /// Gives every adversary a turn over its freshly drained inbox.
+    fn adversary_turns(&mut self) {
+        for i in 0..self.adversaries.len() {
+            let id = self.adversaries[i].id();
+            let inbox = self.sim.drain_puppet_inbox(id);
+            let injections = self.adversaries[i].turn(&inbox);
+            for inj in injections {
+                match inj {
+                    Injection::Direct { to, msg } => self.sim.inject_direct(id, to, msg),
+                    Injection::Broadcast { msg } => self.sim.inject_broadcast(id, msg),
+                }
+            }
+        }
+    }
+
+    /// One chaos step: faults, one simulation event, adversary turns,
+    /// monitor sweep. Returns `false` when the simulation is exhausted.
+    pub fn step(&mut self) -> bool {
+        self.apply_due_faults();
+        if !self.sim.step() {
+            return false;
+        }
+        self.adversary_turns();
+        let now = self.sim.now_ms();
+        if now >= self.last_monitor_ms + self.monitor_interval_ms {
+            self.last_monitor_ms = now;
+            self.monitor.on_tick(&self.sim);
+        }
+        true
+    }
+
+    /// Runs until the fault script has fully played out **and** every
+    /// non-puppet, non-crashed node reaches the target ledger count (or
+    /// the simulation runs dry), then returns the report. The monitor
+    /// always gets a final sweep.
+    pub fn run(mut self) -> ChaosReport {
+        while self.step() {
+            let done = self.schedule.remaining() == 0
+                && self.sim.validator_ids().into_iter().all(|id| {
+                    self.sim.is_crashed(id)
+                        || self.sim.is_puppet(id)
+                        || self.sim.ledger_seq_of(id) >= self.target_seq
+                });
+            if done {
+                break;
+            }
+        }
+        self.monitor.on_tick(&self.sim);
+        let final_seqs = self
+            .sim
+            .validator_ids()
+            .into_iter()
+            .map(|id| (id, self.sim.ledger_seq_of(id)))
+            .collect();
+        let intact = self.monitor.intact(&self.sim);
+        let injections = self.adversaries.iter().map(Adversary::injected).sum();
+        ChaosReport {
+            violations: self.monitor.violations().to_vec(),
+            trace: self.sim.trace().to_vec(),
+            final_seqs,
+            intact,
+            injections,
+            sim_time_ms: self.sim.now_ms(),
+        }
+    }
+}

@@ -115,7 +115,7 @@ impl KeyPair {
     }
 
     fn from_secret_exponent(x: u64) -> KeyPair {
-        debug_assert!(x >= 1 && x < Q);
+        debug_assert!((1..Q).contains(&x));
         KeyPair {
             secret: SecretKey(x),
             public: PublicKey(pow_mod(G, x)),
@@ -187,13 +187,13 @@ pub fn is_prime_u64(n: u64) -> bool {
         if n == small {
             return true;
         }
-        if n % small == 0 {
+        if n.is_multiple_of(small) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }

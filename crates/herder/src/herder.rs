@@ -38,6 +38,9 @@ pub struct CloseStats {
     pub close_time: u64,
     /// Transactions that failed or were invalid.
     pub failed_tx_count: usize,
+    /// Hash of the resulting ledger header. Nodes that applied the same
+    /// slot must agree on it — the safety invariant chaos monitors check.
+    pub header_hash: Hash256,
 }
 
 /// Application state + buffered driver outputs for one validator.
@@ -233,6 +236,7 @@ impl Herder {
             apply_time,
             close_time: value.close_time,
             failed_tx_count: failed,
+            header_hash: self.header.hash(),
         });
         self.record_results(&result.results);
         self.try_apply_stalled();
@@ -242,6 +246,58 @@ impl Herder {
     fn record_results(&mut self, _results: &[TxResult]) {
         // Results are hashed into the header; per-tx result storage would
         // live in horizon's database, outside this reproduction's scope.
+    }
+
+    /// Catches up from a peer's history archive: replays every archived
+    /// transaction set past our current ledger, verifying each replayed
+    /// header hash against the archived one (paper §5.4 — the archive is
+    /// how rejoining nodes recover history that naïve flooding will never
+    /// retransmit). Stops at the first hash mismatch, leaving state at
+    /// the last verified ledger. Returns the number of ledgers applied.
+    pub fn catch_up_from(&mut self, archive: &HistoryArchive) -> u64 {
+        let Some(target) = archive.latest_seq() else {
+            return 0;
+        };
+        let mut applied = 0;
+        for seq in self.header.ledger_seq + 1..=target {
+            let (Some(set), Some(expected)) = (archive.tx_set(seq), archive.header(seq)) else {
+                break; // gap in the archive; cannot replay further
+            };
+            let start = std::time::Instant::now();
+            let result = close_ledger(
+                &mut self.store,
+                &self.header,
+                set,
+                expected.close_time,
+                expected.params,
+            );
+            self.buckets
+                .add_batch(result.header.ledger_seq, &result.changes);
+            let mut header = result.header;
+            header.snapshot_hash = self.buckets.hash();
+            if header.hash() != expected.hash() {
+                // Divergent history: refuse it, keep the verified prefix.
+                break;
+            }
+            self.archive.publish(&header, set, &mut self.buckets);
+            self.header = header;
+            let failed = result.results.iter().filter(|r| !r.is_success()).count();
+            self.close_stats.push(CloseStats {
+                ledger_seq: self.header.ledger_seq,
+                tx_count: set.txs.len(),
+                op_count: set.op_count(),
+                apply_time: start.elapsed(),
+                close_time: expected.close_time,
+                failed_tx_count: failed,
+                header_hash: self.header.hash(),
+            });
+            applied += 1;
+        }
+        if applied > 0 {
+            self.queue.prune(&self.store);
+            self.try_apply_stalled();
+        }
+        applied
     }
 
     fn try_apply_stalled(&mut self) {

@@ -143,6 +143,37 @@ impl Validator {
         self.herder.header.ledger_seq
     }
 
+    /// This node's own latest SCP envelopes for the slot in progress,
+    /// for the peer-connect state exchange (see
+    /// [`stellar_scp::ScpNode::own_latest_envelopes`]).
+    pub fn scp_state_envelopes(&self) -> Vec<Envelope> {
+        self.scp.own_latest_envelopes(self.herder.current_slot())
+    }
+
+    /// The transaction sets backing [`Self::scp_state_envelopes`].
+    /// Tx sets flood separately from votes, so a reconnecting peer that
+    /// learns our votes also needs the sets those values name — without
+    /// them it cannot validate the values and nomination deadlocks
+    /// (production stellar-core serves these on demand via
+    /// `GET_TX_SET`; the simulation pushes them with the state).
+    pub fn scp_state_tx_sets(&self) -> Vec<TransactionSet> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for env in self.scp_state_envelopes() {
+            for value in env.statement.kind.values() {
+                let Some(sv) = StellarValue::from_scp(&value) else {
+                    continue;
+                };
+                if seen.insert(sv.tx_set_hash) {
+                    if let Some(set) = self.herder.known_tx_sets.get(&sv.tx_set_hash) {
+                        out.push(set.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
     fn drain(&mut self) -> Outputs {
         Outputs {
             envelopes: self.herder.take_outbox(),

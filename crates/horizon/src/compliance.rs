@@ -81,11 +81,9 @@ impl ComplianceServer {
             || self
                 .sanctioned_names
                 .contains(&beneficiary.name.to_uppercase())
-        {
-            ComplianceDecision::Denied
-        } else if self
-            .embargoed_countries
-            .contains(&sender.country.to_uppercase())
+            || self
+                .embargoed_countries
+                .contains(&sender.country.to_uppercase())
             || self
                 .embargoed_countries
                 .contains(&beneficiary.country.to_uppercase())

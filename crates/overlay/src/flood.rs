@@ -5,6 +5,15 @@
 //! and relays new messages to every peer except the one it came from.
 //! The seen-cache is bounded and evicts oldest-first, mirroring
 //! production's per-ledger flood maps.
+//!
+//! Eviction additionally honors a **minimum residency**: an id younger
+//! than the residency window is never evicted, even when the cache is over
+//! capacity (the bound is soft under extreme churn). This breaks relay
+//! ping-pong: if eviction were purely size-based, a duplicated message
+//! could cycle forever around a loop of peers, each having already evicted
+//! it by the time it comes back around. A relay cycle revisits a node in
+//! round-trip time — far inside the residency window — so the revisit hits
+//! the de-duplication check and the loop dies.
 
 use crate::message::FloodMessage;
 use std::collections::{HashSet, VecDeque};
@@ -15,17 +24,28 @@ use stellar_scp::NodeId;
 #[derive(Debug)]
 pub struct FloodState {
     seen: HashSet<Hash256>,
-    order: VecDeque<Hash256>,
+    order: VecDeque<(u64, Hash256)>,
     capacity: usize,
+    min_residency_ms: u64,
+    clock_ms: u64,
 }
 
 impl FloodState {
-    /// A flood cache remembering up to `capacity` message ids.
+    /// A flood cache remembering up to `capacity` message ids, with no
+    /// minimum residency (pure size-based eviction).
     pub fn new(capacity: usize) -> FloodState {
+        FloodState::with_min_residency(capacity, 0)
+    }
+
+    /// A flood cache where ids seen within the last `min_residency_ms`
+    /// are exempt from capacity eviction.
+    pub fn with_min_residency(capacity: usize, min_residency_ms: u64) -> FloodState {
         FloodState {
             seen: HashSet::new(),
             order: VecDeque::new(),
             capacity: capacity.max(1),
+            min_residency_ms,
+            clock_ms: 0,
         }
     }
 
@@ -40,15 +60,26 @@ impl FloodState {
         self.seen.contains(&id)
     }
 
-    /// Id-based variant of [`FloodState::record`].
+    /// Id-based variant of [`FloodState::record`], stamped with the last
+    /// known time (use [`FloodState::record_id_at`] when a clock exists).
     pub fn record_id(&mut self, id: Hash256) -> bool {
+        self.record_id_at(id, self.clock_ms)
+    }
+
+    /// Records `id` as seen at `now_ms`; returns `true` if it is new.
+    pub fn record_id_at(&mut self, id: Hash256, now_ms: u64) -> bool {
+        self.clock_ms = self.clock_ms.max(now_ms);
         if !self.seen.insert(id) {
             return false;
         }
-        self.order.push_back(id);
+        self.order.push_back((self.clock_ms, id));
         while self.order.len() > self.capacity {
-            if let Some(old) = self.order.pop_front() {
-                self.seen.remove(&old);
+            match self.order.front() {
+                Some(&(seen_at, _)) if seen_at + self.min_residency_ms <= self.clock_ms => {
+                    let (_, old) = self.order.pop_front().expect("non-empty");
+                    self.seen.remove(&old);
+                }
+                _ => break, // oldest entry still within its residency window
             }
         }
         true
@@ -100,6 +131,74 @@ mod tests {
         f.record_id(id(3)); // evicts 1
         assert_eq!(f.len(), 2);
         assert!(f.record_id(id(1)), "evicted id is new again");
+    }
+
+    #[test]
+    fn min_residency_exempts_recent_ids_from_eviction() {
+        let mut f = FloodState::with_min_residency(2, 1000);
+        f.record_id_at(id(1), 0);
+        f.record_id_at(id(2), 10);
+        f.record_id_at(id(3), 20); // over capacity, but 1 is only 20ms old
+        assert!(f.contains(id(1)), "young ids survive capacity pressure");
+        assert_eq!(f.len(), 3, "bound is soft inside the window");
+        // Once the window passes, capacity eviction resumes oldest-first.
+        f.record_id_at(id(4), 2000);
+        assert!(!f.contains(id(1)));
+        assert!(!f.contains(id(2)));
+        assert!(f.contains(id(3)) && f.contains(id(4)));
+    }
+
+    /// Regression: a message evicted from the seen-cache and re-delivered
+    /// (duplicate-delivery fault) must not orbit a relay cycle forever.
+    /// With pure size-based eviction each node on the cycle forgets the id
+    /// before it comes back around, so every revisit looks fresh and the
+    /// message relays indefinitely. Minimum residency keeps the id pinned
+    /// long enough that the (fast) revisit hits de-duplication.
+    #[test]
+    fn evicted_and_redelivered_message_does_not_loop() {
+        let loop_deliveries = |mut states: Vec<FloodState>| -> usize {
+            // 3 nodes in a relay ring; each hop takes 10 ms. Background
+            // traffic floods one new id per node per hop, so a capacity-2
+            // cache without residency forgets the looping id every lap.
+            let looping = id(255);
+            let mut deliveries = 0usize;
+            let mut carrier = Some(0usize); // node about to receive `looping`
+            let mut uniq = 0u64;
+            let mut background = || {
+                uniq += 1;
+                let mut b = [0u8; 32];
+                b[..8].copy_from_slice(&uniq.to_le_bytes());
+                b[31] = 1; // distinct from `looping` and the id() helper
+                Hash256(b)
+            };
+            let mut now = 0u64;
+            while let Some(node) = carrier.take() {
+                deliveries += 1;
+                if deliveries > 100 {
+                    break; // unbounded loop: bail for the assertion below
+                }
+                let fresh = states[node].record_id_at(looping, now);
+                for s in states.iter_mut() {
+                    s.record_id_at(background(), now);
+                }
+                now += 10;
+                if fresh {
+                    carrier = Some((node + 1) % 3); // relay onward
+                }
+            }
+            deliveries
+        };
+        let without = loop_deliveries((0..3).map(|_| FloodState::new(2)).collect());
+        assert!(without > 100, "capacity-only eviction loops: {without}");
+        let with = loop_deliveries(
+            (0..3)
+                .map(|_| FloodState::with_min_residency(2, 5_000))
+                .collect(),
+        );
+        assert!(
+            with <= 4,
+            "residency must break the relay loop, got {with} deliveries"
+        );
     }
 
     #[test]

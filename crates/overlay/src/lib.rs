@@ -13,16 +13,20 @@
 //! * [`flood`] — per-node flood state: seen-message cache and relay
 //!   fan-out selection;
 //! * [`stats`] — per-node traffic counters (messages and bytes in/out)
-//!   backing the §7.4 validator-cost numbers.
+//!   backing the §7.4 validator-cost numbers;
+//! * [`fault`] — per-link drop/duplicate/delay/reorder fault models for
+//!   chaos testing (`stellar-chaos` drives these through the simulator).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod flood;
 pub mod message;
 pub mod stats;
 pub mod topology;
 
+pub use fault::{LinkFault, LinkFaultTable};
 pub use flood::FloodState;
 pub use message::FloodMessage;
 pub use stats::TrafficStats;

@@ -1,0 +1,159 @@
+//! Envelope forgery for Byzantine-adversary testing (feature `forge`).
+//!
+//! Honest nodes only ever emit statements their protocol state machines
+//! derived; an adversary needs to *construct* arbitrary — including
+//! mutually contradictory — statements and sign them with its real key, so
+//! that honest receivers exercise their full verification and federated
+//! voting paths on well-formed but malicious input. This module is that
+//! constructor set. It is compiled only under the `forge` cargo feature,
+//! which `stellar-chaos` enables; production-shaped builds of the
+//! consensus crate carry no forgery surface.
+//!
+//! Nothing here can break safety by itself: every forged envelope still
+//! carries the adversary's own signature over its own node id, so honest
+//! nodes attribute the statements correctly. Forgery of *other* nodes'
+//! envelopes is impossible without their keys — exactly the paper's §3
+//! threat model, where Byzantine nodes say arbitrary things but cannot
+//! impersonate.
+
+use crate::statement::{Ballot, Statement, StatementKind};
+use crate::{Envelope, NodeId, QuorumSet, SlotIndex, Value};
+use std::collections::BTreeSet;
+use stellar_crypto::sign::KeyPair;
+
+/// Signs an arbitrary nomination statement: the adversary claims to have
+/// voted (and optionally accepted) exactly the given value sets.
+pub fn nominate(
+    keys: &KeyPair,
+    node: NodeId,
+    slot: SlotIndex,
+    quorum_set: QuorumSet,
+    voted: BTreeSet<Value>,
+    accepted: BTreeSet<Value>,
+) -> Envelope {
+    Envelope::sign(
+        Statement {
+            node,
+            slot,
+            quorum_set,
+            kind: StatementKind::Nominate { voted, accepted },
+        },
+        keys,
+    )
+}
+
+/// Signs a prepare statement for an arbitrary ballot.
+pub fn prepare(
+    keys: &KeyPair,
+    node: NodeId,
+    slot: SlotIndex,
+    quorum_set: QuorumSet,
+    ballot: Ballot,
+    prepared: Option<Ballot>,
+) -> Envelope {
+    let h_n = prepared.as_ref().map(|p| p.counter).unwrap_or(0);
+    Envelope::sign(
+        Statement {
+            node,
+            slot,
+            quorum_set,
+            kind: StatementKind::Prepare {
+                ballot,
+                prepared,
+                prepared_prime: None,
+                c_n: 0,
+                h_n,
+            },
+        },
+        keys,
+    )
+}
+
+/// Signs a confirm statement claiming `commit⟨n, ballot.value⟩` was
+/// accepted for `c_n ≤ n ≤ h_n` — the raw material of split-confirmation
+/// attacks (different values confirmed toward different peers).
+pub fn confirm(
+    keys: &KeyPair,
+    node: NodeId,
+    slot: SlotIndex,
+    quorum_set: QuorumSet,
+    ballot: Ballot,
+    c_n: u32,
+    h_n: u32,
+) -> Envelope {
+    let p_n = h_n.max(ballot.counter);
+    Envelope::sign(
+        Statement {
+            node,
+            slot,
+            quorum_set,
+            kind: StatementKind::Confirm {
+                ballot,
+                p_n,
+                c_n,
+                h_n,
+            },
+        },
+        keys,
+    )
+}
+
+/// Signs an externalize statement claiming `commit` was confirmed.
+pub fn externalize(
+    keys: &KeyPair,
+    node: NodeId,
+    slot: SlotIndex,
+    quorum_set: QuorumSet,
+    commit: Ballot,
+    h_n: u32,
+) -> Envelope {
+    Envelope::sign(
+        Statement {
+            node,
+            slot,
+            quorum_set,
+            kind: StatementKind::Externalize { commit, h_n },
+        },
+        keys,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qset() -> QuorumSet {
+        QuorumSet::threshold_of(2, (0..3).map(NodeId).collect())
+    }
+
+    #[test]
+    fn forged_envelopes_verify_under_the_forgers_key() {
+        let keys = KeyPair::from_seed(99);
+        let v = Value::new(b"evil".to_vec());
+        let env = nominate(
+            &keys,
+            NodeId(2),
+            7,
+            qset(),
+            [v.clone()].into(),
+            BTreeSet::new(),
+        );
+        assert!(env.verify(keys.public()), "own-key signature is genuine");
+        assert!(
+            !env.verify(KeyPair::from_seed(100).public()),
+            "and does not verify under anyone else's key"
+        );
+        assert_eq!(env.statement.slot, 7);
+    }
+
+    #[test]
+    fn equivocating_pair_differs_only_in_payload() {
+        let keys = KeyPair::from_seed(7);
+        let (va, vb) = (Value::new(b"a".to_vec()), Value::new(b"b".to_vec()));
+        let a = confirm(&keys, NodeId(0), 3, qset(), Ballot::new(1, va), 1, 1);
+        let b = confirm(&keys, NodeId(0), 3, qset(), Ballot::new(1, vb), 1, 1);
+        assert_ne!(a.hash(), b.hash(), "conflicting statements, same slot");
+        assert_eq!(a.statement.node, b.statement.node);
+        assert_eq!(a.statement.slot, b.statement.slot);
+    }
+}

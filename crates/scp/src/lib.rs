@@ -62,6 +62,8 @@
 pub mod ballot;
 pub mod driver;
 pub mod envelope;
+#[cfg(feature = "forge")]
+pub mod forge;
 pub mod leader;
 pub mod node;
 pub mod nomination;

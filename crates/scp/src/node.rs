@@ -125,6 +125,26 @@ impl ScpNode {
         true
     }
 
+    /// This node's own latest statements for slot `index`, re-signed into
+    /// envelopes. Peers exchange these when a connection is (re)established
+    /// — naïve flooding has no retransmission, so without this state
+    /// exchange two healed partitions would never learn what the other
+    /// side voted while the link was down (stellar-core's `GET_SCP_STATE`
+    /// serves the same purpose).
+    pub fn own_latest_envelopes(&self, index: SlotIndex) -> Vec<Envelope> {
+        let Some(slot) = self.slots.get(&index) else {
+            return Vec::new();
+        };
+        let mut envelopes = Vec::new();
+        if let Some(st) = slot.nomination().latest_statements().get(&self.id) {
+            envelopes.push(Envelope::sign(st.clone(), &self.keys));
+        }
+        if let Some(st) = slot.ballot().latest_statements().get(&self.id) {
+            envelopes.push(Envelope::sign(st.clone(), &self.keys));
+        }
+        envelopes
+    }
+
     /// Re-runs nomination for `index` after the application learned state
     /// that may unblock value validation (e.g. a tx set arrived).
     pub fn retry_nomination<D: Driver>(&mut self, driver: &mut D, index: SlotIndex) {

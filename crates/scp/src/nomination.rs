@@ -443,10 +443,16 @@ mod tests {
         fx.with_ctx(|np, ctx| np.start(ctx, v.clone()));
         // Peers vote then accept; confirmation follows the quorum.
         fx.with_ctx(|np, ctx| {
-            np.process(ctx, &nominate_stmt(1, &[v.clone()], &[]));
-            np.process(ctx, &nominate_stmt(2, &[v.clone()], &[]));
-            np.process(ctx, &nominate_stmt(1, &[v.clone()], &[v.clone()]));
-            np.process(ctx, &nominate_stmt(2, &[v.clone()], &[v.clone()]));
+            np.process(ctx, &nominate_stmt(1, std::slice::from_ref(&v), &[]));
+            np.process(ctx, &nominate_stmt(2, std::slice::from_ref(&v), &[]));
+            np.process(
+                ctx,
+                &nominate_stmt(1, std::slice::from_ref(&v), std::slice::from_ref(&v)),
+            );
+            np.process(
+                ctx,
+                &nominate_stmt(2, std::slice::from_ref(&v), std::slice::from_ref(&v)),
+            );
         });
         assert!(
             fx.np.candidates().contains(&v),
@@ -466,14 +472,20 @@ mod tests {
         let v = val("x");
         fx.with_ctx(|np, ctx| np.start(ctx, v.clone()));
         fx.with_ctx(|np, ctx| {
-            np.process(ctx, &nominate_stmt(1, &[v.clone()], &[v.clone()]));
-            np.process(ctx, &nominate_stmt(2, &[v.clone()], &[v.clone()]));
+            np.process(
+                ctx,
+                &nominate_stmt(1, std::slice::from_ref(&v), std::slice::from_ref(&v)),
+            );
+            np.process(
+                ctx,
+                &nominate_stmt(2, std::slice::from_ref(&v), std::slice::from_ref(&v)),
+            );
         });
         assert!(fx.np.candidates().contains(&v));
         // A leaderless new value arrives; even a retry must not vote it.
         let fresh = val("late");
         fx.with_ctx(|np, ctx| {
-            np.process(ctx, &nominate_stmt(1, &[fresh.clone()], &[]));
+            np.process(ctx, &nominate_stmt(1, std::slice::from_ref(&fresh), &[]));
             np.retry(ctx);
         });
         let own = fx.np.latest_statements()[&NodeId(0)].clone();
@@ -495,9 +507,9 @@ mod tests {
         fx.driver.invalid.insert(bad.clone());
         fx.with_ctx(|np, ctx| np.start(ctx, val("ok")));
         fx.with_ctx(|np, ctx| {
-            np.process(ctx, &nominate_stmt(1, &[bad.clone()], &[]));
-            np.process(ctx, &nominate_stmt(2, &[bad.clone()], &[]));
-            np.process(ctx, &nominate_stmt(3, &[bad.clone()], &[]));
+            np.process(ctx, &nominate_stmt(1, std::slice::from_ref(&bad), &[]));
+            np.process(ctx, &nominate_stmt(2, std::slice::from_ref(&bad), &[]));
+            np.process(ctx, &nominate_stmt(3, std::slice::from_ref(&bad), &[]));
         });
         let own = fx.np.latest_statements().get(&NodeId(0)).cloned();
         if let Some(st) = own {
@@ -564,8 +576,14 @@ mod tests {
         let v = val("theirs");
         // {1,2} accepting is v-blocking for 3-of-4 slices.
         fx.with_ctx(|np, ctx| {
-            np.process(ctx, &nominate_stmt(1, &[v.clone()], &[v.clone()]));
-            np.process(ctx, &nominate_stmt(2, &[v.clone()], &[v.clone()]));
+            np.process(
+                ctx,
+                &nominate_stmt(1, std::slice::from_ref(&v), std::slice::from_ref(&v)),
+            );
+            np.process(
+                ctx,
+                &nominate_stmt(2, std::slice::from_ref(&v), std::slice::from_ref(&v)),
+            );
         });
         let own = fx.np.latest_statements()[&NodeId(0)].clone();
         match own.kind {

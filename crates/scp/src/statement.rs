@@ -147,6 +147,30 @@ impl StatementKind {
         matches!(self, StatementKind::Nominate { .. })
     }
 
+    /// Every distinct value this statement references. Values flood
+    /// independently of the payloads they name (transaction sets travel
+    /// as separate messages), so a peer relaying or syncing SCP state
+    /// uses this to know which payloads the recipient will need.
+    pub fn values(&self) -> BTreeSet<Value> {
+        match self {
+            StatementKind::Nominate { voted, accepted } => {
+                voted.iter().chain(accepted.iter()).cloned().collect()
+            }
+            StatementKind::Prepare {
+                ballot,
+                prepared,
+                prepared_prime,
+                ..
+            } => [Some(ballot), prepared.as_ref(), prepared_prime.as_ref()]
+                .into_iter()
+                .flatten()
+                .map(|b| b.value.clone())
+                .collect(),
+            StatementKind::Confirm { ballot, .. } => [ballot.value.clone()].into(),
+            StatementKind::Externalize { commit, .. } => [commit.value.clone()].into(),
+        }
+    }
+
     /// The ballot counter this statement places its sender at, for ballot
     /// synchronization (§3.2.4). `Externalize` counts as infinity.
     pub fn ballot_counter(&self) -> Option<u32> {

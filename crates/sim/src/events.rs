@@ -126,6 +126,33 @@ impl EventQueue {
         self.heap.pop().map(|Reverse(q)| (q.time, q.event))
     }
 
+    /// Time of the earliest scheduled event, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(q)| q.time)
+    }
+
+    /// Removes every pending `Deliver` addressed to `node`, returning how
+    /// many were purged. Called on crash so a dead node's inbound traffic
+    /// doesn't sit in the heap for the rest of the run.
+    pub fn purge_deliveries_to(&mut self, node: NodeId) -> usize {
+        let before = self.heap.len();
+        let kept: Vec<Reverse<Queued>> = self
+            .heap
+            .drain()
+            .filter(|Reverse(q)| !matches!(q.event, Event::Deliver { to, .. } if to == node))
+            .collect();
+        self.heap = kept.into();
+        before - self.heap.len()
+    }
+
+    /// Number of pending `Deliver` events addressed to `node`.
+    pub fn count_deliveries_to(&self, node: NodeId) -> usize {
+        self.heap
+            .iter()
+            .filter(|Reverse(q)| matches!(q.event, Event::Deliver { to, .. } if to == node))
+            .count()
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -94,7 +94,7 @@ impl LoadGen {
                 op: Operation::Payment {
                     destination: user_account(dst),
                     asset: Asset::Native,
-                    amount: 1 + self.rng.gen_range(0..1000),
+                    amount: 1 + self.rng.gen_range(0i64..1000),
                 },
             }],
         };

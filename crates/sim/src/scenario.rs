@@ -5,6 +5,8 @@
 //!   for SCP), with quorum slices set to any simple majority of nodes (so
 //!   as to maximize the number of different quorums)", on same-region
 //!   links.
+//! * [`Scenario::ByzantineMesh`] — the same mesh with `n − f` BFT-style
+//!   slices, for adversary experiments that need Byzantine tolerance.
 //! * [`Scenario::PublicNetwork`] — a Fig. 7-shaped network: a handful of
 //!   tier-one organizations running 3–4 validators each (synthesized
 //!   Fig. 6 quorum sets via `stellar-quorum`), watcher nodes hanging off
@@ -23,6 +25,17 @@ pub enum Scenario {
     /// §7.3 controlled experiments: full mesh, majority slices, LAN.
     ControlledMesh {
         /// Number of validators (the paper sweeps 4–43).
+        n_validators: u32,
+    },
+    /// Full mesh over LAN like [`Scenario::ControlledMesh`], but with
+    /// `n - f` Byzantine-tolerant slices (`f = ⌊(n-1)/3⌋`) instead of
+    /// simple majority. Majority slices maximize the number of quorums
+    /// but tolerate **zero** Byzantine nodes — deleting even one from
+    /// the slices admits disjoint quorums — so adversary experiments
+    /// (the chaos subsystem) use this shape to keep a non-empty intact
+    /// set while under attack.
+    ByzantineMesh {
+        /// Number of validators.
         n_validators: u32,
     },
     /// §7.2-like public network: tiered orgs + watchers over WAN.
@@ -49,21 +62,24 @@ pub struct BuiltScenario {
     pub validators: Vec<NodeId>,
 }
 
+fn mesh(n_validators: u32, slices: impl Fn(Vec<NodeId>) -> QuorumSet) -> BuiltScenario {
+    let ids: Vec<NodeId> = (0..n_validators).map(NodeId).collect();
+    let qset = slices(ids.clone());
+    BuiltScenario {
+        qsets: ids.iter().map(|id| (*id, qset.clone())).collect(),
+        graph: PeerGraph::full_mesh(&ids),
+        latency: LatencyModel::lan(),
+        validators: ids,
+    }
+}
+
 impl Scenario {
     /// Instantiates the scenario (deterministic given `seed`).
     pub fn build(&self, seed: u64) -> BuiltScenario {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7090);
         match self {
-            Scenario::ControlledMesh { n_validators } => {
-                let ids: Vec<NodeId> = (0..*n_validators).map(NodeId).collect();
-                let qset = QuorumSet::majority(ids.clone());
-                BuiltScenario {
-                    qsets: ids.iter().map(|id| (*id, qset.clone())).collect(),
-                    graph: PeerGraph::full_mesh(&ids),
-                    latency: LatencyModel::lan(),
-                    validators: ids,
-                }
-            }
+            Scenario::ControlledMesh { n_validators } => mesh(*n_validators, QuorumSet::majority),
+            Scenario::ByzantineMesh { n_validators } => mesh(*n_validators, QuorumSet::byzantine),
             Scenario::PublicNetwork {
                 n_orgs,
                 validators_per_org,

@@ -15,11 +15,13 @@ use crate::metrics::{build_ledger_metrics, SimReport};
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use stellar_crypto::sign::KeyPair;
+use stellar_crypto::Hash256;
 use stellar_herder::validator::{Outputs, Validator};
-use stellar_overlay::{FloodMessage, FloodState, PeerGraph, TrafficStats};
-use stellar_scp::NodeId;
+use stellar_overlay::{FloodMessage, FloodState, LinkFaultTable, PeerGraph, TrafficStats};
+use stellar_scp::driver::ScpEvent;
+use stellar_scp::{NodeId, QuorumSet, SlotIndex, Value};
 
 /// Parameters of one simulation run.
 #[derive(Clone, Debug)]
@@ -75,6 +77,70 @@ pub fn validator_keys(id: NodeId) -> KeyPair {
     KeyPair::from_seed(0x7A11DA70u64 ^ u64::from(id.0))
 }
 
+/// An active network partition: nodes can only exchange messages within
+/// their own group. Nodes not listed in any group form one implicit extra
+/// group of their own.
+#[derive(Clone, Debug)]
+struct Partition {
+    group_of: BTreeMap<NodeId, usize>,
+    heal_at_ms: Option<u64>,
+}
+
+/// One entry of the deterministic event trace (see
+/// [`Simulation::enable_trace`]). Two runs from the same seed and fault
+/// schedule produce identical traces, which is what makes chaos findings
+/// replayable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEntry {
+    /// A flooded message arrived at a node.
+    Deliver {
+        /// Simulated time (ms).
+        time: u64,
+        /// Sending peer.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Content id of the message.
+        msg_id: Hash256,
+    },
+    /// An SCP timer fired.
+    Timer {
+        /// Simulated time (ms).
+        time: u64,
+        /// The node whose timer fired.
+        node: NodeId,
+        /// Slot the timer belonged to.
+        slot: SlotIndex,
+    },
+    /// A node started consensus on its next ledger.
+    Trigger {
+        /// Simulated time (ms).
+        time: u64,
+        /// The triggered node.
+        node: NodeId,
+    },
+    /// A client transaction was submitted.
+    Submit {
+        /// Simulated time (ms).
+        time: u64,
+        /// Receiving node.
+        to: NodeId,
+        /// Transaction hash.
+        tx_hash: Hash256,
+    },
+    /// A node closed a ledger.
+    Close {
+        /// Simulated time (ms).
+        time: u64,
+        /// The closing node.
+        node: NodeId,
+        /// Sequence of the closed ledger.
+        seq: u64,
+        /// Resulting header hash.
+        header_hash: Hash256,
+    },
+}
+
 /// The engine.
 pub struct Simulation {
     cfg: SimConfig,
@@ -98,7 +164,21 @@ pub struct Simulation {
     /// Per node: modeled CPU busy-until, microseconds of simulated time.
     busy_until_us: BTreeMap<NodeId, u64>,
     /// Crashed nodes: no receive, no send, no timers.
-    crashed: std::collections::BTreeSet<NodeId>,
+    crashed: BTreeSet<NodeId>,
+    /// Dedicated RNG stream for fault decisions, so configuring faults on
+    /// some links never perturbs the base latency/load streams.
+    fault_rng: StdRng,
+    /// Per-link fault models (chaos testing).
+    link_faults: LinkFaultTable,
+    /// Active network partition, if any.
+    partition: Option<Partition>,
+    /// Puppet nodes: they hold real keys and appear in quorum sets, but
+    /// run no validator logic — an external driver (a chaos adversary)
+    /// drains their inbox and injects envelopes by hand.
+    puppets: BTreeSet<NodeId>,
+    puppet_inbox: BTreeMap<NodeId, Vec<(NodeId, Flooded)>>,
+    /// Event trace, recorded when enabled (see [`Simulation::enable_trace`]).
+    trace: Option<Vec<TraceEntry>>,
 }
 
 impl Simulation {
@@ -133,7 +213,7 @@ impl Simulation {
         let flood = built
             .graph
             .nodes()
-            .map(|n| (n, FloodState::new(200_000)))
+            .map(|n| (n, FloodState::with_min_residency(200_000, 30_000)))
             .collect();
         let traffic = built
             .graph
@@ -162,7 +242,13 @@ impl Simulation {
             last_trigger_time: BTreeMap::new(),
             last_closed: BTreeMap::new(),
             busy_until_us: BTreeMap::new(),
-            crashed: std::collections::BTreeSet::new(),
+            crashed: BTreeSet::new(),
+            fault_rng: StdRng::seed_from_u64(cfg.seed ^ 0xFA17),
+            link_faults: LinkFaultTable::new(),
+            partition: None,
+            puppets: BTreeSet::new(),
+            puppet_inbox: BTreeMap::new(),
+            trace: None,
             cfg,
         };
         // Initial ledger triggers, slightly staggered like real restarts.
@@ -232,14 +318,260 @@ impl Simulation {
 
     /// Crashes a node at the current point in the run: it stops sending,
     /// receiving, and firing timers (fail-stop, §6-style outage drills).
+    /// Pending deliveries to it are purged, and new ones are dropped at
+    /// enqueue time, so a long run never bloats the heap with traffic for
+    /// a dead node.
     pub fn crash(&mut self, id: NodeId) {
         self.crashed.insert(id);
+        self.queue.purge_deliveries_to(id);
     }
 
     /// Revives a crashed node (it rejoins with its pre-crash state and
-    /// catches up from peers' traffic).
+    /// catches up from peers' traffic, starting with an SCP state
+    /// exchange).
     pub fn revive(&mut self, id: NodeId) {
-        self.crashed.remove(&id);
+        if self.crashed.remove(&id) {
+            self.catch_up(id);
+            self.resync();
+        }
+    }
+
+    /// Replays ledgers the node missed from the most-advanced live
+    /// peer's history archive (paper §5.4 — flooding never retransmits,
+    /// so closed history must come from the archive). No-op when nobody
+    /// is ahead.
+    fn catch_up(&mut self, id: NodeId) {
+        let own_seq = self.ledger_seq_of(id);
+        let best = self
+            .validators
+            .iter()
+            .filter(|(peer, _)| {
+                **peer != id && !self.crashed.contains(peer) && !self.puppets.contains(peer)
+            })
+            .max_by_key(|(_, v)| v.ledger_seq())
+            .map(|(peer, v)| (*peer, v.ledger_seq()));
+        let Some((peer, peer_seq)) = best else {
+            return;
+        };
+        if peer_seq <= own_seq {
+            return;
+        }
+        let archive = self.validators[&peer].herder.archive.clone();
+        let v = self.validators.get_mut(&id).expect("known node");
+        v.set_time_ms(self.now);
+        v.herder.catch_up_from(&archive);
+        self.check_closed(id);
+    }
+
+    /// Re-floods every live validator's own latest SCP envelopes — the
+    /// peer-(re)connect state exchange. Naïve flooding never retransmits,
+    /// so after a partition heals (or a node revives) this is what lets
+    /// the two sides learn the votes they missed; nodes that already saw
+    /// an envelope drop it in the flood cache.
+    fn resync(&mut self) {
+        let ids: Vec<NodeId> = self.validators.keys().copied().collect();
+        for id in ids {
+            if self.crashed.contains(&id) || self.puppets.contains(&id) {
+                continue;
+            }
+            // Tx sets first: a peer that sees a vote before the set it
+            // names cannot validate the value for nomination.
+            for set in self.validators[&id].scp_state_tx_sets() {
+                self.broadcast_from(id, Flooded::new(FloodMessage::TxSet(set)));
+            }
+            for env in self.validators[&id].scp_state_envelopes() {
+                self.broadcast_from(id, Flooded::new(FloodMessage::Scp(env)));
+            }
+        }
+    }
+
+    /// Whether `id` is currently crashed.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.crashed.contains(&id)
+    }
+
+    /// Imposes a network partition: messages flow only within a group.
+    /// Nodes not listed in any group form one implicit group of their
+    /// own. `heal_at_ms` removes the partition automatically once
+    /// simulated time reaches it.
+    pub fn set_partition(&mut self, groups: &[Vec<NodeId>], heal_at_ms: Option<u64>) {
+        let mut group_of = BTreeMap::new();
+        for (gi, group) in groups.iter().enumerate() {
+            for id in group {
+                group_of.insert(*id, gi);
+            }
+        }
+        self.partition = Some(Partition {
+            group_of,
+            heal_at_ms,
+        });
+    }
+
+    /// Heals any active partition immediately and runs the reconnect
+    /// state exchange.
+    pub fn clear_partition(&mut self) {
+        if self.partition.take().is_some() {
+            self.resync();
+        }
+    }
+
+    /// Whether a partition is currently in force.
+    pub fn partition_active(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Whether the directed link `from -> to` is currently open under the
+    /// active partition (probabilistic link faults are not consulted).
+    pub fn link_open(&self, from: NodeId, to: NodeId) -> bool {
+        match &self.partition {
+            None => true,
+            Some(p) => {
+                let unlisted = usize::MAX;
+                let ga = p.group_of.get(&from).copied().unwrap_or(unlisted);
+                let gb = p.group_of.get(&to).copied().unwrap_or(unlisted);
+                ga == gb
+            }
+        }
+    }
+
+    /// The per-link fault table (drop/duplicate/delay/reorder models).
+    pub fn link_faults_mut(&mut self) -> &mut LinkFaultTable {
+        &mut self.link_faults
+    }
+
+    /// Demotes a validator to a puppet: it keeps its keys and its place
+    /// in other nodes' quorum sets, but runs no validator logic. Its
+    /// inbound traffic lands in an inbox for an external driver (a
+    /// Byzantine adversary) to read, and anything it "says" is injected
+    /// via [`Simulation::inject_direct`] / [`Simulation::inject_broadcast`].
+    pub fn make_puppet(&mut self, id: NodeId) {
+        self.puppets.insert(id);
+    }
+
+    /// Whether `id` is a puppet.
+    pub fn is_puppet(&self, id: NodeId) -> bool {
+        self.puppets.contains(&id)
+    }
+
+    /// Takes the messages delivered to puppet `id` since the last drain.
+    pub fn drain_puppet_inbox(&mut self, id: NodeId) -> Vec<(NodeId, Flooded)> {
+        self.puppet_inbox.remove(&id).unwrap_or_default()
+    }
+
+    /// Injects a message from `from` to a single peer `to` (adversary
+    /// equivocation path: different payloads to different peers). Honest
+    /// receivers process and relay it through their normal paths.
+    pub fn inject_direct(&mut self, from: NodeId, to: NodeId, msg: FloodMessage) {
+        let flooded = Flooded::new(msg);
+        if let Some(f) = self.flood.get_mut(&from) {
+            f.record_id_at(flooded.id, self.now); // don't bounce back
+        }
+        self.enqueue_delivery(from, to, flooded);
+    }
+
+    /// Injects a message flooded by `from` to all its peers.
+    pub fn inject_broadcast(&mut self, from: NodeId, msg: FloodMessage) {
+        let flooded = Flooded::new(msg);
+        if let Some(f) = self.flood.get_mut(&from) {
+            f.record_id_at(flooded.id, self.now);
+        }
+        self.relay(from, None, flooded);
+    }
+
+    /// Starts recording the event trace (see [`TraceEntry`]).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded event trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    fn record_trace(&mut self, entry: TraceEntry) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(entry);
+        }
+    }
+
+    /// Current simulated time (ms).
+    pub fn now_ms(&self) -> u64 {
+        self.now
+    }
+
+    /// Time of the next scheduled event, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending delivery events addressed to `id` (regression
+    /// hook: must stay 0 for crashed nodes).
+    pub fn pending_deliveries_to(&self, id: NodeId) -> usize {
+        self.queue.count_deliveries_to(id)
+    }
+
+    /// Total pending events in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The overlay peer graph.
+    pub fn graph(&self) -> &PeerGraph {
+        &self.graph
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Every node's quorum set (input to intactness computation).
+    pub fn quorum_sets(&self) -> BTreeMap<NodeId, QuorumSet> {
+        self.validators
+            .iter()
+            .map(|(id, v)| (*id, v.scp.quorum_set().clone()))
+            .collect()
+    }
+
+    /// Everything `id` has externalized so far, as `(slot, value)` pairs.
+    pub fn externalizations(&self, id: NodeId) -> Vec<(SlotIndex, Value)> {
+        self.validators
+            .get(&id)
+            .map(|v| {
+                v.herder
+                    .events
+                    .iter()
+                    .filter_map(|(_, e)| match e {
+                        ScpEvent::Externalized { slot, value } => Some((*slot, value.clone())),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Ledger header hashes `id` has committed, as `(seq, hash)` pairs.
+    pub fn header_hashes(&self, id: NodeId) -> Vec<(u64, Hash256)> {
+        self.validators
+            .get(&id)
+            .map(|v| {
+                v.herder
+                    .close_stats
+                    .iter()
+                    .map(|cs| (cs.ledger_seq, cs.header_hash))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Current ledger sequence of `id`.
+    pub fn ledger_seq_of(&self, id: NodeId) -> u64 {
+        self.validators
+            .get(&id)
+            .map(|v| v.ledger_seq())
+            .unwrap_or(0)
     }
 
     /// Marks validators as governing with a desired upgrade set (§5.3).
@@ -266,23 +598,45 @@ impl Simulation {
     /// Runs to completion and produces the report.
     pub fn run(&mut self) -> SimReport {
         let target_seq = 1 + self.cfg.target_ledgers;
-        while let Some((time, event)) = self.queue.pop() {
-            self.now = self.now.max(time);
-            if self.now > self.cfg.max_sim_time_ms {
-                break;
-            }
-            self.dispatch(event);
+        while self.step() {
             let observer_done = self.validators[&self.observer].ledger_seq() >= target_seq;
             let all_done = observer_done
-                && self
-                    .validators
-                    .values()
-                    .all(|v| self.crashed.contains(&v.id()) || v.ledger_seq() >= target_seq);
+                && self.validators.values().all(|v| {
+                    self.crashed.contains(&v.id())
+                        || self.puppets.contains(&v.id())
+                        || v.ledger_seq() >= target_seq
+                });
             if all_done {
                 break;
             }
         }
         self.report()
+    }
+
+    /// Advances the simulation by exactly one event. Returns `false` when
+    /// the queue is exhausted or the simulated-time cap is reached.
+    /// External drivers (the chaos runner) interleave fault-schedule
+    /// actions, adversary turns, and invariant checks between steps.
+    pub fn step(&mut self) -> bool {
+        // A due partition heal applies before the next event fires.
+        if let Some(p) = &self.partition {
+            if let (Some(heal), Some(next)) = (p.heal_at_ms, self.queue.peek_time()) {
+                if heal <= next.max(self.now) {
+                    self.now = self.now.max(heal);
+                    self.partition = None;
+                    self.resync();
+                }
+            }
+        }
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(time);
+        if self.now > self.cfg.max_sim_time_ms {
+            return false;
+        }
+        self.dispatch(event);
+        true
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -291,6 +645,12 @@ impl Simulation {
                 if self.crashed.contains(&to) {
                     return;
                 }
+                self.record_trace(TraceEntry::Deliver {
+                    time: self.now,
+                    from,
+                    to,
+                    msg_id: msg.id,
+                });
                 self.handle_deliver(to, from, msg)
             }
             Event::Timer {
@@ -299,12 +659,17 @@ impl Simulation {
                 kind,
                 version,
             } => {
-                if self.crashed.contains(&node) {
+                if self.crashed.contains(&node) || self.puppets.contains(&node) {
                     return;
                 }
                 if !self.queue.timer_current(node, slot, kind, version) {
                     return;
                 }
+                self.record_trace(TraceEntry::Timer {
+                    time: self.now,
+                    node,
+                    slot,
+                });
                 let out = {
                     let v = self.validators.get_mut(&node).expect("known node");
                     v.set_time_ms(self.now);
@@ -314,6 +679,11 @@ impl Simulation {
             }
             Event::TriggerLedger { node } => self.handle_trigger(node),
             Event::SubmitTx { to, tx } => {
+                self.record_trace(TraceEntry::Submit {
+                    time: self.now,
+                    to,
+                    tx_hash: tx.hash(),
+                });
                 {
                     let v = self.validators.get_mut(&to).expect("known node");
                     v.set_time_ms(self.now);
@@ -335,6 +705,9 @@ impl Simulation {
     }
 
     fn handle_trigger(&mut self, node: NodeId) {
+        if self.puppets.contains(&node) {
+            return; // puppets never run consensus
+        }
         if self.crashed.contains(&node) {
             // Re-check after an interval; the node may be revived.
             self.queue.push(
@@ -348,6 +721,10 @@ impl Simulation {
         if slot <= last {
             return; // still working on the slot we already triggered
         }
+        self.record_trace(TraceEntry::Trigger {
+            time: self.now,
+            node,
+        });
         self.last_triggered_slot.insert(node, slot);
         self.last_trigger_time.insert(node, self.now);
         let out = {
@@ -389,13 +766,20 @@ impl Simulation {
         let fresh = self
             .flood
             .get_mut(&to)
-            .map(|f| f.record_id(msg.id))
+            .map(|f| f.record_id_at(msg.id, self.now))
             .unwrap_or(false);
         if !fresh {
             return;
         }
-        // Watchers (non-validators) only relay.
-        if self.validators.contains_key(&to) {
+        if self.puppets.contains(&to) {
+            // Puppets receive but run no validator logic; their driver
+            // (the chaos adversary) reads the inbox between steps.
+            self.puppet_inbox
+                .entry(to)
+                .or_default()
+                .push((from, msg.clone()));
+        } else if self.validators.contains_key(&to) {
+            // Watchers (non-validators) only relay.
             let out = {
                 let v = self.validators.get_mut(&to).expect("validator");
                 v.set_time_ms(self.now);
@@ -409,9 +793,58 @@ impl Simulation {
                 }
             };
             self.handle_outputs(to, out);
+            // Out-of-sync recovery: an envelope for a slot ≥ 2 ahead of
+            // ours means the network externalized ledgers we missed (lost
+            // to drops — naïve flooding never retransmits). Production
+            // stellar-core reacts by entering catchup (§6); here we replay
+            // straight from the best peer's archive.
+            if let FloodMessage::Scp(env) = &*msg.msg {
+                let behind = self
+                    .validators
+                    .get(&to)
+                    .is_some_and(|v| env.statement.slot >= v.herder.current_slot() + 2);
+                if behind {
+                    self.catch_up(to);
+                }
+            }
         }
         // Relay to all peers except the sender.
         self.relay(to, Some(from), msg);
+    }
+
+    /// The delivery chokepoint every sent message funnels through: crashed
+    /// targets are dropped here (not at pop time), partitions gate the
+    /// link, and per-link fault models decide drop/duplicate/delay fates.
+    /// Fault decisions draw from a dedicated RNG stream, so a run with no
+    /// faults configured is bit-identical to one without the chaos layer.
+    fn enqueue_delivery(&mut self, from: NodeId, to: NodeId, msg: Flooded) {
+        if self.crashed.contains(&to) {
+            return;
+        }
+        if !self.link_open(from, to) {
+            return;
+        }
+        if let Some(t) = self.traffic.get_mut(&from) {
+            t.send(msg.size);
+        }
+        let base_delay = self.latency.sample(&mut self.rng).max(1);
+        match self.link_faults.get(from, to).cloned() {
+            None => self
+                .queue
+                .push(self.now + base_delay, Event::Deliver { to, from, msg }),
+            Some(fault) => {
+                for extra in fault.sample_deliveries(&mut self.fault_rng) {
+                    self.queue.push(
+                        self.now + base_delay + extra,
+                        Event::Deliver {
+                            to,
+                            from,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+            }
+        }
     }
 
     fn relay(&mut self, node: NodeId, from: Option<NodeId>, msg: Flooded) {
@@ -421,25 +854,14 @@ impl Simulation {
             .filter(|p| Some(*p) != from)
             .collect();
         for p in peers {
-            let delay = self.latency.sample(&mut self.rng);
-            if let Some(t) = self.traffic.get_mut(&node) {
-                t.send(msg.size);
-            }
-            self.queue.push(
-                self.now + delay.max(1),
-                Event::Deliver {
-                    to: p,
-                    from: node,
-                    msg: msg.clone(),
-                },
-            );
+            self.enqueue_delivery(node, p, msg.clone());
         }
     }
 
     /// Floods a message originated by `node`.
     fn broadcast_from(&mut self, node: NodeId, msg: Flooded) {
         if let Some(f) = self.flood.get_mut(&node) {
-            f.record_id(msg.id); // don't reprocess our own message
+            f.record_id_at(msg.id, self.now); // don't reprocess our own message
         }
         self.relay(node, None, msg);
     }
@@ -466,6 +888,15 @@ impl Simulation {
         let last = self.last_closed.get(&node).copied().unwrap_or(1);
         if seq > last {
             self.last_closed.insert(node, seq);
+            if self.trace.is_some() {
+                let header_hash = self.validators[&node].herder.header.hash();
+                self.record_trace(TraceEntry::Close {
+                    time: self.now,
+                    node,
+                    seq,
+                    header_hash,
+                });
+            }
             let base = self
                 .last_trigger_time
                 .get(&node)
@@ -636,6 +1067,97 @@ mod crash_tests {
             .map(|id| sim.validator(*id).ledger_seq())
             .collect();
         assert_eq!(seqs, [1u64].into(), "everyone still at genesis");
+    }
+
+    /// Regression: a crashed node's inbound deliveries used to pile up in
+    /// the event heap (silently dropped one-by-one at pop). They are now
+    /// purged on crash and refused at enqueue, so the heap carries zero
+    /// deliveries for a dead node at every point of the run.
+    #[test]
+    fn crashed_node_accumulates_no_queued_deliveries() {
+        let mut sim = Simulation::new(SimConfig {
+            scenario: Scenario::ControlledMesh { n_validators: 4 },
+            n_accounts: 50,
+            tx_rate: 10.0,
+            target_ledgers: 4,
+            seed: 64,
+            max_sim_time_ms: 60_000,
+            ..SimConfig::default()
+        });
+        // Let traffic build up, then crash mid-run.
+        while sim.now_ms() < 8_000 && sim.step() {}
+        sim.crash(NodeId(3));
+        assert_eq!(
+            sim.pending_deliveries_to(NodeId(3)),
+            0,
+            "crash must purge queued deliveries"
+        );
+        let mut max_pending = 0;
+        while sim.step() {
+            max_pending = max_pending.max(sim.pending_deliveries_to(NodeId(3)));
+        }
+        assert_eq!(
+            max_pending, 0,
+            "no deliveries may be enqueued for a crashed node"
+        );
+        assert!(
+            sim.validator(NodeId(0)).ledger_seq() >= 5,
+            "the 3-node majority keeps closing"
+        );
+    }
+
+    #[test]
+    fn event_trace_is_reproducible() {
+        let cfg = SimConfig {
+            target_ledgers: 3,
+            n_accounts: 50,
+            tx_rate: 5.0,
+            seed: 65,
+            ..SimConfig::default()
+        };
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulation::new(cfg);
+            sim.enable_trace();
+            sim.run();
+            sim.trace().to_vec()
+        };
+        let a = run(cfg.clone());
+        let b = run(cfg);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same seed must replay the identical event trace");
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let mut sim = Simulation::new(SimConfig {
+            scenario: Scenario::ControlledMesh { n_validators: 4 },
+            n_accounts: 20,
+            target_ledgers: 6,
+            seed: 66,
+            max_sim_time_ms: 300_000,
+            ..SimConfig::default()
+        });
+        // Split 2-2: neither side holds a 3-of-4 quorum, so no ledger can
+        // close while the partition is up; after healing at t=60s the
+        // network resumes.
+        sim.set_partition(
+            &[vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]],
+            Some(60_000),
+        );
+        assert!(!sim.link_open(NodeId(0), NodeId(2)));
+        assert!(sim.link_open(NodeId(0), NodeId(1)));
+        let report = sim.run();
+        assert!(!sim.partition_active(), "partition healed by timestamp");
+        assert!(
+            report.ledgers.len() >= 6,
+            "network must resume after heal: {} ledgers",
+            report.ledgers.len()
+        );
+        let first_close = report.ledgers[0].externalized_at_ms;
+        assert!(
+            first_close >= 60_000,
+            "no ledger closes under a quorum-splitting partition ({first_close}ms)"
+        );
     }
 
     #[test]

@@ -217,12 +217,12 @@ fn main() {
     println!(
         "  Alice: {} DEED, ${}",
         d.trustline(alice, &deed).unwrap().balance,
-        d.trustline(alice, &usd).unwrap().balance / 1
+        d.trustline(alice, &usd).unwrap().balance
     );
     println!(
         "  Bob:   {} DEED, ${}",
         d.trustline(bob, &deed).unwrap().balance,
-        d.trustline(bob, &usd).unwrap().balance / 1
+        d.trustline(bob, &usd).unwrap().balance
     );
     assert_eq!(d.trustline(alice, &deed).unwrap().balance, 5);
     assert_eq!(d.trustline(bob, &deed).unwrap().balance, 1);

@@ -1,0 +1,287 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The workspace builds in a network-isolated container, so the real crate
+//! cannot be fetched. This shim keeps every `[[bench]]` target compiling and
+//! producing *useful numbers*: each benchmark runs a short warmup, then
+//! `sample_size` timed samples of the routine, and prints mean/min/max
+//! wall-clock time per iteration (plus throughput when configured). It does
+//! no statistical outlier analysis, plotting, or baseline comparison — the
+//! API surface (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize`, `BenchmarkId`) matches criterion 0.5 for the subset the
+//! workspace uses, so the real crate can be swapped back in without touching
+//! the benches.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), every
+//! routine runs exactly once so test sweeps stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched-iteration inputs are grouped. The shim regenerates the input
+/// for every iteration regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One input per iteration (large inputs).
+    LargeInput,
+    /// Small inputs; identical behavior here.
+    SmallInput,
+    /// Per-iteration batching; identical behavior here.
+    PerIteration,
+}
+
+/// Units used to report throughput next to per-iteration timings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, rendered as part of the printed label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// An id composed of a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Times a single benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = self.effective_samples();
+        for _ in 0..n.min(3) {
+            std::hint::black_box(routine()); // warmup
+        }
+        for _ in 0..n {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let n = self.effective_samples();
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// Shared measurement settings and result printing.
+struct Settings {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+}
+
+impl Settings {
+    fn run<F: FnMut(&mut Bencher)>(&self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        let min = *b.samples.iter().min().unwrap();
+        let max = *b.samples.iter().max().unwrap();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if mean.as_nanos() > 0 => {
+                let gib = bytes as f64 / (1u64 << 30) as f64;
+                format!("  {:>8.3} GiB/s", gib / mean.as_secs_f64())
+            }
+            Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+                format!("  {:>10.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{label:<48} mean {mean:>10.2?}  min {min:>10.2?}  max {max:>10.2?}{rate}");
+    }
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        self.settings.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark identified by `id` alone.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.settings.run(&label, f);
+        self
+    }
+
+    /// Ends the group (printing already happened per-benchmark).
+    pub fn finish(&mut self) {
+        let _ = self.criterion;
+    }
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` (and plain `cargo test` for harness=false
+        // bench targets) passes --test; run everything once in that mode.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            settings: Settings {
+                sample_size: 20,
+                throughput: None,
+                test_mode: self.test_mode,
+            },
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        Settings {
+            sample_size: 20,
+            throughput: None,
+            test_mode: self.test_mode,
+        }
+        .run(name, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(100u32), &100u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        group.finish();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_prints() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+        assert_eq!(BenchmarkId::new("f", 7).label, "f/7");
+    }
+}

@@ -14,6 +14,7 @@
 //! | Horizon, bridge, compliance, federation | [`horizon`] | §5.4, Fig. 5 |
 //! | Overlay: flooding, topology, traffic stats | [`overlay`] | §5.4 |
 //! | Discrete-event simulation & experiments | [`sim`] | §7 |
+//! | Fault injection, Byzantine adversaries, invariant monitoring | [`chaos`] | §3, §6 |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub use stellar_buckets as buckets;
+pub use stellar_chaos as chaos;
 pub use stellar_crypto as crypto;
 pub use stellar_herder as herder;
 pub use stellar_horizon as horizon;

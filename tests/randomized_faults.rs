@@ -145,6 +145,96 @@ fn random_tiered_topologies_agree() {
 }
 
 #[test]
+fn random_chaos_cocktails_keep_intact_quorums_clean() {
+    // End-to-end version of the schedule tests above, through the chaos
+    // subsystem: random mixes of healing partitions, crash/revive,
+    // lossy links, and Byzantine puppets (all within the `f` the n−f
+    // slices tolerate) on the full simulator. The invariant monitor
+    // must stay clean — identical externalized values and ledger hashes
+    // on every intact node, no liveness stall — in every trial.
+    use stellar::chaos::{ChaosConfig, ChaosRun, FaultSchedule, Strategy};
+    use stellar::overlay::LinkFault;
+    use stellar::sim::scenario::Scenario;
+    use stellar::sim::SimConfig;
+
+    let strategies = [
+        Strategy::EquivocateNomination,
+        Strategy::SplitConfirm,
+        Strategy::ReplayStale,
+        Strategy::Silent,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xC0C7);
+    for trial in 0..25u64 {
+        let n = rng.gen_range(5..8u32);
+        let f = (n - 1) / 3;
+        let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let k = rng.gen_range(0..=f);
+        let adversaries: Vec<(NodeId, Strategy)> = (0..k)
+            .map(|i| {
+                let s = strategies[rng.gen_range(0..strategies.len())];
+                (ids[(n - 1 - i) as usize], s)
+            })
+            .collect();
+        let mut faults = FaultSchedule::builder();
+        if rng.gen_bool(0.5) {
+            faults = faults.default_link_fault_at(
+                1_000,
+                LinkFault::none()
+                    .with_drop(rng.gen_range(0.0..0.12))
+                    .with_delay(0.25, 10, 60),
+            );
+        }
+        // Either a healing partition of the honest nodes or one
+        // crash/revive — either way the ill set stays within f.
+        if rng.gen_bool(0.5) {
+            let honest: Vec<NodeId> = ids[..(n - k) as usize].to_vec();
+            let cut = rng.gen_range(1..honest.len());
+            let groups = vec![honest[..cut].to_vec(), honest[cut..].to_vec()];
+            faults = faults.partition_at(8_000, groups, Some(28_000));
+        } else if k < f {
+            let victim = ids[rng.gen_range(0..(n - k)) as usize];
+            faults = faults.crash_at(6_000, victim).revive_at(20_000, victim);
+        }
+        let target_ledgers = 3;
+        let report = ChaosRun::new(ChaosConfig {
+            sim: SimConfig {
+                scenario: Scenario::ByzantineMesh { n_validators: n },
+                n_accounts: 40,
+                tx_rate: 2.0,
+                target_ledgers,
+                seed: 0x51E11A + trial,
+                max_sim_time_ms: 180_000,
+                ..SimConfig::default()
+            },
+            adversaries,
+            schedule: faults.build(),
+            liveness_bound_ms: 60_000,
+            ..ChaosConfig::default()
+        })
+        .run();
+
+        assert!(
+            !report.intact.is_empty(),
+            "trial {trial}: n={n} k={k} left nobody intact"
+        );
+        assert!(
+            report.is_clean(),
+            "trial {trial}: n={n} k={k} violations: {:?}",
+            report.violations
+        );
+        let puppets: BTreeSet<NodeId> = ids[(n - k) as usize..].iter().copied().collect();
+        for (id, seq) in &report.final_seqs {
+            if !puppets.contains(id) {
+                assert!(
+                    *seq > target_ledgers,
+                    "trial {trial}: {id:?} stuck at seq {seq}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn message_complexity_stays_linear_in_quorum_rounds() {
     // §7.2: ~7 logical broadcasts per node per slot in the normal case.
     // The harness floods synchronously, so count delivered envelopes and
