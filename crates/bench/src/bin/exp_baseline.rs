@@ -9,7 +9,7 @@
 //! cargo run --release -p stellar-bench --bin exp_baseline
 //! ```
 
-use stellar_bench::print_table;
+use stellar_bench::{print_table, write_bench_json};
 use stellar_sim::scenario::Scenario;
 use stellar_sim::{SimConfig, Simulation};
 
@@ -80,4 +80,9 @@ fn main() {
         report.percentile_of(99.0, |l| l.nomination_ms as f64),
         report.percentile_of(99.0, |l| l.balloting_ms as f64),
     );
+
+    // Machine-readable twin of the table above (same trimmed report, so
+    // the JSON's mean_consensus_ms equals nominate + ballot printed).
+    let doc = report.to_bench_json("baseline");
+    write_bench_json("baseline", &doc).expect("write BENCH_baseline.json");
 }

@@ -14,7 +14,7 @@
 //! cargo run --release -p stellar-bench --bin exp_chaos
 //! ```
 
-use stellar_bench::print_table;
+use stellar_bench::{print_table, write_bench_json};
 use stellar_chaos::adversary::Strategy;
 use stellar_chaos::runner::{ChaosConfig, ChaosRun};
 use stellar_chaos::schedule::FaultSchedule;
@@ -23,6 +23,7 @@ use stellar_overlay::LinkFault;
 use stellar_scp::NodeId;
 use stellar_sim::scenario::Scenario;
 use stellar_sim::SimConfig;
+use stellar_telemetry::Json;
 
 const N: u32 = 7;
 
@@ -57,7 +58,27 @@ fn outcome_row(label: &str, report: &stellar_chaos::ChaosReport) -> Vec<String> 
     ]
 }
 
+fn outcome_json(label: &str, report: &stellar_chaos::ChaosReport) -> Json {
+    let safety = report
+        .violations
+        .iter()
+        .filter(|v| !matches!(v, Violation::LivenessStall { .. }))
+        .count();
+    Json::obj()
+        .set("label", label)
+        .set("intact", report.intact.len() as u64)
+        .set("safety_violations", safety as u64)
+        .set("liveness_stalls", (report.violations.len() - safety) as u64)
+        .set("injections", report.injections)
+        .set("sim_time_ms", report.sim_time_ms)
+        .set(
+            "flight_recording_captured",
+            !report.flight_recording.is_empty(),
+        )
+}
+
 fn main() {
+    let mut points: Vec<Json> = Vec::new();
     println!("=== E13a: adversary count sweep ({N} validators, n-f slices, f=2) ===\n");
     let strategies = [
         Strategy::EquivocateNomination,
@@ -83,6 +104,7 @@ fn main() {
             ..ChaosConfig::default()
         })
         .run();
+        points.push(outcome_json(&label, &report).set("sweep", "adversaries"));
         rows.push(outcome_row(&label, &report));
     }
     print_table(
@@ -160,6 +182,7 @@ fn main() {
             ..ChaosConfig::default()
         })
         .run();
+        points.push(outcome_json(label, &report).set("sweep", "cocktail"));
         rows.push(outcome_row(label, &report));
     }
     print_table(
@@ -178,4 +201,10 @@ fn main() {
         "\nexpected: zero violations in every row — faults below the paper's\n\
          thresholds degrade latency, never correctness."
     );
+
+    let doc = Json::obj()
+        .set("schema", "stellar-bench/v1")
+        .set("name", "chaos")
+        .set("points", points);
+    write_bench_json("chaos", &doc).expect("write BENCH_chaos.json");
 }

@@ -9,13 +9,15 @@
 //! cargo run --release -p stellar-bench --bin exp_fig10_load
 //! ```
 
-use stellar_bench::print_table;
+use stellar_bench::{print_table, write_bench_json};
 use stellar_sim::scenario::Scenario;
 use stellar_sim::{SimConfig, Simulation};
+use stellar_telemetry::Json;
 
 fn main() {
     let accounts = 100_000;
     let mut rows = Vec::new();
+    let mut points: Vec<Json> = Vec::new();
     for rate in [100.0f64, 150.0, 200.0, 250.0, 300.0, 350.0] {
         eprintln!("load = {rate} tx/s …");
         let mut sim = Simulation::new(SimConfig {
@@ -36,6 +38,11 @@ fn main() {
             format!("{:.2}", report.mean_close_interval_s()),
             format!("{:.1}", report.mean_tx_per_ledger()),
         ]);
+        let point = report.to_bench_json("point");
+        points.push(Json::obj().set("tx_rate", rate).set(
+            "results",
+            point.get("results").cloned().unwrap_or(Json::Null),
+        ));
     }
     println!("=== E5: Fig. 10 — latency vs. load (100k accounts, 4 validators) ===\n");
     print_table(
@@ -50,4 +57,10 @@ fn main() {
         &rows,
     );
     println!("\npaper shape: consensus latency grows slowly; ledger update grows with tx/ledger.");
+
+    let doc = Json::obj()
+        .set("schema", "stellar-bench/v1")
+        .set("name", "fig10_load")
+        .set("points", points);
+    write_bench_json("fig10_load", &doc).expect("write BENCH_fig10_load.json");
 }

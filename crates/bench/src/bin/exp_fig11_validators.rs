@@ -13,12 +13,14 @@
 //! cargo run --release -p stellar-bench --bin exp_fig11_validators
 //! ```
 
-use stellar_bench::print_table;
+use stellar_bench::{print_table, write_bench_json};
 use stellar_sim::scenario::Scenario;
 use stellar_sim::{SimConfig, Simulation};
+use stellar_telemetry::Json;
 
 fn main() {
     let mut rows = Vec::new();
+    let mut points: Vec<Json> = Vec::new();
     for n in [4u32, 10, 19, 28, 37, 43] {
         eprintln!("validators = {n} …");
         let mut sim = Simulation::new(SimConfig {
@@ -38,6 +40,11 @@ fn main() {
             format!("{:.2}", report.mean_close_interval_s()),
             format!("{:.1}", report.scp_msgs_per_ledger()),
         ]);
+        let point = report.to_bench_json("point");
+        points.push(Json::obj().set("n_validators", u64::from(n)).set(
+            "results",
+            point.get("results").cloned().unwrap_or(Json::Null),
+        ));
     }
     println!("=== E6: Fig. 11 — latency vs. validators (100 tx/s, majority slices) ===\n");
     print_table(
@@ -54,4 +61,10 @@ fn main() {
     println!(
         "\npaper shape: balloting grows with validator count; ledger update independent of it."
     );
+
+    let doc = Json::obj()
+        .set("schema", "stellar-bench/v1")
+        .set("name", "fig11_validators")
+        .set("points", points);
+    write_bench_json("fig11_validators", &doc).expect("write BENCH_fig11_validators.json");
 }

@@ -16,9 +16,10 @@
 //! cargo run --release -p stellar-bench --bin exp_fig8_timeouts
 //! ```
 
-use stellar_bench::print_table;
+use stellar_bench::{print_table, write_bench_json};
 use stellar_sim::scenario::Scenario;
 use stellar_sim::{SimConfig, Simulation};
+use stellar_telemetry::Json;
 
 fn main() {
     let ledgers = 150;
@@ -78,4 +79,18 @@ fn main() {
     println!(
         "(most ledgers see zero timeouts; occasional nomination-round expiries match the paper)"
     );
+
+    let doc = report.to_bench_json("fig8_timeouts").set(
+        "timeouts",
+        Json::obj()
+            .set("nomination_p75", t.nomination_p75)
+            .set("nomination_p99", t.nomination_p99)
+            .set("nomination_max", t.nomination_max)
+            .set("ballot_p75", t.ballot_p75)
+            .set("ballot_p99", t.ballot_p99)
+            .set("ballot_max", t.ballot_max)
+            .set("nomination_total", total_nom)
+            .set("ballot_total", total_bal),
+    );
+    write_bench_json("fig8_timeouts", &doc).expect("write BENCH_fig8_timeouts.json");
 }

@@ -10,12 +10,14 @@
 //! cargo run --release -p stellar-bench --bin exp_fig9_accounts
 //! ```
 
-use stellar_bench::print_table;
+use stellar_bench::{print_table, write_bench_json};
 use stellar_sim::scenario::Scenario;
 use stellar_sim::{SimConfig, Simulation};
+use stellar_telemetry::Json;
 
 fn main() {
     let mut rows = Vec::new();
+    let mut points: Vec<Json> = Vec::new();
     for accounts in [10_000u64, 50_000, 100_000, 200_000, 500_000] {
         eprintln!("accounts = {accounts} …");
         let mut sim = Simulation::new(SimConfig {
@@ -37,6 +39,16 @@ fn main() {
             format!("{:.1}", report.mean_tx_per_ledger()),
             format!("{merge_work}"),
         ]);
+        let point = report.to_bench_json("point");
+        points.push(
+            Json::obj()
+                .set("accounts", accounts)
+                .set("bucket_merge_work", merge_work)
+                .set(
+                    "results",
+                    point.get("results").cloned().unwrap_or(Json::Null),
+                ),
+        );
     }
     println!("=== E4: Fig. 9 — latency vs. accounts (4 validators, 100 tx/s) ===\n");
     print_table(
@@ -54,4 +66,10 @@ fn main() {
     println!(
         "\npaper shape: consensus latency flat in accounts; apply/bucket-merge overhead grows."
     );
+
+    let doc = Json::obj()
+        .set("schema", "stellar-bench/v1")
+        .set("name", "fig9_accounts")
+        .set("points", points);
+    write_bench_json("fig9_accounts", &doc).expect("write BENCH_fig9_accounts.json");
 }

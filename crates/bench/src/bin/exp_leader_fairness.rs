@@ -15,9 +15,10 @@
 //! cargo run --release -p stellar-bench --bin exp_leader_fairness
 //! ```
 
-use stellar_bench::print_table;
+use stellar_bench::{print_table, write_bench_json};
 use stellar_scp::leader::{priority, round_leader};
 use stellar_scp::{NodeId, QuorumSet};
+use stellar_telemetry::Json;
 
 fn main() {
     // Europe: nodes 0..4 (4 nodes). China: nodes 1000..2000 (1,000 nodes).
@@ -98,4 +99,17 @@ fn main() {
         weighted_china < slots / 2,
         "weighting must suppress China's node-count advantage"
     );
+
+    let doc = Json::obj()
+        .set("schema", "stellar-bench/v1")
+        .set("name", "leader_fairness")
+        .set(
+            "results",
+            Json::obj()
+                .set("slots", slots)
+                .set("strawman_china_led", strawman_china)
+                .set("weighted_china_led", weighted_china)
+                .set("weighted_self_led", weighted_self),
+        );
+    write_bench_json("leader_fairness", &doc).expect("write BENCH_leader_fairness.json");
 }

@@ -14,7 +14,8 @@
 //! cargo run --release -p stellar-bench --bin exp_public_network
 //! ```
 
-use stellar_bench::print_table;
+use stellar_bench::{print_table, write_bench_json};
+use stellar_overlay::{MsgKind, TrafficStats};
 use stellar_sim::scenario::Scenario;
 use stellar_sim::{SimConfig, Simulation};
 
@@ -90,4 +91,31 @@ fn main() {
         report.n_validators,
         4.5
     );
+
+    println!("\n=== §7.2 traffic by message type (network-wide) ===\n");
+    let mut net = TrafficStats::default();
+    for t in report.traffic.values() {
+        net.merge(t);
+    }
+    let kinds = [MsgKind::Scp, MsgKind::TxSet, MsgKind::Tx];
+    let rows: Vec<Vec<String>> = kinds
+        .iter()
+        .map(|k| {
+            vec![
+                k.name().into(),
+                format!("{}", net.in_count(*k)),
+                format!("{}", net.out_count(*k)),
+            ]
+        })
+        .collect();
+    print_table(&["type", "delivered", "sent"], &rows);
+    println!(
+        "\nduplicate-suppressed deliveries: {} of {} ({:.1}% — the cost of naïve flooding)",
+        net.dup_suppressed,
+        net.msgs_in,
+        net.dup_ratio() * 100.0
+    );
+
+    let doc = report.to_bench_json("public_network");
+    write_bench_json("public_network", &doc).expect("write BENCH_public_network.json");
 }

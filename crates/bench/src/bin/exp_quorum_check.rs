@@ -8,11 +8,12 @@
 //! cargo run --release -p stellar-bench --bin exp_quorum_check
 //! ```
 
-use stellar_bench::print_table;
+use stellar_bench::{print_table, write_bench_json};
 use stellar_quorum::criticality::{check_criticality, OrgMap};
 use stellar_quorum::intersection::{enjoys_quorum_intersection, FbaSystem};
 use stellar_quorum::tiers::{synthesize_all, synthesize_quorum_set, OrgConfig, Quality};
 use stellar_scp::NodeId;
+use stellar_telemetry::Json;
 
 fn tiered(n_orgs: u32, per_org: u32) -> (FbaSystem, OrgMap) {
     let orgs: Vec<OrgConfig> = (0..n_orgs)
@@ -32,6 +33,7 @@ fn tiered(n_orgs: u32, per_org: u32) -> (FbaSystem, OrgMap) {
 fn main() {
     println!("=== E10: quorum-intersection check cost (§6.2.1) ===\n");
     let mut rows = Vec::new();
+    let mut points: Vec<Json> = Vec::new();
     for (orgs, per) in [(4u32, 3u32), (5, 3), (6, 4), (7, 4), (8, 4)] {
         let (sys, map) = tiered(orgs, per);
         let t0 = std::time::Instant::now();
@@ -40,6 +42,15 @@ fn main() {
         let t0 = std::time::Instant::now();
         let report = check_criticality(&sys, &map);
         let crit = t0.elapsed();
+        points.push(
+            Json::obj()
+                .set("nodes", u64::from(orgs * per))
+                .set("orgs", u64::from(orgs))
+                .set("intersects", ok)
+                .set("check_ms", check.as_secs_f64() * 1000.0)
+                .set("critical_orgs", report.critical_orgs.len() as u64)
+                .set("criticality_scan_ms", crit.as_secs_f64() * 1000.0),
+        );
         rows.push(vec![
             format!("{}", orgs * per),
             format!("{orgs}"),
@@ -93,4 +104,10 @@ fn main() {
         "synthesized configuration enjoys quorum intersection: {}",
         enjoys_quorum_intersection(&sys)
     );
+
+    let doc = Json::obj()
+        .set("schema", "stellar-bench/v1")
+        .set("name", "quorum_check")
+        .set("points", points);
+    write_bench_json("quorum_check", &doc).expect("write BENCH_quorum_check.json");
 }

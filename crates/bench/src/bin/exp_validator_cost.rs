@@ -12,9 +12,10 @@
 //! cargo run --release -p stellar-bench --bin exp_validator_cost
 //! ```
 
-use stellar_bench::print_table;
+use stellar_bench::{print_table, write_bench_json};
 use stellar_sim::scenario::Scenario;
 use stellar_sim::{SimConfig, Simulation};
+use stellar_telemetry::Json;
 
 fn main() {
     eprintln!("running public-network topology with load …");
@@ -100,4 +101,16 @@ fn main() {
         &rows,
     );
     println!("\n(absolute bandwidth depends on load and fan-out; shape: in ≈ out, few Mbit/s — cheap hardware)");
+
+    let doc = report.to_bench_json("validator_cost").set(
+        "validator_cost",
+        Json::obj()
+            .set("peers", degree as u64)
+            .set("msgs_in_per_s", stats.msgs_in as f64 / secs)
+            .set("msgs_out_per_s", stats.msgs_out as f64 / secs)
+            .set("mbps_in", stats.mbps_in(secs))
+            .set("mbps_out", stats.mbps_out(secs))
+            .set("observer_traffic", stellar_sim::traffic_to_json(&stats)),
+    );
+    write_bench_json("validator_cost", &doc).expect("write BENCH_validator_cost.json");
 }

@@ -24,6 +24,7 @@ use stellar_ledger::store::LedgerStore;
 use stellar_ledger::tx::{Memo, Operation, SourcedOperation, Transaction, TransactionEnvelope};
 use stellar_ledger::txset::TransactionSet;
 use stellar_sim::loadgen::{genesis_store, user_account, user_keys};
+use stellar_telemetry::Json;
 
 /// A genesis store with `n` synthetic accounts (re-exported fixture).
 pub fn store_with_accounts(n: u64) -> LedgerStore {
@@ -97,6 +98,26 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     for r in rows {
         println!("{}", fmt_row(r.clone()));
     }
+}
+
+/// Writes `doc` as `BENCH_<name>.json` next to the text output (schema
+/// `stellar-bench/v1`, see EXPERIMENTS.md). The target directory comes
+/// from `BENCH_OUT_DIR` (default: the current directory). Returns the
+/// written path; rendering is validated by re-parsing before the write
+/// so a malformed document fails loudly instead of landing on disk.
+pub fn write_bench_json(name: &str, doc: &Json) -> std::io::Result<std::path::PathBuf> {
+    let rendered = doc.render_pretty();
+    Json::parse(&rendered).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("BENCH_{name}.json does not round-trip: {e:?}"),
+        )
+    })?;
+    let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, rendered + "\n")?;
+    println!("wrote {}", path.display());
+    Ok(path)
 }
 
 #[cfg(test)]

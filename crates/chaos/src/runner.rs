@@ -71,6 +71,12 @@ pub struct ChaosReport {
     pub injections: u64,
     /// Simulated time at exit (ms).
     pub sim_time_ms: u64,
+    /// The observer's flight-recorder timelines for every slot still in
+    /// the retention window, captured only when the run produced
+    /// violations (empty for clean runs). This is the per-slot story of
+    /// the failure: which timers armed and fired, which envelopes
+    /// arrived, how far balloting got on the stalled slot.
+    pub flight_recording: String,
 }
 
 impl ChaosReport {
@@ -141,6 +147,19 @@ impl ChaosRun {
     /// The monitor's findings so far.
     pub fn violations(&self) -> &[Violation] {
         self.monitor.violations()
+    }
+
+    /// Renders the observer's flight-recorder timeline for every slot
+    /// still in its retention window, newest-slot-last.
+    pub fn flight_recording(&self) -> String {
+        let rec = &self.sim.telemetry(self.sim.observer_id()).recorder;
+        let slots: std::collections::BTreeSet<u64> = rec.events().map(|e| e.slot).collect();
+        let mut out = String::new();
+        for slot in slots {
+            out.push_str(&rec.timeline(slot));
+            out.push('\n');
+        }
+        out
     }
 
     /// Applies every scheduled fault due at or before the next event.
@@ -225,13 +244,20 @@ impl ChaosRun {
             .collect();
         let intact = self.monitor.intact(&self.sim);
         let injections = self.adversaries.iter().map(Adversary::injected).sum();
+        let violations = self.monitor.violations().to_vec();
+        let flight_recording = if violations.is_empty() {
+            String::new()
+        } else {
+            self.flight_recording()
+        };
         ChaosReport {
-            violations: self.monitor.violations().to_vec(),
+            violations,
             trace: self.sim.trace().to_vec(),
             final_seqs,
             intact,
             injections,
             sim_time_ms: self.sim.now_ms(),
+            flight_recording,
         }
     }
 }

@@ -191,6 +191,35 @@ fn total_message_loss_is_reported_as_a_liveness_stall() {
     );
     // And no bogus safety findings: nodes stalled, they did not diverge.
     assert_eq!(stalls.len(), report.violations.len());
+    // A violating run must ship the observer's flight-recorder dump: the
+    // per-slot timeline of the stall (timers arming/firing with nothing
+    // arriving) is the debugging artifact the chaos harness exists for.
+    assert!(
+        !report.flight_recording.is_empty(),
+        "violations must capture a flight recording"
+    );
+    assert!(
+        report.flight_recording.contains("timeline"),
+        "recording must render per-slot timelines:\n{}",
+        report.flight_recording
+    );
+    assert!(
+        report.flight_recording.contains("timer armed"),
+        "the stalled slot's timeline must show timer activity:\n{}",
+        report.flight_recording
+    );
+}
+
+/// Clean runs stay lean: no violations, no flight recording attached.
+#[test]
+fn clean_run_attaches_no_flight_recording() {
+    let report = ChaosRun::new(ChaosConfig {
+        sim: byz_mesh(4, 2, 21),
+        ..ChaosConfig::default()
+    })
+    .run();
+    assert!(report.is_clean(), "{:?}", report.violations);
+    assert!(report.flight_recording.is_empty());
 }
 
 /// A partition into two non-quorum halves declared to the monitor makes

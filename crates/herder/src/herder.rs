@@ -22,6 +22,7 @@ use stellar_ledger::tx::TxResult;
 use stellar_ledger::txset::TransactionSet;
 use stellar_scp::driver::{Driver, ScpEvent, TimerKind, Validity};
 use stellar_scp::{Envelope, NodeId, SlotIndex, Value};
+use stellar_telemetry::{NodeTelemetry, TraceKind};
 
 /// Statistics from one ledger close (feeds the §7.3 metrics).
 #[derive(Clone, Debug)]
@@ -41,6 +42,37 @@ pub struct CloseStats {
     /// Hash of the resulting ledger header. Nodes that applied the same
     /// slot must agree on it — the safety invariant chaos monitors check.
     pub header_hash: Hash256,
+}
+
+/// Static metric key for an outbound envelope of a statement class —
+/// per-statement counters without a hot-path allocation.
+fn envelope_out_key(class: &str) -> &'static str {
+    match class {
+        "nominate" => "scp.envelope_out.nominate",
+        "prepare" => "scp.envelope_out.prepare",
+        "confirm" => "scp.envelope_out.confirm",
+        "externalize" => "scp.envelope_out.externalize",
+        _ => "scp.envelope_out.other",
+    }
+}
+
+/// Static metric key for an inbound envelope of a statement class.
+fn envelope_in_key(class: &str) -> &'static str {
+    match class {
+        "nominate" => "scp.envelope_in.nominate",
+        "prepare" => "scp.envelope_in.prepare",
+        "confirm" => "scp.envelope_in.confirm",
+        "externalize" => "scp.envelope_in.externalize",
+        _ => "scp.envelope_in.other",
+    }
+}
+
+/// Trace label for a timer kind.
+fn timer_name(kind: TimerKind) -> &'static str {
+    match kind {
+        TimerKind::Nomination => "nomination",
+        TimerKind::Ballot => "ballot",
+    }
 }
 
 /// Application state + buffered driver outputs for one validator.
@@ -70,6 +102,9 @@ pub struct Herder {
     pub max_time_slip: u64,
     /// Resolves peers' signature keys.
     pub key_registry: BTreeMap<NodeId, PublicKey>,
+    /// This node's observability bundle: metrics registry + flight
+    /// recorder, updated on the hot path by every driver hook.
+    pub telemetry: NodeTelemetry,
 
     // ---- buffered driver outputs ----
     /// Envelopes to flood.
@@ -110,6 +145,7 @@ impl Herder {
             clock_ms: 1000,
             max_time_slip: 60,
             key_registry,
+            telemetry: NodeTelemetry::new(node_id.0),
             outbox: Vec::new(),
             timer_requests: Vec::new(),
             pending_externalize: Vec::new(),
@@ -238,6 +274,23 @@ impl Herder {
             failed_tx_count: failed,
             header_hash: self.header.hash(),
         });
+        let apply_us = apply_time.as_micros() as u64;
+        self.telemetry.registry.inc("ledger.closed");
+        self.telemetry.registry.observe("ledger.apply_us", apply_us);
+        self.telemetry
+            .registry
+            .observe("ledger.txset_size", set.txs.len() as u64);
+        self.telemetry
+            .registry
+            .observe("ledger.ops_per_ledger", set.op_count() as u64);
+        self.telemetry.trace(
+            self.clock_ms,
+            slot,
+            TraceKind::LedgerClosed {
+                tx_count: set.txs.len() as u32,
+                apply_us,
+            },
+        );
         self.record_results(&result.results);
         self.try_apply_stalled();
         true
@@ -291,6 +344,7 @@ impl Herder {
                 failed_tx_count: failed,
                 header_hash: self.header.hash(),
             });
+            self.telemetry.registry.inc("ledger.catchup_applied");
             applied += 1;
         }
         if applied > 0 {
@@ -347,10 +401,35 @@ impl Driver for Herder {
     }
 
     fn emit_envelope(&mut self, envelope: &Envelope) {
+        let class = envelope.statement.kind.class_name();
+        self.telemetry.registry.inc(envelope_out_key(class));
+        self.telemetry.trace(
+            self.clock_ms,
+            envelope.statement.slot,
+            TraceKind::EnvelopeSent { statement: class },
+        );
         self.outbox.push(envelope.clone());
     }
 
     fn set_timer(&mut self, slot: SlotIndex, kind: TimerKind, delay: Option<Duration>) {
+        let timer = timer_name(kind);
+        match delay {
+            Some(d) => {
+                self.telemetry.registry.inc("scp.timer_arms");
+                self.telemetry.trace(
+                    self.clock_ms,
+                    slot,
+                    TraceKind::TimerArmed {
+                        timer,
+                        delay_ms: d.as_millis() as u64,
+                    },
+                );
+            }
+            None => {
+                self.telemetry
+                    .trace(self.clock_ms, slot, TraceKind::TimerCanceled { timer });
+            }
+        }
         self.timer_requests.push((slot, kind, delay));
     }
 
@@ -363,6 +442,92 @@ impl Driver for Herder {
     }
 
     fn on_event(&mut self, event: ScpEvent) {
+        let t = self.clock_ms;
+        match &event {
+            ScpEvent::NominationStarted { slot } => {
+                self.telemetry.registry.inc("scp.nomination_started");
+                self.telemetry.trace(
+                    t,
+                    *slot,
+                    TraceKind::Phase {
+                        phase: "nomination",
+                    },
+                );
+            }
+            ScpEvent::NominationRoundStarted { slot, round } => {
+                self.telemetry.nomination_round(t, *slot, *round);
+            }
+            ScpEvent::NewCandidate { slot, .. } => {
+                self.telemetry.registry.inc("scp.candidates");
+                self.telemetry
+                    .trace(t, *slot, TraceKind::Phase { phase: "candidate" });
+            }
+            ScpEvent::BallotBumped { slot, counter } => {
+                self.telemetry.registry.inc("scp.ballot_bumps");
+                self.telemetry
+                    .trace(t, *slot, TraceKind::BallotBump { counter: *counter });
+            }
+            ScpEvent::AcceptedPrepared { slot, counter } => {
+                self.telemetry.registry.inc("scp.accepted_prepared");
+                self.telemetry.trace(
+                    t,
+                    *slot,
+                    TraceKind::QuorumThreshold {
+                        milestone: "accept-prepare",
+                        counter: *counter,
+                    },
+                );
+            }
+            ScpEvent::ConfirmedPrepared { slot, counter } => {
+                self.telemetry.registry.inc("scp.confirmed_prepared");
+                self.telemetry.trace(
+                    t,
+                    *slot,
+                    TraceKind::QuorumThreshold {
+                        milestone: "confirm-prepare",
+                        counter: *counter,
+                    },
+                );
+            }
+            ScpEvent::AcceptedCommit { slot, counter } => {
+                self.telemetry.registry.inc("scp.accepted_commit");
+                self.telemetry.trace(
+                    t,
+                    *slot,
+                    TraceKind::QuorumThreshold {
+                        milestone: "accept-commit",
+                        counter: *counter,
+                    },
+                );
+            }
+            ScpEvent::TimeoutFired { slot, kind } => {
+                self.telemetry.registry.inc(match kind {
+                    TimerKind::Nomination => "scp.timeout.nomination",
+                    TimerKind::Ballot => "scp.timeout.ballot",
+                });
+                self.telemetry.trace(
+                    t,
+                    *slot,
+                    TraceKind::TimerFired {
+                        timer: timer_name(*kind),
+                    },
+                );
+            }
+            ScpEvent::Externalized { slot, .. } => {
+                self.telemetry.slot_externalized(t, *slot);
+            }
+            ScpEvent::EnvelopeProcessed { slot, from, kind } => {
+                self.telemetry.registry.inc(envelope_in_key(kind));
+                self.telemetry.trace(
+                    t,
+                    *slot,
+                    TraceKind::EnvelopeReceived {
+                        statement: kind,
+                        from: from.0,
+                    },
+                );
+            }
+        }
         self.events.push((self.clock_ms, event));
     }
 

@@ -29,5 +29,5 @@ pub mod topology;
 pub use fault::{LinkFault, LinkFaultTable};
 pub use flood::FloodState;
 pub use message::FloodMessage;
-pub use stats::TrafficStats;
+pub use stats::{MsgKind, TrafficStats};
 pub use topology::PeerGraph;

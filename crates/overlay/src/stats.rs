@@ -2,7 +2,32 @@
 //!
 //! The paper reports a production validator with 28 peer connections and
 //! a quorum of 34 moving 2.78 Mbit/s in and 2.56 Mbit/s out. These
-//! counters let the simulator produce the same row.
+//! counters let the simulator produce the same row, and the per-type
+//! split (SCP envelopes vs. transaction sets vs. transactions, plus
+//! flood duplicate-suppression hits) feeds the §7.2 traffic table and
+//! the telemetry snapshot.
+
+/// The three flooded payload families, as a traffic-accounting tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// An SCP envelope.
+    Scp,
+    /// A transaction set.
+    TxSet,
+    /// A single transaction.
+    Tx,
+}
+
+impl MsgKind {
+    /// Stable lowercase name (metric key suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::Scp => "scp",
+            MsgKind::TxSet => "tx_set",
+            MsgKind::Tx => "tx",
+        }
+    }
+}
 
 /// Message/byte counters for one node.
 #[derive(Clone, Copy, Debug, Default)]
@@ -18,19 +43,72 @@ pub struct TrafficStats {
     /// SCP envelopes *originated* by this node (logical broadcasts,
     /// the §7.2 per-ledger message count).
     pub scp_originated: u64,
+    /// Received messages by type: `[scp, tx_set, tx]`, indexable with
+    /// [`MsgKind`] via [`TrafficStats::in_count`].
+    pub in_by_kind: [u64; 3],
+    /// Sent messages by type.
+    pub out_by_kind: [u64; 3],
+    /// Deliveries dropped by the flood seen-cache (duplicate
+    /// suppression hits) — the §7.5 cost of naïve flooding.
+    pub dup_suppressed: u64,
 }
 
 impl TrafficStats {
-    /// Records a received message of `bytes` bytes.
+    fn idx(kind: MsgKind) -> usize {
+        match kind {
+            MsgKind::Scp => 0,
+            MsgKind::TxSet => 1,
+            MsgKind::Tx => 2,
+        }
+    }
+
+    /// Records a received message of `bytes` bytes (type unknown —
+    /// prefer [`TrafficStats::recv_kind`] where the payload is typed).
     pub fn recv(&mut self, bytes: usize) {
         self.msgs_in += 1;
         self.bytes_in += bytes as u64;
+    }
+
+    /// Records a received message of a known type.
+    pub fn recv_kind(&mut self, kind: MsgKind, bytes: usize) {
+        self.recv(bytes);
+        self.in_by_kind[Self::idx(kind)] += 1;
     }
 
     /// Records a sent message of `bytes` bytes.
     pub fn send(&mut self, bytes: usize) {
         self.msgs_out += 1;
         self.bytes_out += bytes as u64;
+    }
+
+    /// Records a sent message of a known type.
+    pub fn send_kind(&mut self, kind: MsgKind, bytes: usize) {
+        self.send(bytes);
+        self.out_by_kind[Self::idx(kind)] += 1;
+    }
+
+    /// Records a delivery suppressed as a duplicate by the flood cache.
+    pub fn dup_hit(&mut self) {
+        self.dup_suppressed += 1;
+    }
+
+    /// Received-message count for one type.
+    pub fn in_count(&self, kind: MsgKind) -> u64 {
+        self.in_by_kind[Self::idx(kind)]
+    }
+
+    /// Sent-message count for one type.
+    pub fn out_count(&self, kind: MsgKind) -> u64 {
+        self.out_by_kind[Self::idx(kind)]
+    }
+
+    /// Fraction of received messages that were duplicate-suppressed.
+    pub fn dup_ratio(&self) -> f64 {
+        if self.msgs_in == 0 {
+            0.0
+        } else {
+            self.dup_suppressed as f64 / self.msgs_in as f64
+        }
     }
 
     /// Incoming bandwidth over a wall-clock window, in Mbit/s.
@@ -50,6 +128,11 @@ impl TrafficStats {
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
         self.scp_originated += other.scp_originated;
+        for i in 0..3 {
+            self.in_by_kind[i] += other.in_by_kind[i];
+            self.out_by_kind[i] += other.out_by_kind[i];
+        }
+        self.dup_suppressed += other.dup_suppressed;
     }
 }
 
@@ -70,6 +153,35 @@ mod tests {
     }
 
     #[test]
+    fn typed_counters_split_by_kind() {
+        let mut s = TrafficStats::default();
+        s.recv_kind(MsgKind::Scp, 100);
+        s.recv_kind(MsgKind::Scp, 100);
+        s.recv_kind(MsgKind::Tx, 40);
+        s.send_kind(MsgKind::TxSet, 500);
+        assert_eq!(s.in_count(MsgKind::Scp), 2);
+        assert_eq!(s.in_count(MsgKind::Tx), 1);
+        assert_eq!(s.in_count(MsgKind::TxSet), 0);
+        assert_eq!(s.out_count(MsgKind::TxSet), 1);
+        // Typed records also feed the untyped totals.
+        assert_eq!(s.msgs_in, 3);
+        assert_eq!(s.bytes_in, 240);
+        assert_eq!(s.msgs_out, 1);
+    }
+
+    #[test]
+    fn dup_suppression_ratio() {
+        let mut s = TrafficStats::default();
+        assert_eq!(s.dup_ratio(), 0.0);
+        for _ in 0..3 {
+            s.recv_kind(MsgKind::Scp, 10);
+        }
+        s.dup_hit();
+        assert_eq!(s.dup_suppressed, 1);
+        assert!((s.dup_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn bandwidth_math() {
         let mut s = TrafficStats::default();
         s.recv(1_000_000); // 8 Mbit
@@ -80,13 +192,18 @@ mod tests {
     #[test]
     fn merge_sums() {
         let mut a = TrafficStats::default();
-        a.recv(10);
+        a.recv_kind(MsgKind::Scp, 10);
+        a.dup_hit();
         let mut b = TrafficStats::default();
-        b.send(20);
+        b.send_kind(MsgKind::Tx, 20);
         b.scp_originated = 3;
+        b.dup_hit();
         a.merge(&b);
         assert_eq!(a.bytes_in, 10);
         assert_eq!(a.bytes_out, 20);
         assert_eq!(a.scp_originated, 3);
+        assert_eq!(a.in_count(MsgKind::Scp), 1);
+        assert_eq!(a.out_count(MsgKind::Tx), 1);
+        assert_eq!(a.dup_suppressed, 2);
     }
 }

@@ -41,6 +41,18 @@ pub enum TimerKind {
 pub enum ScpEvent {
     /// Nomination began for a slot.
     NominationStarted { slot: SlotIndex },
+    /// A nomination round began (round 1 fires with
+    /// [`ScpEvent::NominationStarted`]; later rounds follow timeouts).
+    /// Telemetry derives per-round durations from consecutive events.
+    NominationRoundStarted { slot: SlotIndex, round: u32 },
+    /// A verified peer envelope was routed to its slot. `kind` is the
+    /// statement family ([`crate::StatementKind::class_name`]) — the
+    /// per-statement-type message accounting of §7.2.
+    EnvelopeProcessed {
+        slot: SlotIndex,
+        from: NodeId,
+        kind: &'static str,
+    },
     /// A new composite candidate value emerged from nomination.
     NewCandidate { slot: SlotIndex, value: Value },
     /// The node moved to a new ballot (counter reported).

@@ -4,7 +4,7 @@
 //! and handles envelope verification, slot routing, quorum-set updates
 //! (nodes may retune slices at any time, §3.1.1), and old-slot pruning.
 
-use crate::driver::{Driver, TimerKind};
+use crate::driver::{Driver, ScpEvent, TimerKind};
 use crate::slot::{Ctx, Slot};
 use crate::{Envelope, NodeId, QuorumSet, SlotIndex, Value};
 use std::collections::BTreeMap;
@@ -110,6 +110,11 @@ impl ScpNode {
         if !st.quorum_set.is_well_formed() {
             return false;
         }
+        driver.on_event(ScpEvent::EnvelopeProcessed {
+            slot: st.slot,
+            from: st.node,
+            kind: st.kind.class_name(),
+        });
         let slot = self
             .slots
             .entry(st.slot)

@@ -99,6 +99,10 @@ impl NominationProtocol {
         ));
         ctx.driver
             .on_event(ScpEvent::NominationStarted { slot: ctx.slot });
+        ctx.driver.on_event(ScpEvent::NominationRoundStarted {
+            slot: ctx.slot,
+            round: self.round,
+        });
         self.add_leader_votes(ctx);
         self.emit(ctx);
         let delay = ctx.driver.nomination_timeout(self.round);
@@ -120,6 +124,10 @@ impl NominationProtocol {
             kind: TimerKind::Nomination,
         });
         self.round += 1;
+        ctx.driver.on_event(ScpEvent::NominationRoundStarted {
+            slot: ctx.slot,
+            round: self.round,
+        });
         self.leaders.insert(leader::round_leader(
             ctx.node, ctx.qset, ctx.slot, self.round,
         ));

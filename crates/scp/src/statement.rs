@@ -147,6 +147,18 @@ impl StatementKind {
         matches!(self, StatementKind::Nominate { .. })
     }
 
+    /// Stable lowercase name of the statement family — the metric key
+    /// suffix and flight-recorder label for per-statement-type message
+    /// accounting (§7.2).
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            StatementKind::Nominate { .. } => "nominate",
+            StatementKind::Prepare { .. } => "prepare",
+            StatementKind::Confirm { .. } => "confirm",
+            StatementKind::Externalize { .. } => "externalize",
+        }
+    }
+
     /// Every distinct value this statement references. Values flood
     /// independently of the payloads they name (transaction sets travel
     /// as separate messages), so a peer relaying or syncing SCP state

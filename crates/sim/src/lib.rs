@@ -32,6 +32,6 @@ pub mod scenario;
 pub mod simulation;
 
 pub use latency::LatencyModel;
-pub use metrics::{percentile, SimReport};
+pub use metrics::{percentile, traffic_to_json, SimReport};
 pub use scenario::Scenario;
 pub use simulation::{SimConfig, Simulation};

@@ -19,9 +19,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use stellar_crypto::sign::KeyPair;
 use stellar_crypto::Hash256;
 use stellar_herder::validator::{Outputs, Validator};
-use stellar_overlay::{FloodMessage, FloodState, LinkFaultTable, PeerGraph, TrafficStats};
+use stellar_overlay::{FloodMessage, FloodState, LinkFaultTable, MsgKind, PeerGraph, TrafficStats};
 use stellar_scp::driver::ScpEvent;
 use stellar_scp::{NodeId, QuorumSet, SlotIndex, Value};
+use stellar_telemetry::{Json, NodeTelemetry};
 
 /// Parameters of one simulation run.
 #[derive(Clone, Debug)]
@@ -75,6 +76,15 @@ impl Default for SimConfig {
 /// Deterministic seed for a validator's signing identity.
 pub fn validator_keys(id: NodeId) -> KeyPair {
     KeyPair::from_seed(0x7A11DA70u64 ^ u64::from(id.0))
+}
+
+/// Traffic-accounting tag of a flooded payload.
+fn msg_kind(msg: &FloodMessage) -> MsgKind {
+    match msg {
+        FloodMessage::Scp(_) => MsgKind::Scp,
+        FloodMessage::TxSet(_) => MsgKind::TxSet,
+        FloodMessage::Tx(_) => MsgKind::Tx,
+    }
 }
 
 /// An active network partition: nodes can only exchange messages within
@@ -304,6 +314,11 @@ impl Simulation {
     /// A validator, for post-run inspection.
     pub fn validator(&self, id: NodeId) -> &Validator {
         &self.validators[&id]
+    }
+
+    /// A node's telemetry (metrics registry + flight recorder).
+    pub fn telemetry(&self, id: NodeId) -> &NodeTelemetry {
+        &self.validators[&id].herder.telemetry
     }
 
     /// All validator ids.
@@ -743,9 +758,11 @@ impl Simulation {
             .get(&to)
             .map(|f| !f.contains(msg.id))
             .unwrap_or(false);
+        let kind = msg_kind(&msg.msg);
         if !fresh {
             if let Some(t) = self.traffic.get_mut(&to) {
-                t.recv(msg.size);
+                t.recv_kind(kind, msg.size);
+                t.dup_hit();
             }
             return;
         }
@@ -761,7 +778,7 @@ impl Simulation {
         self.busy_until_us
             .insert(to, busy.max(now_us) + self.cfg.proc_cost_us_per_msg);
         if let Some(t) = self.traffic.get_mut(&to) {
-            t.recv(msg.size);
+            t.recv_kind(kind, msg.size);
         }
         let fresh = self
             .flood
@@ -769,6 +786,10 @@ impl Simulation {
             .map(|f| f.record_id_at(msg.id, self.now))
             .unwrap_or(false);
         if !fresh {
+            // A copy processed while this one waited in the busy queue.
+            if let Some(t) = self.traffic.get_mut(&to) {
+                t.dup_hit();
+            }
             return;
         }
         if self.puppets.contains(&to) {
@@ -825,7 +846,7 @@ impl Simulation {
             return;
         }
         if let Some(t) = self.traffic.get_mut(&from) {
-            t.send(msg.size);
+            t.send_kind(msg_kind(&msg.msg), msg.size);
         }
         let base_delay = self.latency.sample(&mut self.rng).max(1);
         match self.link_faults.get(from, to).cloned() {
@@ -914,6 +935,7 @@ impl Simulation {
         // Drop ledgers beyond the target (stragglers of shutdown).
         ledgers.retain(|l| l.slot <= 1 + self.cfg.target_ledgers);
         SimReport {
+            telemetry: self.telemetry_snapshot(&ledgers),
             ledgers,
             scp_msgs_originated: self.scp_originated,
             traffic: self.traffic.clone(),
@@ -921,6 +943,36 @@ impl Simulation {
             txs_generated: self.loadgen.as_ref().map_or(0, |l| l.generated),
             n_validators: self.validators.len(),
         }
+    }
+
+    /// The observer's registry snapshot, with the per-ledger latency
+    /// decomposition folded in as histograms and the typed traffic split
+    /// (observer view + network totals) attached.
+    fn telemetry_snapshot(&self, ledgers: &[crate::metrics::LedgerMetrics]) -> Json {
+        let observer = self.validators.get(&self.observer).expect("observer");
+        let mut registry = observer.herder.telemetry.registry.clone();
+        for l in ledgers {
+            registry.observe("consensus.nomination_ms", l.nomination_ms);
+            registry.observe("consensus.balloting_ms", l.balloting_ms);
+            registry.observe("consensus.total_ms", l.nomination_ms + l.balloting_ms);
+        }
+        let mut network = TrafficStats::default();
+        for t in self.traffic.values() {
+            network.merge(t);
+        }
+        let observer_traffic = self
+            .traffic
+            .get(&self.observer)
+            .copied()
+            .unwrap_or_default();
+        Json::obj()
+            .set("node", u64::from(self.observer.0))
+            .set("registry", registry.snapshot())
+            .set(
+                "traffic",
+                crate::metrics::traffic_to_json(&observer_traffic),
+            )
+            .set("network_traffic", crate::metrics::traffic_to_json(&network))
     }
 }
 
@@ -981,6 +1033,65 @@ mod tests {
             assert_eq!(x.externalized_at_ms, y.externalized_at_ms);
             assert_eq!(x.tx_count, y.tx_count);
         }
+    }
+
+    #[test]
+    fn telemetry_snapshot_and_flight_recorder_populated() {
+        let mut sim = Simulation::new(SimConfig {
+            target_ledgers: 4,
+            n_accounts: 50,
+            tx_rate: 5.0,
+            ..SimConfig::default()
+        });
+        let report = sim.run();
+        // Registry: hot-path counters from the herder instrumentation.
+        let registry = report
+            .telemetry
+            .get("registry")
+            .expect("registry in snapshot");
+        let counters = registry.get("counters").expect("counters");
+        let externalized = counters
+            .get("scp.externalized")
+            .and_then(stellar_telemetry::Json::as_f64)
+            .unwrap_or(0.0);
+        assert!(externalized >= 4.0, "externalized counter: {externalized}");
+        let hists = registry.get("histograms").expect("histograms");
+        assert!(hists.get("consensus.total_ms").is_some());
+        assert!(hists.get("ledger.apply_us").is_some());
+        // Traffic: typed split + duplicate suppression (full mesh floods
+        // every message along multiple paths, so dups are guaranteed).
+        let net = report
+            .telemetry
+            .get("network_traffic")
+            .expect("network_traffic");
+        let dup = net
+            .get("dup_suppressed")
+            .and_then(stellar_telemetry::Json::as_f64)
+            .unwrap_or(0.0);
+        assert!(dup > 0.0, "flooding must hit the duplicate cache");
+        let in_kinds = net.get("in_by_kind").expect("in_by_kind");
+        assert!(in_kinds
+            .get("scp")
+            .and_then(stellar_telemetry::Json::as_f64)
+            .is_some_and(|v| v > 0.0));
+        // Flight recorder: the observer traced the run's slots.
+        let recorder = &sim.telemetry(sim.observer_id()).recorder;
+        assert!(!recorder.is_empty(), "flight recorder must have events");
+        assert!(recorder.latest_slot() > 0, "recorder saw at least one slot");
+        // The latest slot may still be mid-nomination at shutdown; pick
+        // one the recorder saw externalize.
+        let slot = recorder
+            .events()
+            .filter(|e| matches!(e.kind, stellar_telemetry::TraceKind::Externalized))
+            .last()
+            .map(|e| e.slot)
+            .expect("an externalized slot within the retention window");
+        let timeline = recorder.timeline(slot);
+        assert!(
+            timeline.contains("EXTERNALIZED"),
+            "timeline must show the decision:\n{timeline}"
+        );
+        assert!(!recorder.dump_jsonl().is_empty());
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! The slot-scoped flight recorder: a bounded ring of structured trace
+//! events covering the last N consensus slots.
+//!
+//! Metrics say *that* a slot was slow; the flight recorder says *why*. It
+//! retains the full consensus timeline — phase transitions, quorum
+//! threshold crossings, timer arms/fires, envelope send/receive with
+//! causal slot+node tags — for the most recent slots only, so a week-long
+//! run costs the same memory as a short one. Chaos runs dump it when an
+//! invariant breaks; the timeline renderer turns a stalled slot into a
+//! story a human can read top to bottom.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+
+/// What happened (the structured payload of a [`TraceEvent`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A consensus phase began or changed (`"nomination"`, `"ballot"`,
+    /// `"externalize"`, ...).
+    Phase {
+        /// Name of the phase entered.
+        phase: &'static str,
+    },
+    /// A federated-voting threshold was crossed (accepted/confirmed
+    /// prepare, accepted commit) at a ballot counter.
+    QuorumThreshold {
+        /// Which milestone (`"accept-prepare"`, `"confirm-prepare"`,
+        /// `"accept-commit"`).
+        milestone: &'static str,
+        /// The ballot counter it crossed at.
+        counter: u32,
+    },
+    /// A new ballot was started.
+    BallotBump {
+        /// The new ballot counter.
+        counter: u32,
+    },
+    /// A nomination round began (round 1 = nomination start).
+    NominationRound {
+        /// The round number.
+        round: u32,
+    },
+    /// A timer was armed (or re-armed).
+    TimerArmed {
+        /// `"nomination"` or `"ballot"`.
+        timer: &'static str,
+        /// Delay until expiry (ms).
+        delay_ms: u64,
+    },
+    /// A timer was cancelled.
+    TimerCanceled {
+        /// `"nomination"` or `"ballot"`.
+        timer: &'static str,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// `"nomination"` or `"ballot"`.
+        timer: &'static str,
+    },
+    /// This node broadcast an SCP statement.
+    EnvelopeSent {
+        /// Statement class (`"nominate"`, `"prepare"`, `"confirm"`,
+        /// `"externalize"`).
+        statement: &'static str,
+    },
+    /// This node processed a peer's SCP statement.
+    EnvelopeReceived {
+        /// Statement class.
+        statement: &'static str,
+        /// Originating node.
+        from: u32,
+    },
+    /// The slot decided a value.
+    Externalized,
+    /// The ledger for this slot was applied.
+    LedgerClosed {
+        /// Transactions in the applied set.
+        tx_count: u32,
+        /// Wall-clock apply time (µs).
+        apply_us: u64,
+    },
+}
+
+impl TraceKind {
+    /// Short machine tag for the JSONL `event` field.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceKind::Phase { .. } => "phase",
+            TraceKind::QuorumThreshold { .. } => "quorum_threshold",
+            TraceKind::BallotBump { .. } => "ballot_bump",
+            TraceKind::NominationRound { .. } => "nomination_round",
+            TraceKind::TimerArmed { .. } => "timer_armed",
+            TraceKind::TimerCanceled { .. } => "timer_canceled",
+            TraceKind::TimerFired { .. } => "timer_fired",
+            TraceKind::EnvelopeSent { .. } => "envelope_sent",
+            TraceKind::EnvelopeReceived { .. } => "envelope_received",
+            TraceKind::Externalized => "externalized",
+            TraceKind::LedgerClosed { .. } => "ledger_closed",
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            TraceKind::Phase { phase } => format!("phase → {phase}"),
+            TraceKind::QuorumThreshold { milestone, counter } => {
+                format!("quorum threshold: {milestone} at counter {counter}")
+            }
+            TraceKind::BallotBump { counter } => format!("ballot bumped to counter {counter}"),
+            TraceKind::NominationRound { round } => format!("nomination round {round}"),
+            TraceKind::TimerArmed { timer, delay_ms } => {
+                format!("{timer} timer armed (+{delay_ms}ms)")
+            }
+            TraceKind::TimerCanceled { timer } => format!("{timer} timer canceled"),
+            TraceKind::TimerFired { timer } => format!("{timer} timer FIRED"),
+            TraceKind::EnvelopeSent { statement } => format!("sent {statement}"),
+            TraceKind::EnvelopeReceived { statement, from } => {
+                format!("recv {statement} from node {from}")
+            }
+            TraceKind::Externalized => "EXTERNALIZED".to_string(),
+            // apply_us is wall clock and varies run to run; timelines must
+            // stay byte-identical for a fixed seed, so it only appears in
+            // the structured JSONL dump.
+            TraceKind::LedgerClosed { tx_count, .. } => {
+                format!("ledger closed: {tx_count} txs applied")
+            }
+        }
+    }
+
+    fn detail_json(&self, obj: Json) -> Json {
+        match self {
+            TraceKind::Phase { phase } => obj.set("phase", *phase),
+            TraceKind::QuorumThreshold { milestone, counter } => obj
+                .set("milestone", *milestone)
+                .set("counter", u64::from(*counter)),
+            TraceKind::BallotBump { counter } => obj.set("counter", u64::from(*counter)),
+            TraceKind::NominationRound { round } => obj.set("round", u64::from(*round)),
+            TraceKind::TimerArmed { timer, delay_ms } => {
+                obj.set("timer", *timer).set("delay_ms", *delay_ms)
+            }
+            TraceKind::TimerCanceled { timer } => obj.set("timer", *timer),
+            TraceKind::TimerFired { timer } => obj.set("timer", *timer),
+            TraceKind::EnvelopeSent { statement } => obj.set("statement", *statement),
+            TraceKind::EnvelopeReceived { statement, from } => obj
+                .set("statement", *statement)
+                .set("from", u64::from(*from)),
+            TraceKind::Externalized => obj,
+            TraceKind::LedgerClosed { tx_count, apply_us } => obj
+                .set("tx_count", u64::from(*tx_count))
+                .set("apply_us", *apply_us),
+        }
+    }
+}
+
+/// One entry of the consensus timeline: when, who, which slot, what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Timestamp (ms; simulated time in the simulator).
+    pub t_ms: u64,
+    /// The node this event happened on.
+    pub node: u32,
+    /// The consensus slot it belongs to.
+    pub slot: u64,
+    /// The structured payload.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// One JSONL line: `{"t_ms":..,"node":..,"slot":..,"event":..,...}`.
+    pub fn to_json(&self) -> Json {
+        let obj = Json::obj()
+            .set("t_ms", self.t_ms)
+            .set("node", u64::from(self.node))
+            .set("slot", self.slot)
+            .set("event", self.kind.tag());
+        self.kind.detail_json(obj)
+    }
+}
+
+/// Bounded, slot-scoped event ring.
+///
+/// Retention is two-dimensional: events for slots older than
+/// `keep_slots` behind the newest recorded slot are dropped, and the
+/// total event count is hard-capped (oldest evicted first) so a
+/// pathological slot cannot grow memory without bound either.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    events: VecDeque<TraceEvent>,
+    keep_slots: u64,
+    max_events: usize,
+    max_slot: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(8, 16_384)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `keep_slots` slots, at most
+    /// `max_events` events total.
+    pub fn new(keep_slots: u64, max_events: usize) -> FlightRecorder {
+        FlightRecorder {
+            events: VecDeque::new(),
+            keep_slots: keep_slots.max(1),
+            max_events: max_events.max(1),
+            max_slot: 0,
+        }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, t_ms: u64, node: u32, slot: u64, kind: TraceKind) {
+        if slot > self.max_slot {
+            self.max_slot = slot;
+            let cutoff = self.max_slot.saturating_sub(self.keep_slots - 1);
+            self.events.retain(|e| e.slot >= cutoff);
+        }
+        if slot + self.keep_slots <= self.max_slot {
+            return; // older than the retention window: drop on arrival
+        }
+        if self.events.len() >= self.max_events {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceEvent {
+            t_ms,
+            node,
+            slot,
+            kind,
+        });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained events for one slot, oldest first.
+    pub fn slot_events(&self, slot: u64) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.slot == slot).collect()
+    }
+
+    /// Newest slot that has recorded events.
+    pub fn latest_slot(&self) -> u64 {
+        self.max_slot
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded (or everything aged out).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Human-readable timeline of one slot: one line per event with a
+    /// relative-time column, e.g.
+    ///
+    /// ```text
+    /// slot 7 timeline (12 events, 1840ms span)
+    ///     +0ms  [node 0] nomination round 1
+    ///     +0ms  [node 0] sent nominate
+    ///  +1002ms  [node 0] nomination timer FIRED
+    /// ```
+    pub fn timeline(&self, slot: u64) -> String {
+        let events = self.slot_events(slot);
+        let Some(first) = events.first() else {
+            return format!("slot {slot}: no recorded events\n");
+        };
+        let t0 = first.t_ms;
+        let span = events.last().map_or(0, |e| e.t_ms - t0);
+        let mut out = format!(
+            "slot {slot} timeline ({} events, {span}ms span)\n",
+            events.len()
+        );
+        for e in events {
+            out.push_str(&format!(
+                "{:>9}  [node {}] {}\n",
+                format!("+{}ms", e.t_ms - t0),
+                e.node,
+                e.kind.describe()
+            ));
+        }
+        out
+    }
+
+    /// Every retained event as JSON Lines (one object per line).
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One slot's events as JSON Lines.
+    pub fn dump_jsonl_slot(&self, slot: u64) -> String {
+        let mut out = String::new();
+        for e in self.slot_events(slot) {
+            out.push_str(&e.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn rec(fr: &mut FlightRecorder, t: u64, slot: u64, kind: TraceKind) {
+        fr.record(t, 0, slot, kind);
+    }
+
+    #[test]
+    fn slot_window_evicts_old_slots() {
+        let mut fr = FlightRecorder::new(2, 1000);
+        rec(&mut fr, 10, 1, TraceKind::Externalized);
+        rec(&mut fr, 20, 2, TraceKind::Externalized);
+        assert_eq!(fr.len(), 2);
+        rec(&mut fr, 30, 3, TraceKind::Externalized);
+        // Slot 1 aged out; slots 2 and 3 retained.
+        assert!(fr.slot_events(1).is_empty());
+        assert_eq!(fr.slot_events(2).len(), 1);
+        assert_eq!(fr.slot_events(3).len(), 1);
+        // Late arrival for an evicted slot is dropped, not resurrected.
+        rec(&mut fr, 40, 1, TraceKind::Externalized);
+        assert!(fr.slot_events(1).is_empty());
+    }
+
+    #[test]
+    fn event_cap_evicts_oldest() {
+        let mut fr = FlightRecorder::new(10, 3);
+        for t in 0..5u64 {
+            rec(&mut fr, t, 1, TraceKind::BallotBump { counter: t as u32 });
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.events().next().unwrap().t_ms, 2);
+    }
+
+    #[test]
+    fn timeline_renders_relative_times() {
+        let mut fr = FlightRecorder::default();
+        rec(&mut fr, 1000, 7, TraceKind::NominationRound { round: 1 });
+        fr.record(
+            1080,
+            2,
+            7,
+            TraceKind::EnvelopeReceived {
+                statement: "prepare",
+                from: 2,
+            },
+        );
+        rec(&mut fr, 2010, 7, TraceKind::Externalized);
+        let text = fr.timeline(7);
+        assert!(text.contains("slot 7 timeline (3 events, 1010ms span)"));
+        assert!(text.contains("+0ms"));
+        assert!(text.contains("+80ms"));
+        assert!(text.contains("recv prepare from node 2"));
+        assert!(text.contains("EXTERNALIZED"));
+        assert!(fr.timeline(99).contains("no recorded events"));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_tags() {
+        let mut fr = FlightRecorder::default();
+        rec(
+            &mut fr,
+            5,
+            3,
+            TraceKind::TimerArmed {
+                timer: "ballot",
+                delay_ms: 2000,
+            },
+        );
+        rec(
+            &mut fr,
+            6,
+            3,
+            TraceKind::LedgerClosed {
+                tx_count: 12,
+                apply_us: 480,
+            },
+        );
+        let dump = fr.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).expect("valid JSON line");
+        assert_eq!(
+            first.get("event").and_then(Json::as_str),
+            Some("timer_armed")
+        );
+        assert_eq!(first.get("delay_ms").and_then(Json::as_f64), Some(2000.0));
+        let second = Json::parse(lines[1]).expect("valid JSON line");
+        assert_eq!(second.get("tx_count").and_then(Json::as_f64), Some(12.0));
+        assert_eq!(fr.dump_jsonl_slot(3).lines().count(), 2);
+        assert_eq!(fr.dump_jsonl_slot(4).lines().count(), 0);
+    }
+}

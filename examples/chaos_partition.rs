@@ -137,4 +137,18 @@ fn main() {
         "invariant monitor: clean — the partition cost org2 liveness for {}s, never safety",
         (HEAL_AT_MS - PARTITION_AT_MS) / 1000
     );
+
+    // The flight recorder kept a per-slot trace on every node; render the
+    // observer's latest decided slot — the same artifact a violating
+    // chaos run attaches to its report (`ChaosReport::flight_recording`).
+    let observer = run.sim().observer_id();
+    let recorder = &run.sim().telemetry(observer).recorder;
+    let decided = recorder
+        .events()
+        .filter(|e| matches!(e.kind, stellar::telemetry::TraceKind::Externalized))
+        .last()
+        .map(|e| e.slot)
+        .expect("observer externalized within the retention window");
+    println!("\n=== flight recorder: node {observer}, slot {decided} ===\n");
+    println!("{}", recorder.timeline(decided));
 }

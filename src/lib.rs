@@ -15,6 +15,7 @@
 //! | Overlay: flooding, topology, traffic stats | [`overlay`] | §5.4 |
 //! | Discrete-event simulation & experiments | [`sim`] | §7 |
 //! | Fault injection, Byzantine adversaries, invariant monitoring | [`chaos`] | §3, §6 |
+//! | Metrics registry, flight recorder, JSON export | [`telemetry`] | §7 |
 //!
 //! ## Quickstart
 //!
@@ -52,3 +53,4 @@ pub use stellar_overlay as overlay;
 pub use stellar_quorum as quorum;
 pub use stellar_scp as scp;
 pub use stellar_sim as sim;
+pub use stellar_telemetry as telemetry;
