@@ -21,4 +21,10 @@ SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin telemetry_smoke
 
+echo "==> close-path perf smoke (exp_close_perf --quick -> schema-valid BENCH_close_perf.json)"
+BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_close_perf -- --quick
+
+echo "==> cache determinism (caches on vs off externalize identical hashes)"
+cargo test -q --test cache_determinism
+
 echo "CI green."

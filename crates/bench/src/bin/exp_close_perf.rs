@@ -1,0 +1,382 @@
+//! E14 — the ledger-close hot path: closes/sec under a mixed workload.
+//!
+//! Exercises the full per-ledger pipeline a validator pays — submission
+//! (signature checks), nomination-style set validation, apply, bucket
+//! re-hash — over a sweep of accounts × resting offers × txs/ledger, and
+//! compares against the committed pre-optimization baseline
+//! (`BENCH_close_perf_baseline.json`).
+//!
+//! ```sh
+//! cargo run --release -p stellar-bench --bin exp_close_perf [-- --quick]
+//! ```
+
+use std::time::Instant;
+use stellar_bench::{print_table, write_bench_json};
+use stellar_buckets::BucketList;
+use stellar_herder::queue::TxQueue;
+use stellar_ledger::amount::{xlm, Price, BASE_FEE};
+use stellar_ledger::apply::close_ledger_cached;
+use stellar_ledger::asset::Asset;
+use stellar_ledger::entry::{AccountEntry, LedgerEntry, OfferEntry, TrustLineEntry};
+use stellar_ledger::header::{LedgerHeader, LedgerParams};
+use stellar_ledger::sigcache::SigVerifyCache;
+use stellar_ledger::store::LedgerStore;
+use stellar_ledger::tx::{Memo, Operation, SourcedOperation, Transaction, TransactionEnvelope};
+use stellar_ledger::txset::TransactionSet;
+use stellar_sim::loadgen::{user_account, user_keys};
+use stellar_telemetry::{Histogram, Json};
+
+/// One sweep point.
+#[derive(Clone, Copy)]
+struct Config {
+    accounts: u64,
+    offers: u64,
+    txs_per_ledger: u64,
+    ledgers: u64,
+}
+
+/// Measured outcome of one sweep point.
+struct Outcome {
+    closes_per_sec: f64,
+    mean_close_us: f64,
+    p50_close_us: u64,
+    p99_close_us: u64,
+    sig_cache_hits: u64,
+    sig_cache_misses: u64,
+    txs_applied: u64,
+}
+
+/// Number of dedicated market-maker accounts holding the resting book.
+const MAKERS: u64 = 32;
+
+/// User-account index of the USD issuer (placed far past any sweep size).
+const ISSUER_IDX: u64 = u64::MAX / 2;
+
+fn usd() -> Asset {
+    Asset::issued(user_account(ISSUER_IDX), "USD")
+}
+
+/// Builds the genesis store: `accounts` payment users (the first quarter
+/// also hold USD trustlines so they can place crossing orders), `MAKERS`
+/// makers whose USD inventory backs `offers` resting offers selling USD
+/// for XLM at ascending prices.
+fn build_store(accounts: u64, offers: u64) -> LedgerStore {
+    let usd = usd();
+    let mut entries: Vec<LedgerEntry> = Vec::new();
+    let takers = taker_count(accounts);
+    for i in 0..accounts {
+        let mut a = AccountEntry::new(user_account(i), xlm(1_000));
+        if i < takers {
+            a.num_subentries = 1; // USD trustline below
+        }
+        entries.push(LedgerEntry::Account(a));
+        if i < takers {
+            entries.push(LedgerEntry::TrustLine(TrustLineEntry {
+                account: user_account(i),
+                asset: usd.clone(),
+                balance: 0,
+                limit: i64::MAX / 2,
+                authorized: true,
+            }));
+        }
+    }
+    entries.push(LedgerEntry::Account(AccountEntry::new(
+        user_account(ISSUER_IDX),
+        xlm(1_000),
+    )));
+    for m in 0..MAKERS {
+        let idx = ISSUER_IDX + 1 + m;
+        let per_maker = offers / MAKERS + 1;
+        let mut a = AccountEntry::new(user_account(idx), xlm(100_000));
+        a.num_subentries = 1 + per_maker as u32;
+        entries.push(LedgerEntry::Account(a));
+        entries.push(LedgerEntry::TrustLine(TrustLineEntry {
+            account: user_account(idx),
+            asset: usd.clone(),
+            balance: i64::MAX / 4,
+            limit: i64::MAX / 2,
+            authorized: true,
+        }));
+    }
+    for o in 0..offers {
+        entries.push(LedgerEntry::Offer(OfferEntry {
+            id: o + 1,
+            account: user_account(ISSUER_IDX + 1 + (o % MAKERS)),
+            selling: usd.clone(),
+            buying: Asset::Native,
+            amount: 1_000_000_000,
+            // Ascending asks: 1.00, 1.01, … XLM per USD; takers cross only
+            // the best few, but a naive matcher pays for the whole book.
+            price: Price::new(100 + (o % 512) as u32, 100),
+            passive: false,
+        }));
+    }
+    LedgerStore::from_entries(entries)
+}
+
+/// How many user accounts carry a USD trustline (candidate order takers).
+fn taker_count(accounts: u64) -> u64 {
+    (accounts / 4).max(8)
+}
+
+/// Builds one ledger's transaction batch: 80% payments, 20% crossing
+/// orders, with per-account sequence numbers threaded via `next_seq`.
+fn build_batch(
+    cfg: &Config,
+    ledger: u64,
+    next_seq: &mut std::collections::HashMap<u64, u64>,
+) -> Vec<TransactionEnvelope> {
+    let takers = taker_count(cfg.accounts);
+    let mut out = Vec::with_capacity(cfg.txs_per_ledger as usize);
+    for t in 0..cfg.txs_per_ledger {
+        let n = ledger * cfg.txs_per_ledger + t;
+        let crossing = t % 5 == 4;
+        let src = if crossing {
+            n % takers
+        } else {
+            // Payment senders drawn from the upper (trustline-free) range
+            // so order takers and payers don't contend on sequences.
+            takers + (n % (cfg.accounts - takers))
+        };
+        let seq = {
+            let s = next_seq.entry(src).or_insert(1);
+            let v = *s;
+            *s += 1;
+            v
+        };
+        let op = if crossing {
+            // Sell 100 stroops of XLM for USD at 1 USD/XLM: crosses the
+            // book's best asks and fully fills (no residue offer).
+            Operation::ManageOffer {
+                offer_id: 0,
+                selling: Asset::Native,
+                buying: usd(),
+                amount: 100,
+                price: Price::new(1, 1),
+                passive: false,
+            }
+        } else {
+            Operation::Payment {
+                destination: user_account((src + 1) % cfg.accounts),
+                asset: Asset::Native,
+                amount: 1 + (n % 100) as i64,
+            }
+        };
+        let tx = Transaction {
+            source: user_account(src),
+            seq_num: seq,
+            fee: BASE_FEE,
+            time_bounds: None,
+            memo: Memo::None,
+            operations: vec![SourcedOperation { source: None, op }],
+        };
+        out.push(TransactionEnvelope::sign(tx, &[&user_keys(src)]));
+    }
+    out
+}
+
+/// Runs one sweep point through the submission → nomination-check →
+/// close pipeline, timing each close end to end.
+fn run_config(cfg: Config) -> Outcome {
+    let mut store = build_store(cfg.accounts, cfg.offers);
+    let mut buckets = BucketList::seed(store.all_entries());
+    let mut header = LedgerHeader::genesis(stellar_crypto::Hash256::ZERO);
+    header.snapshot_hash = buckets.hash();
+    let mut queue = TxQueue::new();
+    // Per-node signature-verify cache, sized as in `Herder::new`.
+    let mut sig_cache = SigVerifyCache::new(1 << 16);
+    let mut next_seq = std::collections::HashMap::new();
+    let mut hist = Histogram::default();
+    let mut txs_applied = 0u64;
+    let t_all = Instant::now();
+    for ledger in 0..cfg.ledgers {
+        let batch = build_batch(&cfg, ledger, &mut next_seq);
+        let t0 = Instant::now();
+        // 1. Admission: queue verifies signatures on submit (warms the
+        //    cache for the two later checks).
+        for env in batch {
+            queue
+                .submit_cached(&store, env, &mut sig_cache)
+                .expect("bench txs are valid");
+        }
+        // 2. Nomination-style validation of the candidate set.
+        let candidates = queue.candidates(&store);
+        let set = TransactionSet::assemble(header.hash(), candidates, u32::MAX);
+        let close_time = header.close_time + 5;
+        {
+            let delta = store.begin();
+            for env in &set.txs {
+                stellar_ledger::apply::check_validity_cached(
+                    &delta,
+                    env,
+                    close_time,
+                    set.base_fee_rate * env.tx.op_count().max(1) as i64,
+                    &mut sig_cache,
+                )
+                .expect("bench txs validate");
+            }
+        }
+        // 3. Apply + snapshot.
+        let result = close_ledger_cached(
+            &mut store,
+            &header,
+            &set,
+            close_time,
+            LedgerParams::default(),
+            &mut sig_cache,
+        );
+        for r in &result.results {
+            assert!(r.is_success(), "bench tx failed: {r:?}");
+        }
+        buckets.add_batch(result.header.ledger_seq, &result.changes);
+        header = result.header;
+        header.snapshot_hash = buckets.hash();
+        queue.prune(&store);
+        txs_applied += set.txs.len() as u64;
+        hist.observe(t0.elapsed().as_micros() as u64);
+    }
+    let total_s = t_all.elapsed().as_secs_f64();
+    Outcome {
+        closes_per_sec: cfg.ledgers as f64 / total_s,
+        mean_close_us: hist.mean(),
+        p50_close_us: hist.quantile(50.0),
+        p99_close_us: hist.quantile(99.0),
+        sig_cache_hits: sig_cache.hits(),
+        sig_cache_misses: sig_cache.misses(),
+        txs_applied,
+    }
+}
+
+/// Loads the committed pre-change baseline, if present.
+fn load_baseline() -> Option<Json> {
+    let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    for candidate in [
+        std::path::Path::new(&dir).join("BENCH_close_perf_baseline.json"),
+        std::path::PathBuf::from("BENCH_close_perf_baseline.json"),
+    ] {
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            if let Ok(doc) = Json::parse(&text) {
+                return Some(doc);
+            }
+        }
+    }
+    None
+}
+
+/// Baseline closes/sec for a config, from the baseline document.
+fn baseline_rate(baseline: &Json, cfg: &Config) -> Option<f64> {
+    for r in baseline.get("results")?.as_arr()? {
+        let matches = |key: &str, v: u64| r.get(key).and_then(Json::as_f64) == Some(v as f64);
+        if matches("accounts", cfg.accounts)
+            && matches("offers", cfg.offers)
+            && matches("txs_per_ledger", cfg.txs_per_ledger)
+        {
+            return r.get("closes_per_sec").and_then(Json::as_f64);
+        }
+    }
+    None
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let configs: Vec<Config> = if quick {
+        vec![Config {
+            accounts: 1_000,
+            offers: 100,
+            txs_per_ledger: 20,
+            ledgers: 8,
+        }]
+    } else {
+        vec![
+            Config {
+                accounts: 1_000,
+                offers: 100,
+                txs_per_ledger: 50,
+                ledgers: 30,
+            },
+            Config {
+                accounts: 10_000,
+                offers: 1_000,
+                txs_per_ledger: 100,
+                ledgers: 30,
+            },
+            Config {
+                accounts: 20_000,
+                offers: 2_000,
+                txs_per_ledger: 200,
+                ledgers: 20,
+            },
+        ]
+    };
+
+    let baseline = load_baseline();
+    println!("=== E14: ledger-close hot path (closes/sec) ===\n");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for cfg in &configs {
+        eprintln!(
+            "running {} accounts × {} offers × {} tx/ledger …",
+            cfg.accounts, cfg.offers, cfg.txs_per_ledger
+        );
+        let out = run_config(*cfg);
+        let base = baseline.as_ref().and_then(|b| baseline_rate(b, cfg));
+        let speedup = base.map(|b| out.closes_per_sec / b);
+        rows.push(vec![
+            format!("{}", cfg.accounts),
+            format!("{}", cfg.offers),
+            format!("{}", cfg.txs_per_ledger),
+            format!("{:.1}", out.closes_per_sec),
+            format!("{:.0}", out.mean_close_us),
+            format!("{}", out.p50_close_us),
+            format!("{}", out.p99_close_us),
+            format!(
+                "{:.0}%",
+                100.0 * out.sig_cache_hits as f64
+                    / (out.sig_cache_hits + out.sig_cache_misses).max(1) as f64
+            ),
+            speedup.map_or("-".into(), |s| format!("{s:.2}x")),
+        ]);
+        let mut r = Json::obj()
+            .set("accounts", cfg.accounts)
+            .set("offers", cfg.offers)
+            .set("txs_per_ledger", cfg.txs_per_ledger)
+            .set("ledgers", cfg.ledgers)
+            .set("txs_applied", out.txs_applied)
+            .set("closes_per_sec", out.closes_per_sec)
+            .set("mean_close_us", out.mean_close_us)
+            .set("p50_close_us", out.p50_close_us)
+            .set("p99_close_us", out.p99_close_us)
+            .set("sig_cache_hits", out.sig_cache_hits)
+            .set("sig_cache_misses", out.sig_cache_misses);
+        if let Some(b) = base {
+            r = r
+                .set("baseline_closes_per_sec", b)
+                .set("speedup_vs_baseline", out.closes_per_sec / b);
+        }
+        results.push(r);
+    }
+    print_table(
+        &[
+            "accounts",
+            "offers",
+            "tx/ledger",
+            "closes/s",
+            "mean(us)",
+            "p50(us)",
+            "p99(us)",
+            "sig-hit",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    let mut doc = Json::obj()
+        .set("schema", "stellar-bench/v1")
+        .set("name", "close_perf")
+        .set("quick", quick)
+        .set("results", Json::Arr(results));
+    if baseline.is_some() {
+        doc = doc.set("baseline_source", "BENCH_close_perf_baseline.json");
+    }
+    write_bench_json("close_perf", &doc).expect("write BENCH_close_perf.json");
+}

@@ -1,6 +1,15 @@
 //! A single bucket: a sorted set of entry versions and tombstones.
+//!
+//! Internally a bucket is a key-sorted vector of reference-counted
+//! *slots*, each carrying its serialized form. Sorting makes
+//! [`Bucket::merge`] a linear merge-join (the dominant cost of deep
+//! spills), ref-counting lets unchanged slots flow from input to output
+//! buckets without copying the entry, and the cached bytes make
+//! [`Bucket::hash`] a pure streaming pass — each entry is serialized once
+//! in its lifetime, no matter how many merges and hashes it survives.
+//! The hash value is byte-identical to serializing on the fly.
 
-use std::collections::BTreeMap;
+use std::rc::Rc;
 use stellar_crypto::codec::Encode;
 use stellar_crypto::{sha256::Sha256, Hash256};
 use stellar_ledger::entry::{LedgerEntry, LedgerKey};
@@ -16,24 +25,50 @@ pub enum BucketEntry {
     Dead,
 }
 
-impl BucketEntry {
-    fn encode_with_key(&self, key: &LedgerKey, out: &mut Vec<u8>) {
-        key.encode(out);
-        match self {
+/// A key, its entry version, and their serialization — computed once when
+/// the slot is created and reused by every later hash.
+#[derive(Debug)]
+struct Slot {
+    key: LedgerKey,
+    entry: BucketEntry,
+    enc: Vec<u8>,
+}
+
+impl Slot {
+    fn new(key: LedgerKey, entry: BucketEntry) -> Slot {
+        let mut enc = Vec::new();
+        key.encode(&mut enc);
+        match &entry {
             BucketEntry::Live(e) => {
-                0u8.encode(out);
-                e.encode(out);
+                0u8.encode(&mut enc);
+                e.encode(&mut enc);
             }
-            BucketEntry::Dead => 1u8.encode(out),
+            BucketEntry::Dead => 1u8.encode(&mut enc),
         }
+        Slot { key, entry, enc }
     }
 }
 
 /// A sorted, content-hashed bucket.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Bucket {
-    entries: BTreeMap<LedgerKey, BucketEntry>,
+    /// Slots sorted by key, keys unique. `Rc` so merges share unchanged
+    /// slots with their inputs instead of re-allocating them.
+    slots: Vec<Rc<Slot>>,
 }
+
+impl PartialEq for Bucket {
+    fn eq(&self, other: &Bucket) -> bool {
+        self.slots.len() == other.slots.len()
+            && self
+                .slots
+                .iter()
+                .zip(&other.slots)
+                .all(|(a, b)| a.key == b.key && a.entry == b.entry)
+    }
+}
+
+impl Eq for Bucket {}
 
 impl Bucket {
     /// The empty bucket.
@@ -41,50 +76,63 @@ impl Bucket {
         Bucket::default()
     }
 
-    /// Builds a bucket from a ledger-close change feed.
+    /// Builds a bucket from a ledger-close change feed (later changes to
+    /// the same key shadow earlier ones).
     pub fn from_changes(changes: &[(LedgerKey, Option<LedgerEntry>)]) -> Bucket {
-        let mut entries = BTreeMap::new();
-        for (key, change) in changes {
-            let be = match change {
-                Some(e) => BucketEntry::Live(e.clone()),
-                None => BucketEntry::Dead,
-            };
-            entries.insert(key.clone(), be);
+        let mut slots: Vec<Rc<Slot>> = changes
+            .iter()
+            .map(|(key, change)| {
+                let be = match change {
+                    Some(e) => BucketEntry::Live(e.clone()),
+                    None => BucketEntry::Dead,
+                };
+                Rc::new(Slot::new(key.clone(), be))
+            })
+            .collect();
+        // Stable sort + keep-last dedup: the last change for a key wins,
+        // matching map-insert semantics.
+        slots.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut deduped: Vec<Rc<Slot>> = Vec::with_capacity(slots.len());
+        for s in slots {
+            if deduped.last().is_some_and(|p| p.key == s.key) {
+                *deduped.last_mut().expect("nonempty") = s;
+            } else {
+                deduped.push(s);
+            }
         }
-        Bucket { entries }
+        Bucket { slots: deduped }
     }
 
     /// Number of slots (live + tombstones).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slots.len()
     }
 
     /// True when the bucket holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Looks up an entry version by key.
+    /// Looks up an entry version by key (binary search).
     pub fn get(&self, key: &LedgerKey) -> Option<&BucketEntry> {
-        self.entries.get(key)
+        let i = self.slots.binary_search_by(|s| s.key.cmp(key)).ok()?;
+        Some(&self.slots[i].entry)
     }
 
-    /// Sequential iteration (the only access pattern merges need).
+    /// Sequential iteration in key order (the access pattern merges need).
     pub fn iter(&self) -> impl Iterator<Item = (&LedgerKey, &BucketEntry)> {
-        self.entries.iter()
+        self.slots.iter().map(|s| (&s.key, &s.entry))
     }
 
     /// Content hash: SHA-256 over the sorted serialized slots.
     ///
-    /// Incremental hashing means the cost is one pass over the bucket,
-    /// paid only when the bucket changes (i.e. at merge time).
+    /// Streams each slot's cached bytes — no per-hash serialization. The
+    /// resulting value is identical to encoding every `(key, entry)` pair
+    /// in key order, so cached and from-scratch hashes always agree.
     pub fn hash(&self) -> Hash256 {
         let mut h = Sha256::new();
-        let mut buf = Vec::new();
-        for (k, v) in &self.entries {
-            buf.clear();
-            v.encode_with_key(k, &mut buf);
-            h.update(&buf);
+        for s in &self.slots {
+            h.update(&s.enc);
         }
         h.finish()
     }
@@ -93,21 +141,44 @@ impl Bucket {
     ///
     /// Newer versions shadow older ones. Tombstones are kept unless
     /// `bottom_level` is set, in which case they annihilate (nothing below
-    /// could still hold a shadowed version).
+    /// could still hold a shadowed version). Linear merge-join over the
+    /// two sorted slot vectors; surviving slots are shared, not copied.
     pub fn merge(&self, newer: &Bucket, bottom_level: bool) -> Bucket {
-        let mut out = self.entries.clone();
-        for (k, v) in &newer.entries {
-            out.insert(k.clone(), v.clone());
+        let mut out: Vec<Rc<Slot>> = Vec::with_capacity(self.slots.len() + newer.slots.len());
+        let mut older = self.slots.iter().peekable();
+        let mut fresh = newer.slots.iter().peekable();
+        loop {
+            let take_fresh = match (older.peek(), fresh.peek()) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(o), Some(f)) => {
+                    if o.key < f.key {
+                        false
+                    } else {
+                        if o.key == f.key {
+                            older.next(); // shadowed by the newer version
+                        }
+                        true
+                    }
+                }
+            };
+            let slot = if take_fresh {
+                fresh.next().expect("peeked")
+            } else {
+                older.next().expect("peeked")
+            };
+            if bottom_level && matches!(slot.entry, BucketEntry::Dead) {
+                continue;
+            }
+            out.push(Rc::clone(slot));
         }
-        if bottom_level {
-            out.retain(|_, v| !matches!(v, BucketEntry::Dead));
-        }
-        Bucket { entries: out }
+        Bucket { slots: out }
     }
 
     /// Live entries only (for state reconstruction during catch-up).
     pub fn live_entries(&self) -> impl Iterator<Item = &LedgerEntry> {
-        self.entries.values().filter_map(|v| match v {
+        self.slots.iter().filter_map(|s| match &s.entry {
             BucketEntry::Live(e) => Some(e),
             BucketEntry::Dead => None,
         })
@@ -149,6 +220,16 @@ mod tests {
     }
 
     #[test]
+    fn later_change_for_same_key_wins() {
+        let b = Bucket::from_changes(&[live(1, 10), live(1, 99)]);
+        assert_eq!(b.len(), 1);
+        match b.get(&key(1)).unwrap() {
+            BucketEntry::Live(LedgerEntry::Account(a)) => assert_eq!(a.balance, 99),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn merge_newer_shadows_older() {
         let old = Bucket::from_changes(&[live(1, 10), live(2, 20)]);
         let new = Bucket::from_changes(&[live(1, 99)]);
@@ -158,6 +239,23 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_interleaves_in_key_order() {
+        let old = Bucket::from_changes(&[live(1, 1), live(3, 3), live(5, 5)]);
+        let new = Bucket::from_changes(&[live(0, 0), live(3, 33), live(6, 6)]);
+        let merged = old.merge(&new, false);
+        let keys: Vec<&LedgerKey> = merged.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "merge output must stay key-sorted");
+        assert_eq!(merged.len(), 5);
+        // The merged bucket hashes identically to a from-scratch build of
+        // the same final contents — cached encodings are not stale.
+        let rebuilt =
+            Bucket::from_changes(&[live(0, 0), live(1, 1), live(3, 33), live(5, 5), live(6, 6)]);
+        assert_eq!(merged.hash(), rebuilt.hash());
     }
 
     #[test]

@@ -164,6 +164,15 @@ pub fn verify(public: PublicKey, msg: &[u8], sig: &Signature) -> bool {
     challenge(r, public, msg) == sig.e
 }
 
+/// Verifies `sig` over a precomputed 32-byte hash under `public`.
+///
+/// Identical to `verify(public, hash.as_bytes(), sig)` but spelled so hot
+/// paths that already hold the transaction hash (memoized in the envelope)
+/// don't re-borrow through a temporary slice at every call site.
+pub fn verify_hash(public: PublicKey, hash: &crate::Hash256, sig: &Signature) -> bool {
+    verify(public, hash.as_bytes(), sig)
+}
+
 /// Convenience wrapper: signs the hash of an encodable structure.
 pub fn sign_xdr<T: Encode>(keys: &KeyPair, value: &T) -> Signature {
     keys.sign(crate::hash_xdr(value).as_bytes())

@@ -15,8 +15,9 @@ use std::time::Duration;
 use stellar_buckets::{BucketList, HistoryArchive};
 use stellar_crypto::sign::PublicKey;
 use stellar_crypto::Hash256;
-use stellar_ledger::apply::close_ledger;
+use stellar_ledger::apply::close_ledger_cached;
 use stellar_ledger::header::LedgerHeader;
+use stellar_ledger::sigcache::SigVerifyCache;
 use stellar_ledger::store::LedgerStore;
 use stellar_ledger::tx::TxResult;
 use stellar_ledger::txset::TransactionSet;
@@ -89,6 +90,11 @@ pub struct Herder {
     pub header: LedgerHeader,
     /// Pending transactions.
     pub queue: TxQueue,
+    /// Node-level verified-signature cache. One transaction is
+    /// signature-checked at submission, nomination validation, and apply;
+    /// this cache makes the second and third checks free. Purely an
+    /// optimization: externalized state is identical with it disabled.
+    pub sig_cache: SigVerifyCache,
     /// Governance stance.
     pub upgrade_policy: UpgradePolicy,
     /// Known transaction sets by hash (gossiped alongside SCP traffic).
@@ -139,6 +145,7 @@ impl Herder {
             archive: HistoryArchive::new(),
             header,
             queue: TxQueue::new(),
+            sig_cache: SigVerifyCache::new(1 << 16),
             upgrade_policy: UpgradePolicy::default(),
             known_tx_sets: HashMap::new(),
             now: 1,
@@ -240,7 +247,10 @@ impl Herder {
             }
             return false;
         }
-        let Some(set) = self.known_tx_sets.get(&value.tx_set_hash).cloned() else {
+        // Move the set out rather than cloning it: cloning envelopes
+        // resets their memoized hashes, which the apply path is about to
+        // reuse. The set is reinserted below.
+        let Some(set) = self.known_tx_sets.remove(&value.tx_set_hash) else {
             self.stalled_externalize.push((slot, value.clone()));
             return false;
         };
@@ -249,12 +259,13 @@ impl Herder {
         for u in &value.upgrades {
             u.apply(&mut params);
         }
-        let result = close_ledger(
+        let result = close_ledger_cached(
             &mut self.store,
             &self.header,
             &set,
             value.close_time,
             params,
+            &mut self.sig_cache,
         );
         self.buckets
             .add_batch(result.header.ledger_seq, &result.changes);
@@ -292,6 +303,7 @@ impl Herder {
             },
         );
         self.record_results(&result.results);
+        self.known_tx_sets.insert(value.tx_set_hash, set);
         self.try_apply_stalled();
         true
     }
@@ -317,12 +329,13 @@ impl Herder {
                 break; // gap in the archive; cannot replay further
             };
             let start = std::time::Instant::now();
-            let result = close_ledger(
+            let result = close_ledger_cached(
                 &mut self.store,
                 &self.header,
                 set,
                 expected.close_time,
                 expected.params,
+                &mut self.sig_cache,
             );
             self.buckets
                 .add_batch(result.header.ledger_seq, &result.changes);

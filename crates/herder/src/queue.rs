@@ -10,6 +10,7 @@ use std::collections::{BTreeMap, HashSet};
 use stellar_crypto::Hash256;
 use stellar_ledger::amount::BASE_FEE;
 use stellar_ledger::entry::AccountId;
+use stellar_ledger::sigcache::SigVerifyCache;
 use stellar_ledger::store::LedgerStore;
 use stellar_ledger::tx::TransactionEnvelope;
 
@@ -57,6 +58,18 @@ impl TxQueue {
         store: &LedgerStore,
         env: TransactionEnvelope,
     ) -> Result<(), QueueError> {
+        self.submit_cached(store, env, &mut SigVerifyCache::disabled())
+    }
+
+    /// [`TxQueue::submit`] with a node-level signature-verify cache: the
+    /// verification done here is remembered, so the same transaction's
+    /// later checks (nomination, apply) hit the cache.
+    pub fn submit_cached(
+        &mut self,
+        store: &LedgerStore,
+        env: TransactionEnvelope,
+        sig_cache: &mut SigVerifyCache,
+    ) -> Result<(), QueueError> {
         let h = env.hash();
         if self.seen.contains(&h) {
             return Err(QueueError::Duplicate);
@@ -71,7 +84,7 @@ impl TxQueue {
             return Err(QueueError::StaleSequence);
         }
         // At least one valid signature weighted for the source account.
-        let keys = env.valid_signer_keys();
+        let keys = env.valid_signer_keys_cached(sig_cache);
         if account.signing_weight(&keys) == 0 {
             return Err(QueueError::BadSignature);
         }

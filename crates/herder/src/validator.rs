@@ -86,7 +86,9 @@ impl Validator {
 
     /// Submits a client transaction to the pending queue.
     pub fn submit_transaction(&mut self, env: TransactionEnvelope) -> Result<(), QueueError> {
-        self.herder.queue.submit(&self.herder.store, env)
+        self.herder
+            .queue
+            .submit_cached(&self.herder.store, env, &mut self.herder.sig_cache)
     }
 
     /// Kicks off consensus for the next ledger: assembles the proposal,

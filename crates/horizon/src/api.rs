@@ -72,9 +72,9 @@ impl Horizon {
     /// Submits a transaction to the validator's pending queue.
     pub fn submit(herder: &mut Herder, env: TransactionEnvelope) -> Result<(), QueueError> {
         let store = &herder.store;
-        // Split borrow: queue.submit needs &store and &mut queue.
+        // Split borrow: queue.submit needs &store, &mut queue, &mut cache.
         let q = &mut herder.queue;
-        q.submit(store, env)
+        q.submit_cached(store, env, &mut herder.sig_cache)
     }
 
     /// The aggregated order book for a pair, best price first.

@@ -15,6 +15,7 @@
 use crate::entry::{AccountId, LedgerEntry, LedgerKey, ThresholdLevel};
 use crate::header::{LedgerHeader, LedgerParams};
 use crate::ops::{apply_operation, ExecEnv};
+use crate::sigcache::SigVerifyCache;
 use crate::store::{LedgerDelta, LedgerStore};
 use crate::tx::{Transaction, TransactionEnvelope, TxError, TxResult};
 use crate::txset::TransactionSet;
@@ -42,6 +43,25 @@ pub fn check_validity(
     close_time: u64,
     clearing_fee: i64,
 ) -> Result<(), TxError> {
+    check_validity_cached(
+        delta,
+        env,
+        close_time,
+        clearing_fee,
+        &mut SigVerifyCache::disabled(),
+    )
+}
+
+/// [`check_validity`] with a signature-verify cache, so a transaction
+/// already checked at submission or nomination does not re-run Schnorr
+/// verification at apply.
+pub fn check_validity_cached(
+    delta: &LedgerDelta<'_>,
+    env: &TransactionEnvelope,
+    close_time: u64,
+    clearing_fee: i64,
+    sig_cache: &mut SigVerifyCache,
+) -> Result<(), TxError> {
     let tx = &env.tx;
     if tx.operations.is_empty() {
         return Err(TxError::MissingOperations);
@@ -64,15 +84,19 @@ pub fn check_validity(
     if source.balance < clearing_fee.min(tx.fee) {
         return Err(TxError::InsufficientBalance);
     }
-    check_signatures(delta, env)?;
+    check_signatures(delta, env, sig_cache)?;
     Ok(())
 }
 
 /// Verifies that every source account's signature threshold is met (§5.2:
 /// "A transaction must be signed by keys corresponding to every source
 /// account in an operation").
-fn check_signatures(delta: &LedgerDelta<'_>, env: &TransactionEnvelope) -> Result<(), TxError> {
-    let signer_keys = env.valid_signer_keys();
+fn check_signatures(
+    delta: &LedgerDelta<'_>,
+    env: &TransactionEnvelope,
+    sig_cache: &mut SigVerifyCache,
+) -> Result<(), TxError> {
+    let signer_keys = env.valid_signer_keys_cached(sig_cache);
     for account_id in env.tx.signing_accounts() {
         let account = delta.account(account_id).ok_or(TxError::NoSourceAccount)?;
         let weight = account.signing_weight_with_preimages(&signer_keys, &env.preimages);
@@ -121,7 +145,26 @@ pub fn apply_transaction(
     clearing_fee: i64,
     exec: &ExecEnv,
 ) -> TxResult {
-    if let Err(e) = check_validity(delta, env, close_time, clearing_fee) {
+    apply_transaction_cached(
+        delta,
+        env,
+        close_time,
+        clearing_fee,
+        exec,
+        &mut SigVerifyCache::disabled(),
+    )
+}
+
+/// [`apply_transaction`] with a signature-verify cache.
+pub fn apply_transaction_cached(
+    delta: &mut LedgerDelta<'_>,
+    env: &TransactionEnvelope,
+    close_time: u64,
+    clearing_fee: i64,
+    exec: &ExecEnv,
+    sig_cache: &mut SigVerifyCache,
+) -> TxResult {
+    if let Err(e) = check_validity_cached(delta, env, close_time, clearing_fee, sig_cache) {
         return TxResult::Invalid(e);
     }
     let tx = &env.tx;
@@ -170,6 +213,29 @@ pub fn close_ledger(
     close_time: u64,
     params: LedgerParams,
 ) -> CloseResult {
+    close_ledger_cached(
+        store,
+        prev,
+        tx_set,
+        close_time,
+        params,
+        &mut SigVerifyCache::disabled(),
+    )
+}
+
+/// [`close_ledger`] with a per-node signature-verify cache: transactions
+/// this node already verified at submission or nomination skip Schnorr
+/// verification entirely at apply. The cache never changes results — it
+/// memoizes a pure function — so cached and uncached closes externalize
+/// identical headers.
+pub fn close_ledger_cached(
+    store: &mut LedgerStore,
+    prev: &LedgerHeader,
+    tx_set: &TransactionSet,
+    close_time: u64,
+    params: LedgerParams,
+    sig_cache: &mut SigVerifyCache,
+) -> CloseResult {
     let exec = ExecEnv {
         base_reserve: params.base_reserve,
         close_time,
@@ -179,7 +245,7 @@ pub fn close_ledger(
     let mut fees = 0i64;
     for env in &tx_set.txs {
         let clearing = tx_set.base_fee_rate * env.tx.op_count().max(1) as i64;
-        let r = apply_transaction(&mut delta, env, close_time, clearing, &exec);
+        let r = apply_transaction_cached(&mut delta, env, close_time, clearing, &exec, sig_cache);
         match &r {
             TxResult::Success { fee_charged } | TxResult::Failed { fee_charged, .. } => {
                 fees += fee_charged;

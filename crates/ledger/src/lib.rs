@@ -39,6 +39,7 @@ pub mod header;
 pub mod ops;
 pub mod orderbook;
 pub mod pathfind;
+pub mod sigcache;
 pub mod store;
 pub mod tx;
 pub mod txset;

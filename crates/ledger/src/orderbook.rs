@@ -13,7 +13,11 @@
 use crate::amount::Price;
 use crate::asset::Asset;
 use crate::entry::{AccountId, OfferEntry};
-use crate::store::LedgerDelta;
+use crate::store::{book_key, BookCursor, LedgerDelta};
+
+/// Resting offers fetched from the book per matching round. Most orders
+/// fill within one page; deep sweeps fetch more pages as they go.
+const BOOK_PAGE: usize = 16;
 
 /// Outcome of crossing an incoming order against the book.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,80 +83,91 @@ pub fn cross(
     let mut remaining_sell = caps.max_sell;
     let mut remaining_buy = caps.max_buy;
 
-    // Resting offers sell `buying` and buy `selling`.
-    let book = delta.offers_for_pair(buying, selling);
-    for maker in book {
-        if remaining_sell <= 0 || remaining_buy <= 0 {
+    // Resting offers sell `buying` and buy `selling`. Page through the
+    // book index lazily — a typical order fills within the first page, so
+    // a 10k-offer book costs the same as a 16-offer one. The cursor
+    // advances past each examined maker; consumed offers mutate only at
+    // or before the cursor, so pages never replay them.
+    let mut cursor: Option<BookCursor> = None;
+    'sweep: loop {
+        let page = delta.offers_page(buying, selling, cursor, BOOK_PAGE);
+        if page.is_empty() {
             break;
         }
-        if maker.account == taker {
-            continue; // no self-cross
-        }
-        // Crossing test: taker price (buy per sell) and maker price
-        // (sell per buy, in taker terms) must multiply to ≤ 1.
-        if !price.crosses(&maker.price) {
-            break; // book is sorted; nothing further crosses
-        }
-        // Passive orders do not take exactly-reciprocal prices.
-        let exactly_reciprocal = u64::from(price.n) * u64::from(maker.price.n)
-            == u64::from(price.d) * u64::from(maker.price.d);
-        if passive && exactly_reciprocal {
-            continue;
-        }
+        for maker in page {
+            cursor = Some(book_key(&maker));
+            if remaining_sell <= 0 || remaining_buy <= 0 {
+                break 'sweep;
+            }
+            if maker.account == taker {
+                continue; // no self-cross
+            }
+            // Crossing test: taker price (buy per sell) and maker price
+            // (sell per buy, in taker terms) must multiply to ≤ 1.
+            if !price.crosses(&maker.price) {
+                break 'sweep; // book is sorted; nothing further crosses
+            }
+            // Passive orders do not take exactly-reciprocal prices.
+            let exactly_reciprocal = u64::from(price.n) * u64::from(maker.price.n)
+                == u64::from(price.d) * u64::from(maker.price.d);
+            if passive && exactly_reciprocal {
+                continue;
+            }
 
-        // Trade at the maker's price: maker sells `buying` at
-        // maker.price (units of `selling` per unit of `buying`).
-        // Max the taker can buy from this maker:
-        let maker_available = maker.amount.min(remaining_buy);
-        if maker_available <= 0 {
-            continue;
-        }
-        // What the taker must pay for that, rounded up in maker's favor.
-        let full_cost = match maker.price.convert_ceil(maker_available) {
-            Some(c) => c,
-            None => break,
-        };
-        let (bought, sold) = if full_cost <= remaining_sell {
-            (maker_available, full_cost)
-        } else {
-            // Partial: how much can we buy with remaining_sell?
-            let b = match maker.price.invert().convert_floor(remaining_sell) {
-                Some(b) => b.min(maker_available),
-                None => break,
+            // Trade at the maker's price: maker sells `buying` at
+            // maker.price (units of `selling` per unit of `buying`).
+            // Max the taker can buy from this maker:
+            let maker_available = maker.amount.min(remaining_buy);
+            if maker_available <= 0 {
+                continue;
+            }
+            // What the taker must pay for that, rounded up in maker's favor.
+            let full_cost = match maker.price.convert_ceil(maker_available) {
+                Some(c) => c,
+                None => break 'sweep,
             };
-            if b <= 0 {
-                break;
+            let (bought, sold) = if full_cost <= remaining_sell {
+                (maker_available, full_cost)
+            } else {
+                // Partial: how much can we buy with remaining_sell?
+                let b = match maker.price.invert().convert_floor(remaining_sell) {
+                    Some(b) => b.min(maker_available),
+                    None => break 'sweep,
+                };
+                if b <= 0 {
+                    break 'sweep;
+                }
+                let c = maker.price.convert_ceil(b).unwrap_or(i64::MAX);
+                if c > remaining_sell {
+                    break 'sweep;
+                }
+                (b, c)
+            };
+            if bought <= 0 || sold <= 0 {
+                break 'sweep;
             }
-            let c = maker.price.convert_ceil(b).unwrap_or(i64::MAX);
-            if c > remaining_sell {
-                break;
+
+            // Consume the maker's offer.
+            let mut updated = maker.clone();
+            updated.amount -= bought;
+            if updated.amount <= 0 {
+                delta.delete_offer(updated.id);
+                release_offer_subentry(delta, updated.account);
+            } else {
+                delta.put_offer(updated);
             }
-            (b, c)
-        };
-        if bought <= 0 || sold <= 0 {
-            break;
-        }
 
-        // Consume the maker's offer.
-        let mut updated = maker.clone();
-        updated.amount -= bought;
-        if updated.amount <= 0 {
-            delta.delete_offer(updated.id);
-            release_offer_subentry(delta, updated.account);
-        } else {
-            delta.put_offer(updated);
+            remaining_sell -= sold;
+            remaining_buy -= bought;
+            result.sold += sold;
+            result.bought += bought;
+            result.fills.push(Fill {
+                offer_id: maker.id,
+                maker: maker.account,
+                taker_sold: sold,
+                taker_bought: bought,
+            });
         }
-
-        remaining_sell -= sold;
-        remaining_buy -= bought;
-        result.sold += sold;
-        result.bought += bought;
-        result.fills.push(Fill {
-            offer_id: maker.id,
-            maker: maker.account,
-            taker_sold: sold,
-            taker_bought: bought,
-        });
     }
     result
 }

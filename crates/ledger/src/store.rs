@@ -10,20 +10,73 @@
 //!
 //! The store also tracks, per ledger close, which entries changed; that
 //! change feed drives the bucket list in `stellar-buckets`.
+//!
+//! Two hot-path choices matter for close throughput:
+//!
+//! * **Split keying.** Trustlines and data entries are keyed by nested
+//!   maps (`account → asset → entry`), not by `(AccountId, Asset)` tuples,
+//!   so point reads never clone an `Asset` or build a scratch `String`
+//!   just to form a lookup key.
+//! * **Order-book index.** The store maintains a side index
+//!   `selling → buying → {(price, offer id)}` kept in lockstep with the
+//!   offer map at commit time. `offers_for_pair` walks the index in order
+//!   — O(log n + k) for k results — instead of scanning and sorting every
+//!   live offer; the matching engine pages through it lazily so a deep
+//!   book costs only what it fills.
 
+use crate::amount::Price;
 use crate::asset::Asset;
 use crate::entry::{
     AccountEntry, AccountId, DataEntry, LedgerEntry, LedgerKey, OfferEntry, TrustLineEntry,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+/// Position in a pair's book: `(price, offer id)` — the canonical
+/// price-time-priority ordering (numeric price, ties by id).
+pub type BookCursor = (Price, u64);
+
+/// The order-book side index: selling asset → buying asset → positions.
+type BookIndex = BTreeMap<Asset, BTreeMap<Asset, BTreeSet<BookCursor>>>;
+
+/// The book position of an offer — the one definition of book ordering
+/// shared by the base index and every delta merge, so price/time priority
+/// cannot drift between the two paths.
+pub fn book_key(offer: &OfferEntry) -> BookCursor {
+    (offer.price, offer.id)
+}
+
+fn index_insert(book: &mut BookIndex, offer: &OfferEntry) {
+    book.entry(offer.selling.clone())
+        .or_default()
+        .entry(offer.buying.clone())
+        .or_default()
+        .insert(book_key(offer));
+}
+
+fn index_remove(book: &mut BookIndex, offer: &OfferEntry) {
+    if let Some(buys) = book.get_mut(&offer.selling) {
+        if let Some(set) = buys.get_mut(&offer.buying) {
+            set.remove(&book_key(offer));
+            if set.is_empty() {
+                buys.remove(&offer.buying);
+            }
+        }
+        if buys.is_empty() {
+            book.remove(&offer.selling);
+        }
+    }
+}
 
 /// The base ledger state: all live entries.
 #[derive(Clone, Debug, Default)]
 pub struct LedgerStore {
     accounts: BTreeMap<AccountId, AccountEntry>,
-    trustlines: BTreeMap<(AccountId, Asset), TrustLineEntry>,
+    trustlines: BTreeMap<AccountId, BTreeMap<Asset, TrustLineEntry>>,
     offers: BTreeMap<u64, OfferEntry>,
-    data: BTreeMap<(AccountId, String), DataEntry>,
+    data: BTreeMap<AccountId, BTreeMap<String, DataEntry>>,
+    /// Side index over `offers`, maintained by every offer mutation.
+    book: BookIndex,
     /// Next offer id to allocate.
     next_offer_id: u64,
 }
@@ -52,9 +105,9 @@ impl LedgerStore {
         self.accounts.get(&id)
     }
 
-    /// Looks up a trustline.
+    /// Looks up a trustline (allocation-free).
     pub fn trustline(&self, id: AccountId, asset: &Asset) -> Option<&TrustLineEntry> {
-        self.trustlines.get(&(id, asset.clone()))
+        self.trustlines.get(&id)?.get(asset)
     }
 
     /// Looks up an offer by id.
@@ -62,22 +115,26 @@ impl LedgerStore {
         self.offers.get(&id)
     }
 
-    /// Looks up a data entry.
+    /// Looks up a data entry (allocation-free).
     pub fn data(&self, id: AccountId, name: &str) -> Option<&DataEntry> {
-        self.data.get(&(id, name.to_string()))
+        self.data.get(&id)?.get(name)
+    }
+
+    /// Every live offer, in id order (naive-scan reference for tests).
+    pub fn offers(&self) -> impl Iterator<Item = &OfferEntry> {
+        self.offers.values()
     }
 
     /// All offers selling `selling` for `buying`, best (lowest) price
-    /// first, ties by offer id (time priority).
+    /// first, ties by offer id (time priority). Served from the book
+    /// index: O(log n + k), already in order.
     pub fn offers_for_pair(&self, selling: &Asset, buying: &Asset) -> Vec<OfferEntry> {
-        let mut out: Vec<OfferEntry> = self
-            .offers
-            .values()
-            .filter(|o| &o.selling == selling && &o.buying == buying)
-            .cloned()
-            .collect();
-        out.sort_by(|a, b| a.price.cmp(&b.price).then(a.id.cmp(&b.id)));
-        out
+        let Some(set) = self.book.get(selling).and_then(|m| m.get(buying)) else {
+            return Vec::new();
+        };
+        set.iter()
+            .map(|&(_, id)| self.offers[&id].clone())
+            .collect()
     }
 
     /// Directly inserts an account (genesis / test setup).
@@ -87,7 +144,10 @@ impl LedgerStore {
 
     /// Directly inserts a trustline (genesis / test setup).
     pub fn put_trustline(&mut self, tl: TrustLineEntry) {
-        self.trustlines.insert((tl.account, tl.asset.clone()), tl);
+        self.trustlines
+            .entry(tl.account)
+            .or_default()
+            .insert(tl.asset.clone(), tl);
     }
 
     /// Iterates over every live entry (snapshot hashing, bucket seeding).
@@ -96,10 +156,16 @@ impl LedgerStore {
         let tls = self
             .trustlines
             .values()
+            .flat_map(BTreeMap::values)
             .cloned()
             .map(LedgerEntry::TrustLine);
         let offers = self.offers.values().cloned().map(LedgerEntry::Offer);
-        let data = self.data.values().cloned().map(LedgerEntry::Data);
+        let data = self
+            .data
+            .values()
+            .flat_map(BTreeMap::values)
+            .cloned()
+            .map(LedgerEntry::Data);
         accounts.chain(tls).chain(offers).chain(data)
     }
 
@@ -112,14 +178,19 @@ impl LedgerStore {
                     store.accounts.insert(a.id, a);
                 }
                 LedgerEntry::TrustLine(t) => {
-                    store.trustlines.insert((t.account, t.asset.clone()), t);
+                    store.put_trustline(t);
                 }
                 LedgerEntry::Offer(o) => {
                     store.next_offer_id = store.next_offer_id.max(o.id + 1);
+                    index_insert(&mut store.book, &o);
                     store.offers.insert(o.id, o);
                 }
                 LedgerEntry::Data(d) => {
-                    store.data.insert((d.account, d.name.clone()), d);
+                    store
+                        .data
+                        .entry(d.account)
+                        .or_default()
+                        .insert(d.name.clone(), d);
                 }
             }
         }
@@ -156,16 +227,23 @@ impl LedgerStore {
                 }
             }
         }
-        for ((id, asset), slot) in changes.trustlines {
-            let key = LedgerKey::TrustLine(id, asset.clone());
-            match slot {
-                Some(t) => {
-                    feed.push((key, Some(LedgerEntry::TrustLine(t.clone()))));
-                    self.trustlines.insert((id, asset), t);
-                }
-                None => {
-                    feed.push((key, None));
-                    self.trustlines.remove(&(id, asset));
+        for (id, by_asset) in changes.trustlines {
+            for (asset, slot) in by_asset {
+                let key = LedgerKey::TrustLine(id, asset.clone());
+                match slot {
+                    Some(t) => {
+                        feed.push((key, Some(LedgerEntry::TrustLine(t.clone()))));
+                        self.trustlines.entry(id).or_default().insert(asset, t);
+                    }
+                    None => {
+                        feed.push((key, None));
+                        if let Some(m) = self.trustlines.get_mut(&id) {
+                            m.remove(&asset);
+                            if m.is_empty() {
+                                self.trustlines.remove(&id);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -174,24 +252,49 @@ impl LedgerStore {
             match slot {
                 Some(o) => {
                     feed.push((key, Some(LedgerEntry::Offer(o.clone()))));
-                    self.offers.insert(id, o);
+                    index_insert(&mut self.book, &o);
+                    if let Some(prev) = self.offers.insert(id, o) {
+                        // An update may have moved the offer's book
+                        // position; drop the stale one. Position must be
+                        // compared with `Ord` (the set's notion of
+                        // equality): prices are unreduced fractions, so
+                        // 2/4 and 1/2 are Ord-equal but field-different,
+                        // and removing the "old" key would strip the
+                        // entry the no-op insert just kept.
+                        let cur = &self.offers[&id];
+                        if book_key(&prev).cmp(&book_key(cur)) != std::cmp::Ordering::Equal
+                            || prev.selling != cur.selling
+                            || prev.buying != cur.buying
+                        {
+                            index_remove(&mut self.book, &prev);
+                        }
+                    }
                 }
                 None => {
                     feed.push((key, None));
-                    self.offers.remove(&id);
+                    if let Some(prev) = self.offers.remove(&id) {
+                        index_remove(&mut self.book, &prev);
+                    }
                 }
             }
         }
-        for ((id, name), slot) in changes.data {
-            let key = LedgerKey::Data(id, name.clone());
-            match slot {
-                Some(d) => {
-                    feed.push((key, Some(LedgerEntry::Data(d.clone()))));
-                    self.data.insert((id, name), d);
-                }
-                None => {
-                    feed.push((key, None));
-                    self.data.remove(&(id, name));
+        for (id, by_name) in changes.data {
+            for (name, slot) in by_name {
+                let key = LedgerKey::Data(id, name.clone());
+                match slot {
+                    Some(d) => {
+                        feed.push((key, Some(LedgerEntry::Data(d.clone()))));
+                        self.data.entry(id).or_default().insert(name, d);
+                    }
+                    None => {
+                        feed.push((key, None));
+                        if let Some(m) = self.data.get_mut(&id) {
+                            m.remove(&name);
+                            if m.is_empty() {
+                                self.data.remove(&id);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -204,9 +307,9 @@ impl LedgerStore {
 #[derive(Debug)]
 pub struct DeltaChanges {
     accounts: BTreeMap<AccountId, Option<AccountEntry>>,
-    trustlines: BTreeMap<(AccountId, Asset), Option<TrustLineEntry>>,
+    trustlines: BTreeMap<AccountId, BTreeMap<Asset, Option<TrustLineEntry>>>,
     offers: BTreeMap<u64, Option<OfferEntry>>,
-    data: BTreeMap<(AccountId, String), Option<DataEntry>>,
+    data: BTreeMap<AccountId, BTreeMap<String, Option<DataEntry>>>,
     next_offer_id: u64,
 }
 
@@ -218,9 +321,9 @@ pub struct DeltaChanges {
 pub struct LedgerDelta<'a> {
     base: &'a LedgerStore,
     accounts: BTreeMap<AccountId, Option<AccountEntry>>,
-    trustlines: BTreeMap<(AccountId, Asset), Option<TrustLineEntry>>,
+    trustlines: BTreeMap<AccountId, BTreeMap<Asset, Option<TrustLineEntry>>>,
     offers: BTreeMap<u64, Option<OfferEntry>>,
-    data: BTreeMap<(AccountId, String), Option<DataEntry>>,
+    data: BTreeMap<AccountId, BTreeMap<String, Option<DataEntry>>>,
     next_offer_id: u64,
 }
 
@@ -243,23 +346,28 @@ impl LedgerDelta<'_> {
         self.accounts.insert(id, None);
     }
 
-    /// Looks up a trustline through the overlay.
+    /// Looks up a trustline through the overlay (allocation-free).
     pub fn trustline(&self, id: AccountId, asset: &Asset) -> Option<TrustLineEntry> {
-        match self.trustlines.get(&(id, asset.clone())) {
+        match self.trustlines.get(&id).and_then(|m| m.get(asset)) {
             Some(slot) => slot.clone(),
-            None => self.base.trustlines.get(&(id, asset.clone())).cloned(),
+            None => self.base.trustline(id, asset).cloned(),
         }
     }
 
     /// Writes a trustline.
     pub fn put_trustline(&mut self, tl: TrustLineEntry) {
         self.trustlines
-            .insert((tl.account, tl.asset.clone()), Some(tl));
+            .entry(tl.account)
+            .or_default()
+            .insert(tl.asset.clone(), Some(tl));
     }
 
     /// Deletes a trustline.
     pub fn delete_trustline(&mut self, id: AccountId, asset: &Asset) {
-        self.trustlines.insert((id, asset.clone()), None);
+        self.trustlines
+            .entry(id)
+            .or_default()
+            .insert(asset.clone(), None);
     }
 
     /// Looks up an offer through the overlay.
@@ -287,46 +395,103 @@ impl LedgerDelta<'_> {
         id
     }
 
-    /// Looks up a data entry through the overlay.
+    /// Looks up a data entry through the overlay (allocation-free).
     pub fn data(&self, id: AccountId, name: &str) -> Option<DataEntry> {
-        match self.data.get(&(id, name.to_string())) {
+        match self.data.get(&id).and_then(|m| m.get(name)) {
             Some(slot) => slot.clone(),
-            None => self.base.data.get(&(id, name.to_string())).cloned(),
+            None => self.base.data(id, name).cloned(),
         }
     }
 
     /// Writes a data entry.
     pub fn put_data(&mut self, entry: DataEntry) {
         self.data
-            .insert((entry.account, entry.name.clone()), Some(entry));
+            .entry(entry.account)
+            .or_default()
+            .insert(entry.name.clone(), Some(entry));
     }
 
     /// Deletes a data entry.
     pub fn delete_data(&mut self, id: AccountId, name: &str) {
-        self.data.insert((id, name.to_string()), None);
+        self.data
+            .entry(id)
+            .or_default()
+            .insert(name.to_string(), None);
     }
 
     /// Offers for a pair, merged overlay-over-base, best price first.
     pub fn offers_for_pair(&self, selling: &Asset, buying: &Asset) -> Vec<OfferEntry> {
-        let mut merged: BTreeMap<u64, OfferEntry> = self
+        self.offers_page(selling, buying, None, usize::MAX)
+    }
+
+    /// Up to `limit` offers for a pair strictly after `after` in book
+    /// order (best price first, ties by id), merged overlay-over-base.
+    ///
+    /// This is the matching engine's lazy view of the book: the base side
+    /// streams from the store's index, the overlay side is the handful of
+    /// offers the current transaction already touched, and both merge
+    /// through [`book_key`] so ordering cannot diverge from the index.
+    pub fn offers_page(
+        &self,
+        selling: &Asset,
+        buying: &Asset,
+        after: Option<BookCursor>,
+        limit: usize,
+    ) -> Vec<OfferEntry> {
+        let lower = match after {
+            Some(cursor) => Bound::Excluded(cursor),
+            None => Bound::Unbounded,
+        };
+        let mut base = self
             .base
+            .book
+            .get(selling)
+            .and_then(|m| m.get(buying))
+            .into_iter()
+            .flat_map(|set| set.range((lower, Bound::Unbounded)))
+            .peekable();
+
+        // Overlay offers for this pair past the cursor, in book order.
+        let mut overlay: Vec<&OfferEntry> = self
             .offers
             .values()
+            .filter_map(Option::as_ref)
             .filter(|o| &o.selling == selling && &o.buying == buying)
-            .map(|o| (o.id, o.clone()))
+            .filter(|o| after.is_none_or(|cursor| book_key(o) > cursor))
             .collect();
-        for (id, slot) in &self.offers {
-            match slot {
-                Some(o) if &o.selling == selling && &o.buying == buying => {
-                    merged.insert(*id, o.clone());
+        overlay.sort_by_key(|o| book_key(o));
+        let mut overlay = overlay.into_iter().peekable();
+
+        let mut out = Vec::new();
+        while out.len() < limit {
+            // Skip base entries shadowed by any overlay slot (updated,
+            // deleted, or merely re-written): the overlay owns those ids.
+            while let Some(&&(_, id)) = base.peek() {
+                if self.offers.contains_key(&id) {
+                    base.next();
+                } else {
+                    break;
                 }
-                _ => {
-                    merged.remove(id);
+            }
+            let base_key = base.peek().map(|&&k| k);
+            let overlay_key = overlay.peek().map(|o| book_key(o));
+            match (base_key, overlay_key) {
+                (None, None) => break,
+                (Some(_), None) => {
+                    let &(_, id) = base.next().expect("peeked");
+                    out.push(self.base.offers[&id].clone());
+                }
+                (None, Some(_)) => out.push(overlay.next().expect("peeked").clone()),
+                (Some(bk), Some(ok)) => {
+                    if ok < bk {
+                        out.push(overlay.next().expect("peeked").clone());
+                    } else {
+                        let &(_, id) = base.next().expect("peeked");
+                        out.push(self.base.offers[&id].clone());
+                    }
                 }
             }
         }
-        let mut out: Vec<OfferEntry> = merged.into_values().collect();
-        out.sort_by(|a, b| a.price.cmp(&b.price).then(a.id.cmp(&b.id)));
         out
     }
 
@@ -344,9 +509,13 @@ impl LedgerDelta<'_> {
     /// Merges a nested (per-transaction) delta's changes into this one.
     pub fn absorb(&mut self, changes: DeltaChanges) {
         self.accounts.extend(changes.accounts);
-        self.trustlines.extend(changes.trustlines);
+        for (id, by_asset) in changes.trustlines {
+            self.trustlines.entry(id).or_default().extend(by_asset);
+        }
         self.offers.extend(changes.offers);
-        self.data.extend(changes.data);
+        for (id, by_name) in changes.data {
+            self.data.entry(id).or_default().extend(by_name);
+        }
         self.next_offer_id = self.next_offer_id.max(changes.next_offer_id);
     }
 
@@ -465,6 +634,80 @@ mod tests {
     }
 
     #[test]
+    fn book_index_tracks_updates_and_deletes() {
+        let mut store = LedgerStore::new();
+        let usd = Asset::issued(acct(9), "USD");
+        let mk = |id: u64, n: u32| OfferEntry {
+            id,
+            account: acct(1),
+            selling: Asset::Native,
+            buying: usd.clone(),
+            amount: 10,
+            price: Price::new(n, 1),
+            passive: false,
+        };
+        let mut d = store.begin();
+        d.put_offer(mk(1, 5));
+        d.put_offer(mk(2, 2));
+        store.commit(d.into_changes());
+        assert_eq!(
+            store
+                .offers_for_pair(&Asset::Native, &usd)
+                .iter()
+                .map(|o| o.id)
+                .collect::<Vec<_>>(),
+            vec![2, 1]
+        );
+        // Reprice offer 1 below offer 2, delete offer 2.
+        let mut d = store.begin();
+        d.put_offer(mk(1, 1));
+        d.delete_offer(2);
+        store.commit(d.into_changes());
+        let book = store.offers_for_pair(&Asset::Native, &usd);
+        assert_eq!(book.iter().map(|o| o.id).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(book[0].price, Price::new(1, 1));
+        // No stale index entries: a fresh delta sees exactly one offer.
+        let delta = store.begin();
+        assert_eq!(delta.offers_for_pair(&Asset::Native, &usd).len(), 1);
+    }
+
+    #[test]
+    fn delta_pages_merge_overlay_and_base_in_book_order() {
+        let mut store = LedgerStore::new();
+        let usd = Asset::issued(acct(9), "USD");
+        let mk = |id: u64, n: u32| OfferEntry {
+            id,
+            account: acct(1),
+            selling: Asset::Native,
+            buying: usd.clone(),
+            amount: 10,
+            price: Price::new(n, 1),
+            passive: false,
+        };
+        let mut d = store.begin();
+        d.put_offer(mk(1, 2));
+        d.put_offer(mk(2, 4));
+        d.put_offer(mk(3, 6));
+        store.commit(d.into_changes());
+        let mut delta = store.begin();
+        delta.put_offer(mk(4, 3)); // overlay insert between base offers
+        delta.put_offer(mk(2, 5)); // overlay reprice of a base offer
+        delta.delete_offer(3); // overlay delete of a base offer
+        let ids: Vec<u64> = delta
+            .offers_for_pair(&Asset::Native, &usd)
+            .iter()
+            .map(|o| o.id)
+            .collect();
+        assert_eq!(ids, vec![1, 4, 2]);
+        // Paging: first page of 2, then the rest from a cursor.
+        let page1 = delta.offers_page(&Asset::Native, &usd, None, 2);
+        assert_eq!(page1.iter().map(|o| o.id).collect::<Vec<_>>(), vec![1, 4]);
+        let cursor = book_key(page1.last().unwrap());
+        let page2 = delta.offers_page(&Asset::Native, &usd, Some(cursor), 2);
+        assert_eq!(page2.iter().map(|o| o.id).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
     fn fork_and_absorb() {
         let mut store = LedgerStore::new();
         store.put_account(AccountEntry::new(acct(1), 100));
@@ -489,5 +732,36 @@ mod tests {
         });
         let feed = store.commit(delta.into_changes());
         assert_eq!(feed.len(), 2);
+    }
+
+    #[test]
+    fn trustline_and_data_roundtrip_through_delta() {
+        let mut store = LedgerStore::new();
+        let usd = Asset::issued(acct(9), "USD");
+        let mut d = store.begin();
+        d.put_trustline(TrustLineEntry {
+            account: acct(1),
+            asset: usd.clone(),
+            balance: 5,
+            limit: 100,
+            authorized: true,
+        });
+        d.put_data(DataEntry {
+            account: acct(1),
+            name: "k1".into(),
+            value: vec![9],
+        });
+        store.commit(d.into_changes());
+        assert_eq!(store.trustline(acct(1), &usd).unwrap().balance, 5);
+        assert_eq!(store.data(acct(1), "k1").unwrap().value, vec![9]);
+        // Delete through a delta; the nested maps must clean up fully.
+        let mut d = store.begin();
+        d.delete_trustline(acct(1), &usd);
+        d.delete_data(acct(1), "k1");
+        let feed = store.commit(d.into_changes());
+        assert_eq!(feed.len(), 2);
+        assert!(store.trustline(acct(1), &usd).is_none());
+        assert!(store.data(acct(1), "k1").is_none());
+        assert_eq!(store.all_entries().count(), 0);
     }
 }

@@ -10,6 +10,7 @@
 use crate::amount::{Price, BASE_FEE};
 use crate::asset::Asset;
 use crate::entry::{AccountId, Signer, ThresholdLevel};
+use std::sync::OnceLock;
 use stellar_crypto::codec::{Decode, DecodeError, Encode};
 use stellar_crypto::sign::{KeyPair, PublicKey, Signature};
 use stellar_crypto::Hash256;
@@ -435,7 +436,14 @@ impl Transaction {
 }
 
 /// A transaction plus its signatures.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// The envelope memoizes both its own hash and the transaction (signing)
+/// hash: a transaction is hashed at submission, nomination, and apply, and
+/// canonical tx-set ordering hashes every envelope O(log n) times during
+/// sorting — memoization makes all of those a single SHA-256 per envelope.
+/// The caches are content-derived, so they are excluded from equality,
+/// encoding, and cloning (a clone may be mutated; it re-hashes lazily).
+#[derive(Debug)]
 pub struct TransactionEnvelope {
     /// The transaction.
     pub tx: Transaction,
@@ -446,15 +454,69 @@ pub struct TransactionEnvelope {
     /// Revealed hash preimages, matched against `HashX` signers (§5.2's
     /// atomic cross-chain trading building block).
     pub preimages: Vec<Vec<u8>>,
+    /// Memoized `tx.hash()` (the signed message).
+    cached_tx_hash: OnceLock<Hash256>,
+    /// Memoized envelope hash.
+    cached_env_hash: OnceLock<Hash256>,
 }
 
-stellar_crypto::impl_codec_struct!(TransactionEnvelope {
-    tx,
-    signatures,
-    preimages
-});
+impl Clone for TransactionEnvelope {
+    fn clone(&self) -> TransactionEnvelope {
+        // The hash caches deliberately do not survive cloning: callers are
+        // free to mutate a clone's public fields, and a stale memoized hash
+        // would let a tampered transaction masquerade as signed.
+        TransactionEnvelope::new(
+            self.tx.clone(),
+            self.signatures.clone(),
+            self.preimages.clone(),
+        )
+    }
+}
+
+impl PartialEq for TransactionEnvelope {
+    fn eq(&self, other: &TransactionEnvelope) -> bool {
+        self.tx == other.tx
+            && self.signatures == other.signatures
+            && self.preimages == other.preimages
+    }
+}
+
+impl Eq for TransactionEnvelope {}
+
+impl Encode for TransactionEnvelope {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tx.encode(out);
+        self.signatures.encode(out);
+        self.preimages.encode(out);
+    }
+}
+
+impl Decode for TransactionEnvelope {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(TransactionEnvelope::new(
+            Decode::decode(input)?,
+            Decode::decode(input)?,
+            Decode::decode(input)?,
+        ))
+    }
+}
 
 impl TransactionEnvelope {
+    /// Wraps `tx` with the given signatures and preimages.
+    pub fn new(
+        tx: Transaction,
+        signatures: Vec<(PublicKey, Signature)>,
+        preimages: Vec<Vec<u8>>,
+    ) -> TransactionEnvelope {
+        TransactionEnvelope {
+            tx,
+            signatures,
+            preimages,
+            cached_tx_hash: OnceLock::new(),
+            cached_env_hash: OnceLock::new(),
+        }
+    }
+
     /// Wraps and signs `tx` with each of `keys`.
     pub fn sign(tx: Transaction, keys: &[&KeyPair]) -> TransactionEnvelope {
         let h = tx.hash();
@@ -462,32 +524,51 @@ impl TransactionEnvelope {
             .iter()
             .map(|k| (k.public(), k.sign(h.as_bytes())))
             .collect();
-        TransactionEnvelope {
-            tx,
-            signatures,
-            preimages: Vec::new(),
-        }
+        let env = TransactionEnvelope::new(tx, signatures, Vec::new());
+        let _ = env.cached_tx_hash.set(h); // signing already paid for it
+        env
     }
 
     /// Attaches a revealed hash preimage (builder style).
-    pub fn with_preimage(mut self, preimage: Vec<u8>) -> TransactionEnvelope {
-        self.preimages.push(preimage);
-        self
+    pub fn with_preimage(self, preimage: Vec<u8>) -> TransactionEnvelope {
+        let mut preimages = self.preimages;
+        preimages.push(preimage);
+        // Preimages are covered by the envelope hash; rebuild so the
+        // memoized value cannot go stale.
+        TransactionEnvelope::new(self.tx, self.signatures, preimages)
+    }
+
+    /// The transaction (signing) hash, computed at most once per envelope.
+    pub fn tx_hash(&self) -> Hash256 {
+        *self.cached_tx_hash.get_or_init(|| self.tx.hash())
     }
 
     /// The keys whose signatures verify against the transaction hash.
     pub fn valid_signer_keys(&self) -> Vec<PublicKey> {
-        let h = self.tx.hash();
+        self.valid_signer_keys_cached(&mut crate::sigcache::SigVerifyCache::disabled())
+    }
+
+    /// Like [`valid_signer_keys`](Self::valid_signer_keys), but consults
+    /// `cache` so a signature already verified at submission or nomination
+    /// is not re-verified at apply.
+    pub fn valid_signer_keys_cached(
+        &self,
+        cache: &mut crate::sigcache::SigVerifyCache,
+    ) -> Vec<PublicKey> {
+        let h = self.tx_hash();
         self.signatures
             .iter()
-            .filter(|(pk, sig)| stellar_crypto::sign::verify(*pk, h.as_bytes(), sig))
+            .filter(|(pk, sig)| cache.check(&h, *pk, sig))
             .map(|(pk, _)| *pk)
             .collect()
     }
 
-    /// Envelope hash (identifies the signed transaction).
+    /// Envelope hash (identifies the signed transaction), computed at most
+    /// once per envelope.
     pub fn hash(&self) -> Hash256 {
-        stellar_crypto::hash_xdr(self)
+        *self
+            .cached_env_hash
+            .get_or_init(|| stellar_crypto::hash_xdr(self))
     }
 }
 
