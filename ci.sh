@@ -27,4 +27,10 @@ BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_clo
 echo "==> cache determinism (caches on vs off externalize identical hashes)"
 cargo test -q --test cache_determinism
 
+echo "==> pull-mode flooding (twin-run determinism + lossy-link chaos)"
+cargo test -q --test pull_flood
+
+echo "==> overlay pull smoke (exp_overlay_pull --quick; gates schema + flood-byte regression vs committed BENCH_overlay_pull.json)"
+BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_overlay_pull -- --quick
+
 echo "CI green."

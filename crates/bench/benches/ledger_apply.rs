@@ -7,6 +7,7 @@ use stellar_bench::{payment_tx_set, store_with_accounts};
 use stellar_crypto::Hash256;
 use stellar_ledger::apply::close_ledger;
 use stellar_ledger::header::{LedgerHeader, LedgerParams};
+use stellar_ledger::sigcache::SigVerifyCache;
 
 fn bench_apply(c: &mut Criterion) {
     let mut group = c.benchmark_group("ledger_apply");
@@ -27,7 +28,16 @@ fn bench_apply(c: &mut Criterion) {
             |b, (store, set, prev)| {
                 b.iter_batched(
                     || store.clone(),
-                    |mut s| close_ledger(&mut s, prev, set, 100, LedgerParams::default()),
+                    |mut s| {
+                        close_ledger(
+                            &mut s,
+                            prev,
+                            set,
+                            100,
+                            LedgerParams::default(),
+                            &mut SigVerifyCache::disabled(),
+                        )
+                    },
                     criterion::BatchSize::LargeInput,
                 )
             },

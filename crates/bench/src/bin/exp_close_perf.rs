@@ -15,7 +15,7 @@ use stellar_bench::{print_table, write_bench_json};
 use stellar_buckets::BucketList;
 use stellar_herder::queue::TxQueue;
 use stellar_ledger::amount::{xlm, Price, BASE_FEE};
-use stellar_ledger::apply::close_ledger_cached;
+use stellar_ledger::apply::close_ledger;
 use stellar_ledger::asset::Asset;
 use stellar_ledger::entry::{AccountEntry, LedgerEntry, OfferEntry, TrustLineEntry};
 use stellar_ledger::header::{LedgerHeader, LedgerParams};
@@ -196,7 +196,7 @@ fn run_config(cfg: Config) -> Outcome {
         //    cache for the two later checks).
         for env in batch {
             queue
-                .submit_cached(&store, env, &mut sig_cache)
+                .submit(&store, env, &mut sig_cache)
                 .expect("bench txs are valid");
         }
         // 2. Nomination-style validation of the candidate set.
@@ -206,7 +206,7 @@ fn run_config(cfg: Config) -> Outcome {
         {
             let delta = store.begin();
             for env in &set.txs {
-                stellar_ledger::apply::check_validity_cached(
+                stellar_ledger::apply::check_validity(
                     &delta,
                     env,
                     close_time,
@@ -217,7 +217,7 @@ fn run_config(cfg: Config) -> Outcome {
             }
         }
         // 3. Apply + snapshot.
-        let result = close_ledger_cached(
+        let result = close_ledger(
             &mut store,
             &header,
             &set,

@@ -97,8 +97,7 @@ fn main() {
     for t in report.traffic.values() {
         net.merge(t);
     }
-    let kinds = [MsgKind::Scp, MsgKind::TxSet, MsgKind::Tx];
-    let rows: Vec<Vec<String>> = kinds
+    let rows: Vec<Vec<String>> = MsgKind::ALL
         .iter()
         .map(|k| {
             vec![

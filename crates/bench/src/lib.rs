@@ -133,7 +133,14 @@ mod tests {
         let set = payment_tx_set(&store, 100, 50);
         assert_eq!(set.txs.len(), 50);
         let prev = LedgerHeader::genesis(stellar_crypto::Hash256::ZERO);
-        let res = close_ledger(&mut store, &prev, &set, 100, LedgerParams::default());
+        let res = close_ledger(
+            &mut store,
+            &prev,
+            &set,
+            100,
+            LedgerParams::default(),
+            &mut stellar_ledger::sigcache::SigVerifyCache::disabled(),
+        );
         assert!(res.results.iter().all(TxResult::is_success));
     }
 

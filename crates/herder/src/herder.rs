@@ -15,7 +15,7 @@ use std::time::Duration;
 use stellar_buckets::{BucketList, HistoryArchive};
 use stellar_crypto::sign::PublicKey;
 use stellar_crypto::Hash256;
-use stellar_ledger::apply::close_ledger_cached;
+use stellar_ledger::apply::close_ledger;
 use stellar_ledger::header::LedgerHeader;
 use stellar_ledger::sigcache::SigVerifyCache;
 use stellar_ledger::store::LedgerStore;
@@ -259,7 +259,7 @@ impl Herder {
         for u in &value.upgrades {
             u.apply(&mut params);
         }
-        let result = close_ledger_cached(
+        let result = close_ledger(
             &mut self.store,
             &self.header,
             &set,
@@ -329,7 +329,7 @@ impl Herder {
                 break; // gap in the archive; cannot replay further
             };
             let start = std::time::Instant::now();
-            let result = close_ledger_cached(
+            let result = close_ledger(
                 &mut self.store,
                 &self.header,
                 set,

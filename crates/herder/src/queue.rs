@@ -53,18 +53,12 @@ impl TxQueue {
     }
 
     /// Admits a transaction after cheap validity checks against `store`.
-    pub fn submit(
-        &mut self,
-        store: &LedgerStore,
-        env: TransactionEnvelope,
-    ) -> Result<(), QueueError> {
-        self.submit_cached(store, env, &mut SigVerifyCache::disabled())
-    }
-
-    /// [`TxQueue::submit`] with a node-level signature-verify cache: the
+    ///
+    /// `sig_cache` is the node-level signature-verify cache: the
     /// verification done here is remembered, so the same transaction's
-    /// later checks (nomination, apply) hit the cache.
-    pub fn submit_cached(
+    /// later checks (nomination, apply) hit the cache. Pass
+    /// `&mut SigVerifyCache::disabled()` where no node cache exists.
+    pub fn submit(
         &mut self,
         store: &LedgerStore,
         env: TransactionEnvelope,
@@ -178,13 +172,18 @@ mod tests {
         )
     }
 
+    fn nc() -> SigVerifyCache {
+        SigVerifyCache::disabled()
+    }
+
     #[test]
     fn admits_and_orders_contiguous_sequences() {
         let s = store();
         let mut q = TxQueue::new();
-        q.submit(&s, env(1, 2, BASE_FEE)).unwrap();
-        q.submit(&s, env(1, 1, BASE_FEE)).unwrap();
-        q.submit(&s, env(1, 5, BASE_FEE)).unwrap(); // gap: not a candidate
+        q.submit(&s, env(1, 2, BASE_FEE), &mut nc()).unwrap();
+        q.submit(&s, env(1, 1, BASE_FEE), &mut nc()).unwrap();
+        // Gap: not a candidate.
+        q.submit(&s, env(1, 5, BASE_FEE), &mut nc()).unwrap();
         let c = q.candidates(&s);
         assert_eq!(c.len(), 2);
         assert_eq!(c[0].tx.seq_num, 1);
@@ -196,23 +195,26 @@ mod tests {
         let s = store();
         let mut q = TxQueue::new();
         assert_eq!(
-            q.submit(&s, env(1, 1, BASE_FEE - 1)),
+            q.submit(&s, env(1, 1, BASE_FEE - 1), &mut nc()),
             Err(QueueError::FeeTooLow)
         );
         assert_eq!(
-            q.submit(&s, env(7, 1, BASE_FEE)),
+            q.submit(&s, env(7, 1, BASE_FEE), &mut nc()),
             Err(QueueError::UnknownSource)
         );
         assert_eq!(
-            q.submit(&s, env(1, 0, BASE_FEE)),
+            q.submit(&s, env(1, 0, BASE_FEE), &mut nc()),
             Err(QueueError::StaleSequence)
         );
         let mut unsigned = env(1, 1, BASE_FEE);
         unsigned.signatures.clear();
-        assert_eq!(q.submit(&s, unsigned), Err(QueueError::BadSignature));
-        q.submit(&s, env(1, 1, BASE_FEE)).unwrap();
         assert_eq!(
-            q.submit(&s, env(1, 1, BASE_FEE)),
+            q.submit(&s, unsigned, &mut nc()),
+            Err(QueueError::BadSignature)
+        );
+        q.submit(&s, env(1, 1, BASE_FEE), &mut nc()).unwrap();
+        assert_eq!(
+            q.submit(&s, env(1, 1, BASE_FEE), &mut nc()),
             Err(QueueError::Duplicate)
         );
     }
@@ -221,8 +223,8 @@ mod tests {
     fn prune_drops_consumed_sequences() {
         let mut s = store();
         let mut q = TxQueue::new();
-        q.submit(&s, env(1, 1, BASE_FEE)).unwrap();
-        q.submit(&s, env(1, 2, BASE_FEE)).unwrap();
+        q.submit(&s, env(1, 1, BASE_FEE), &mut nc()).unwrap();
+        q.submit(&s, env(1, 2, BASE_FEE), &mut nc()).unwrap();
         // Ledger advanced the account to seq 1.
         let mut a = s.account(acct(1)).unwrap().clone();
         a.seq_num = 1;
@@ -233,7 +235,7 @@ mod tests {
         assert_eq!(c[0].tx.seq_num, 2);
         // Pruned hash can be resubmitted (e.g. after a rollback).
         assert_eq!(
-            q.submit(&s, env(1, 2, BASE_FEE)),
+            q.submit(&s, env(1, 2, BASE_FEE), &mut nc()),
             Err(QueueError::Duplicate)
         );
     }

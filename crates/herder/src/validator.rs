@@ -88,7 +88,7 @@ impl Validator {
     pub fn submit_transaction(&mut self, env: TransactionEnvelope) -> Result<(), QueueError> {
         self.herder
             .queue
-            .submit_cached(&self.herder.store, env, &mut self.herder.sig_cache)
+            .submit(&self.herder.store, env, &mut self.herder.sig_cache)
     }
 
     /// Kicks off consensus for the next ledger: assembles the proposal,

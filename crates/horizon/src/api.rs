@@ -11,7 +11,6 @@ use stellar_ledger::asset::Asset;
 use stellar_ledger::entry::AccountId;
 use stellar_ledger::pathfind::{find_best_path, quote_path};
 use stellar_ledger::tx::TransactionEnvelope;
-use stellar_ledger::txset::TransactionSet;
 
 /// A client-facing account summary (balances across all assets).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,15 +27,34 @@ pub struct AccountInfo {
     pub num_subentries: u32,
 }
 
-/// One price level of an order book.
+/// The uniform paged-response envelope every list-returning horizon
+/// endpoint yields. Continuation is cursor-based: pass `cursor` back
+/// unchanged to fetch the next page; `None` means the listing (or, for
+/// archive scans, the scan) is complete.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct OrderBookView {
-    /// Asset being sold by the resting offers.
-    pub selling: Asset,
-    /// Asset they want in return.
-    pub buying: Asset,
-    /// (price, total amount) levels, best price first.
-    pub levels: Vec<(stellar_ledger::amount::Price, i64)>,
+pub struct Page<T> {
+    /// The records in this page — at most `limit` of them.
+    pub records: Vec<T>,
+    /// Continuation cursor for the next request, or `None` when done.
+    pub cursor: Option<u64>,
+    /// The page size this response was produced with.
+    pub limit: usize,
+}
+
+impl<T> Page<T> {
+    /// Pages a fully-materialized listing: skips `cursor` records, takes
+    /// `limit`, and sets the continuation cursor iff records remain.
+    fn slice(all: Vec<T>, cursor: Option<u64>, limit: usize) -> Page<T> {
+        let skip = cursor.unwrap_or(0) as usize;
+        let total = all.len();
+        let records: Vec<T> = all.into_iter().skip(skip).take(limit).collect();
+        let consumed = skip + records.len();
+        Page {
+            records,
+            cursor: (consumed < total).then_some(consumed as u64),
+            limit,
+        }
+    }
 }
 
 /// The horizon query/submission facade over one validator.
@@ -74,11 +92,19 @@ impl Horizon {
         let store = &herder.store;
         // Split borrow: queue.submit needs &store, &mut queue, &mut cache.
         let q = &mut herder.queue;
-        q.submit_cached(store, env, &mut herder.sig_cache)
+        q.submit(store, env, &mut herder.sig_cache)
     }
 
-    /// The aggregated order book for a pair, best price first.
-    pub fn order_book(herder: &Herder, selling: &Asset, buying: &Asset) -> OrderBookView {
+    /// The aggregated order book for a pair: `(price, total amount)`
+    /// levels, best price first. The cursor is the level index to resume
+    /// from.
+    pub fn order_book(
+        herder: &Herder,
+        selling: &Asset,
+        buying: &Asset,
+        cursor: Option<u64>,
+        limit: usize,
+    ) -> Page<(stellar_ledger::amount::Price, i64)> {
         let mut levels: Vec<(stellar_ledger::amount::Price, i64)> = Vec::new();
         for offer in herder.store.offers_for_pair(selling, buying) {
             match levels.last_mut() {
@@ -86,11 +112,7 @@ impl Horizon {
                 _ => levels.push((offer.price, offer.amount)),
             }
         }
-        OrderBookView {
-            selling: selling.clone(),
-            buying: buying.clone(),
-            levels,
-        }
+        Page::slice(levels, cursor, limit)
     }
 
     /// Finds the cheapest payment path delivering `dest_amount` (§5.4:
@@ -119,28 +141,72 @@ impl Horizon {
         quote_path(&delta, send_asset, dest_asset, dest_amount, path)
     }
 
-    /// Looks up a historical transaction set ("there needs to be some
-    /// place one can look up a transaction from two years ago").
-    pub fn transactions_in_ledger(herder: &Herder, ledger_seq: u64) -> Option<&TransactionSet> {
-        herder.archive.tx_set(ledger_seq)
+    /// Lists a historical ledger's transactions ("there needs to be some
+    /// place one can look up a transaction from two years ago"). The
+    /// cursor is the transaction index within the set; an unarchived
+    /// ledger yields an empty, exhausted page.
+    pub fn transactions_in_ledger(
+        herder: &Herder,
+        ledger_seq: u64,
+        cursor: Option<u64>,
+        limit: usize,
+    ) -> Page<TransactionEnvelope> {
+        let txs: Vec<TransactionEnvelope> = herder
+            .archive
+            .tx_set(ledger_seq)
+            .map(|set| set.txs.clone())
+            .unwrap_or_default();
+        Page::slice(txs, cursor, limit)
     }
 
     /// Finds the ledger a transaction hash was confirmed in (linear scan
-    /// of the archive; production horizon indexes this in its DB).
+    /// of the archive; production horizon indexes this in its DB). Each
+    /// call scans at most `limit` ledgers starting at `cursor` (default:
+    /// the first post-genesis ledger). A hit yields one
+    /// `(ledger_seq, envelope)` record and ends the scan; an empty page
+    /// with a cursor means "not found yet, resume here".
     pub fn find_transaction(
         herder: &Herder,
         tx_hash: stellar_crypto::Hash256,
-    ) -> Option<(u64, TransactionEnvelope)> {
-        for seq in 2..=herder.header.ledger_seq {
+        cursor: Option<u64>,
+        limit: usize,
+    ) -> Page<(u64, TransactionEnvelope)> {
+        let start = cursor.unwrap_or(2);
+        let last = herder.header.ledger_seq;
+        let mut seq = start;
+        while seq <= last && seq - start < limit as u64 {
             if let Some(set) = herder.archive.tx_set(seq) {
-                for env in &set.txs {
-                    if env.hash() == tx_hash {
-                        return Some((seq, env.clone()));
-                    }
+                if let Some(env) = set.txs.iter().find(|env| env.hash() == tx_hash) {
+                    return Page {
+                        records: vec![(seq, env.clone())],
+                        cursor: None,
+                        limit,
+                    };
                 }
             }
+            seq += 1;
         }
-        None
+        Page {
+            records: Vec::new(),
+            cursor: (seq <= last).then_some(seq),
+            limit,
+        }
+    }
+
+    /// Drives `find_transaction` to completion — the convenience most
+    /// tests and examples want when the archive is small.
+    pub fn find_transaction_exhaustive(
+        herder: &Herder,
+        tx_hash: stellar_crypto::Hash256,
+    ) -> Option<(u64, TransactionEnvelope)> {
+        let mut cursor = None;
+        loop {
+            let mut page = Horizon::find_transaction(herder, tx_hash, cursor, 64);
+            if let Some(hit) = page.records.pop() {
+                return Some(hit);
+            }
+            cursor = Some(page.cursor?);
+        }
     }
 
     /// Current fee statistics: base fee and the last clearing rate.
@@ -239,11 +305,54 @@ mod tests {
     fn order_book_aggregates_levels() {
         let h = herder();
         let usd = Asset::issued(acct(2), "USD");
-        let book = Horizon::order_book(&h, &usd, &Asset::Native);
-        assert_eq!(book.levels.len(), 1);
-        assert_eq!(book.levels[0], (Price::new(2, 1), 100));
-        let empty = Horizon::order_book(&h, &Asset::Native, &usd);
-        assert!(empty.levels.is_empty());
+        let book = Horizon::order_book(&h, &usd, &Asset::Native, None, 10);
+        assert_eq!(book.records.len(), 1);
+        assert_eq!(book.records[0], (Price::new(2, 1), 100));
+        assert_eq!(book.cursor, None);
+        let empty = Horizon::order_book(&h, &Asset::Native, &usd, None, 10);
+        assert!(empty.records.is_empty());
+        assert_eq!(empty.cursor, None);
+    }
+
+    #[test]
+    fn order_book_pages_with_cursor() {
+        // Three distinct price levels, page size 2: the first page carries
+        // a continuation cursor, the second is final.
+        let mut h = herder();
+        let usd = Asset::issued(acct(2), "USD");
+        {
+            let env = ExecEnv::default();
+            let mut d = h.store.begin();
+            for (n, d_) in [(3u32, 1u32), (4, 1)] {
+                apply_operation(
+                    &mut d,
+                    acct(0),
+                    &Operation::ManageOffer {
+                        offer_id: 0,
+                        selling: usd.clone(),
+                        buying: Asset::Native,
+                        amount: 10,
+                        price: Price::new(n, d_),
+                        passive: false,
+                    },
+                    &env,
+                )
+                .unwrap();
+            }
+            let ch = d.into_changes();
+            h.store.commit(ch);
+        }
+        let first = Horizon::order_book(&h, &usd, &Asset::Native, None, 2);
+        assert_eq!(first.records.len(), 2);
+        assert_eq!(first.cursor, Some(2));
+        assert_eq!(first.limit, 2);
+        let rest = Horizon::order_book(&h, &usd, &Asset::Native, first.cursor, 2);
+        assert_eq!(rest.records.len(), 1);
+        assert_eq!(rest.cursor, None);
+        // The two pages together are the whole book, best price first.
+        let all = Horizon::order_book(&h, &usd, &Asset::Native, None, 10);
+        let stitched: Vec<_> = first.records.iter().chain(&rest.records).cloned().collect();
+        assert_eq!(stitched, all.records);
     }
 
     #[test]
@@ -322,9 +431,34 @@ mod tests {
         h.learn_tx_set(set.clone());
         let value = stellar_herder::StellarValue::new(set.hash(), 100);
         assert!(h.apply_externalized(2, &value));
-        let (seq, found) = Horizon::find_transaction(&h, tx_hash).unwrap();
-        assert_eq!(seq, 2);
+        let hit = Horizon::find_transaction(&h, tx_hash, None, 64);
+        assert_eq!(hit.records.len(), 1);
+        let (seq, found) = &hit.records[0];
+        assert_eq!(*seq, 2);
         assert_eq!(found.hash(), tx_hash);
-        assert!(Horizon::find_transaction(&h, stellar_crypto::Hash256::ZERO).is_none());
+        assert_eq!(hit.cursor, None);
+        let miss = Horizon::find_transaction(&h, stellar_crypto::Hash256::ZERO, None, 64);
+        assert!(miss.records.is_empty());
+        assert_eq!(miss.cursor, None);
+        assert_eq!(
+            Horizon::find_transaction_exhaustive(&h, stellar_crypto::Hash256::ZERO),
+            None
+        );
+
+        // Scan continuation: limit 1 per call walks the archive one
+        // ledger at a time until the hash turns up.
+        let step = Horizon::find_transaction(&h, tx_hash, None, 1);
+        assert!(step.records.len() == 1 || step.cursor.is_some());
+        assert_eq!(
+            Horizon::find_transaction_exhaustive(&h, tx_hash).unwrap().0,
+            2
+        );
+
+        // The archived ledger's transactions page out too.
+        let txs = Horizon::transactions_in_ledger(&h, 2, None, 10);
+        assert_eq!(txs.records.len(), 1);
+        assert_eq!(txs.records[0].hash(), tx_hash);
+        let unarchived = Horizon::transactions_in_ledger(&h, 99, None, 10);
+        assert!(unarchived.records.is_empty() && unarchived.cursor.is_none());
     }
 }

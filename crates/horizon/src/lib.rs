@@ -28,7 +28,7 @@ pub mod bridge;
 pub mod compliance;
 pub mod federation;
 
-pub use api::{AccountInfo, Horizon, OrderBookView};
+pub use api::{AccountInfo, Horizon, Page};
 pub use bridge::{BridgeServer, PaymentNotification};
 pub use compliance::{ComplianceDecision, ComplianceServer};
 pub use federation::FederationServer;

@@ -37,25 +37,12 @@ pub struct CloseResult {
 }
 
 /// Validates a transaction against current state (no effects).
+///
+/// `sig_cache` memoizes Schnorr verification, so a transaction already
+/// checked at submission or nomination does not re-verify at apply.
+/// Callers without a cache pass `&mut SigVerifyCache::disabled()` — a
+/// capacity-0 cache that costs one stack allocation.
 pub fn check_validity(
-    delta: &LedgerDelta<'_>,
-    env: &TransactionEnvelope,
-    close_time: u64,
-    clearing_fee: i64,
-) -> Result<(), TxError> {
-    check_validity_cached(
-        delta,
-        env,
-        close_time,
-        clearing_fee,
-        &mut SigVerifyCache::disabled(),
-    )
-}
-
-/// [`check_validity`] with a signature-verify cache, so a transaction
-/// already checked at submission or nomination does not re-run Schnorr
-/// verification at apply.
-pub fn check_validity_cached(
     delta: &LedgerDelta<'_>,
     env: &TransactionEnvelope,
     close_time: u64,
@@ -137,26 +124,9 @@ fn threshold_rank(l: ThresholdLevel) -> u8 {
 /// Applies one transaction to `delta`, returning its result.
 ///
 /// Fee and sequence effects land in `delta` even on operation failure;
-/// operation effects land only on success.
+/// operation effects land only on success. `sig_cache` as in
+/// [`check_validity`].
 pub fn apply_transaction(
-    delta: &mut LedgerDelta<'_>,
-    env: &TransactionEnvelope,
-    close_time: u64,
-    clearing_fee: i64,
-    exec: &ExecEnv,
-) -> TxResult {
-    apply_transaction_cached(
-        delta,
-        env,
-        close_time,
-        clearing_fee,
-        exec,
-        &mut SigVerifyCache::disabled(),
-    )
-}
-
-/// [`apply_transaction`] with a signature-verify cache.
-pub fn apply_transaction_cached(
     delta: &mut LedgerDelta<'_>,
     env: &TransactionEnvelope,
     close_time: u64,
@@ -164,7 +134,7 @@ pub fn apply_transaction_cached(
     exec: &ExecEnv,
     sig_cache: &mut SigVerifyCache,
 ) -> TxResult {
-    if let Err(e) = check_validity_cached(delta, env, close_time, clearing_fee, sig_cache) {
+    if let Err(e) = check_validity(delta, env, close_time, clearing_fee, sig_cache) {
         return TxResult::Invalid(e);
     }
     let tx = &env.tx;
@@ -206,29 +176,13 @@ pub fn apply_transaction_cached(
 /// `snapshot_hash` is the bucket-list hash *after* the caller feeds the
 /// returned change feed to its bucket list; pass `Hash256::ZERO` and patch
 /// the header afterwards, or close in two phases as `stellar-herder` does.
-pub fn close_ledger(
-    store: &mut LedgerStore,
-    prev: &LedgerHeader,
-    tx_set: &TransactionSet,
-    close_time: u64,
-    params: LedgerParams,
-) -> CloseResult {
-    close_ledger_cached(
-        store,
-        prev,
-        tx_set,
-        close_time,
-        params,
-        &mut SigVerifyCache::disabled(),
-    )
-}
-
-/// [`close_ledger`] with a per-node signature-verify cache: transactions
-/// this node already verified at submission or nomination skip Schnorr
+///
+/// `sig_cache` is the node's signature-verify cache: transactions this
+/// node already verified at submission or nomination skip Schnorr
 /// verification entirely at apply. The cache never changes results — it
-/// memoizes a pure function — so cached and uncached closes externalize
-/// identical headers.
-pub fn close_ledger_cached(
+/// memoizes a pure function — so cached and disabled-cache closes
+/// externalize identical headers (`tests/cache_determinism.rs`).
+pub fn close_ledger(
     store: &mut LedgerStore,
     prev: &LedgerHeader,
     tx_set: &TransactionSet,
@@ -245,7 +199,7 @@ pub fn close_ledger_cached(
     let mut fees = 0i64;
     for env in &tx_set.txs {
         let clearing = tx_set.base_fee_rate * env.tx.op_count().max(1) as i64;
-        let r = apply_transaction_cached(&mut delta, env, close_time, clearing, &exec, sig_cache);
+        let r = apply_transaction(&mut delta, env, close_time, clearing, &exec, sig_cache);
         match &r {
             TxResult::Success { fee_charged } | TxResult::Failed { fee_charged, .. } => {
                 fees += fee_charged;
@@ -313,6 +267,25 @@ mod tests {
 
     fn keys(n: u64) -> KeyPair {
         KeyPair::from_seed(n)
+    }
+
+    /// Shadows the public `close_ledger` with a disabled-cache variant so
+    /// the semantic tests below stay focused on apply behaviour.
+    fn close_ledger(
+        store: &mut LedgerStore,
+        prev: &LedgerHeader,
+        tx_set: &TransactionSet,
+        close_time: u64,
+        params: LedgerParams,
+    ) -> CloseResult {
+        super::close_ledger(
+            store,
+            prev,
+            tx_set,
+            close_time,
+            params,
+            &mut SigVerifyCache::disabled(),
+        )
     }
 
     fn acct_of(k: &KeyPair) -> AccountId {

@@ -15,7 +15,6 @@
 //! round-trip time — far inside the residency window — so the revisit hits
 //! the de-duplication check and the loop dies.
 
-use crate::message::FloodMessage;
 use std::collections::{HashSet, VecDeque};
 use stellar_crypto::Hash256;
 use stellar_scp::NodeId;
@@ -49,25 +48,22 @@ impl FloodState {
         }
     }
 
-    /// Records a message; returns `true` if it is new (and should be
-    /// processed and relayed) or `false` if it is a duplicate.
-    pub fn record(&mut self, msg: &FloodMessage) -> bool {
-        self.record_id(msg.id())
-    }
-
     /// Whether `id` has been seen (read-only check).
     pub fn contains(&self, id: Hash256) -> bool {
         self.seen.contains(&id)
     }
 
-    /// Id-based variant of [`FloodState::record`], stamped with the last
-    /// known time (use [`FloodState::record_id_at`] when a clock exists).
-    pub fn record_id(&mut self, id: Hash256) -> bool {
-        self.record_id_at(id, self.clock_ms)
+    /// Clockless convenience for [`FloodState::record_at`]: stamps `id`
+    /// with the last known time. Only for contexts with no clock at all
+    /// (e.g. topology propagation analyses); anything driven by a
+    /// simulation must pass its virtual time to `record_at`.
+    pub fn record(&mut self, id: Hash256) -> bool {
+        self.record_at(id, self.clock_ms)
     }
 
-    /// Records `id` as seen at `now_ms`; returns `true` if it is new.
-    pub fn record_id_at(&mut self, id: Hash256, now_ms: u64) -> bool {
+    /// Records `id` as seen at `now_ms`; returns `true` if it is new
+    /// (and should be processed and relayed) or `false` on a duplicate.
+    pub fn record_at(&mut self, id: Hash256, now_ms: u64) -> bool {
         self.clock_ms = self.clock_ms.max(now_ms);
         if !self.seen.insert(id) {
             return false;
@@ -118,31 +114,31 @@ mod tests {
     #[test]
     fn duplicates_suppressed() {
         let mut f = FloodState::new(10);
-        assert!(f.record_id(id(1)));
-        assert!(!f.record_id(id(1)));
-        assert!(f.record_id(id(2)));
+        assert!(f.record(id(1)));
+        assert!(!f.record(id(1)));
+        assert!(f.record(id(2)));
     }
 
     #[test]
     fn capacity_evicts_oldest() {
         let mut f = FloodState::new(2);
-        f.record_id(id(1));
-        f.record_id(id(2));
-        f.record_id(id(3)); // evicts 1
+        f.record(id(1));
+        f.record(id(2));
+        f.record(id(3)); // evicts 1
         assert_eq!(f.len(), 2);
-        assert!(f.record_id(id(1)), "evicted id is new again");
+        assert!(f.record(id(1)), "evicted id is new again");
     }
 
     #[test]
     fn min_residency_exempts_recent_ids_from_eviction() {
         let mut f = FloodState::with_min_residency(2, 1000);
-        f.record_id_at(id(1), 0);
-        f.record_id_at(id(2), 10);
-        f.record_id_at(id(3), 20); // over capacity, but 1 is only 20ms old
+        f.record_at(id(1), 0);
+        f.record_at(id(2), 10);
+        f.record_at(id(3), 20); // over capacity, but 1 is only 20ms old
         assert!(f.contains(id(1)), "young ids survive capacity pressure");
         assert_eq!(f.len(), 3, "bound is soft inside the window");
         // Once the window passes, capacity eviction resumes oldest-first.
-        f.record_id_at(id(4), 2000);
+        f.record_at(id(4), 2000);
         assert!(!f.contains(id(1)));
         assert!(!f.contains(id(2)));
         assert!(f.contains(id(3)) && f.contains(id(4)));
@@ -177,9 +173,9 @@ mod tests {
                 if deliveries > 100 {
                     break; // unbounded loop: bail for the assertion below
                 }
-                let fresh = states[node].record_id_at(looping, now);
+                let fresh = states[node].record_at(looping, now);
                 for s in states.iter_mut() {
-                    s.record_id_at(background(), now);
+                    s.record_at(background(), now);
                 }
                 now += 10;
                 if fresh {
@@ -229,7 +225,7 @@ mod propagation_tests {
         let mut reached = 0usize;
         let mut sends = 0usize;
         while let Some((node, from)) = frontier.pop() {
-            if !states.get_mut(&node).unwrap().record_id(id) {
+            if !states.get_mut(&node).unwrap().record(id) {
                 continue;
             }
             reached += 1;

@@ -5,13 +5,16 @@
 //! explicitly defers structured multicast to future work). This crate
 //! provides the pieces the simulator composes into that behaviour:
 //!
-//! * [`message`] — the three flooded payload kinds (SCP envelopes,
-//!   transaction sets, transactions), each content-addressed for
-//!   de-duplication;
+//! * [`message`] — the flooded payload kinds (SCP envelopes,
+//!   transaction sets, transactions) plus the pull-mode advert/demand
+//!   control messages, each content-addressed for de-duplication;
 //! * [`topology`] — peer-graph builders: full mesh, random k-regular
 //!   gossip graphs, and the tiered production-like shape of Fig. 7;
 //! * [`flood`] — per-node flood state: seen-message cache and relay
 //!   fan-out selection;
+//! * [`pull`] — pull-mode flooding: the per-node demand scheduler
+//!   (advert batching, one-demander-per-hash, timeout retry) and the
+//!   bounded payload cache that answers incoming demands;
 //! * [`stats`] — per-node traffic counters (messages and bytes in/out)
 //!   backing the §7.4 validator-cost numbers;
 //! * [`fault`] — per-link drop/duplicate/delay/reorder fault models for
@@ -23,11 +26,13 @@
 pub mod fault;
 pub mod flood;
 pub mod message;
+pub mod pull;
 pub mod stats;
 pub mod topology;
 
 pub use fault::{LinkFault, LinkFaultTable};
 pub use flood::FloodState;
 pub use message::FloodMessage;
+pub use pull::{DemandScheduler, FloodMode, PayloadCache};
 pub use stats::{MsgKind, TrafficStats};
 pub use topology::PeerGraph;

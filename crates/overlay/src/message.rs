@@ -16,24 +16,37 @@ pub enum FloodMessage {
     TxSet(TransactionSet),
     /// A client transaction on its way to every queue.
     Tx(TransactionEnvelope),
+    /// Pull-mode announcement: content hashes of payloads the sender
+    /// holds. Peers demand the ones they lack instead of receiving every
+    /// payload on every link.
+    Advert(Vec<Hash256>),
+    /// Pull-mode request: send me the payloads behind these hashes.
+    Demand(Vec<Hash256>),
 }
 
 impl FloodMessage {
-    /// Content address for flood de-duplication.
+    /// Content address for flood de-duplication. Advert/demand control
+    /// messages are point-to-point and never deduplicated, but still get
+    /// a stable id for tracing.
     pub fn id(&self) -> Hash256 {
         match self {
             FloodMessage::Scp(e) => e.hash(),
             FloodMessage::TxSet(s) => s.hash(),
             FloodMessage::Tx(t) => t.hash(),
+            FloodMessage::Advert(ids) => hash_id_list(0xAD, ids),
+            FloodMessage::Demand(ids) => hash_id_list(0xDE, ids),
         }
     }
 
-    /// Encoded size in bytes (traffic accounting).
+    /// Encoded size in bytes (traffic accounting). Control messages are
+    /// a count prefix plus 32 bytes per hash — the pull-mode overhead the
+    /// E15 bench charges against the payload bytes it saves.
     pub fn wire_size(&self) -> usize {
         match self {
             FloodMessage::Scp(e) => e.to_bytes().len(),
             FloodMessage::TxSet(s) => s.to_bytes().len(),
             FloodMessage::Tx(t) => t.to_bytes().len(),
+            FloodMessage::Advert(ids) | FloodMessage::Demand(ids) => 4 + 32 * ids.len(),
         }
     }
 
@@ -42,6 +55,21 @@ impl FloodMessage {
     pub fn is_scp(&self) -> bool {
         matches!(self, FloodMessage::Scp(_))
     }
+
+    /// True for pull-mode control messages (adverts and demands), which
+    /// bypass the flood seen-cache and are never relayed.
+    pub fn is_pull_control(&self) -> bool {
+        matches!(self, FloodMessage::Advert(_) | FloodMessage::Demand(_))
+    }
+}
+
+fn hash_id_list(tag: u8, ids: &[Hash256]) -> Hash256 {
+    let mut buf = Vec::with_capacity(1 + 32 * ids.len());
+    buf.push(tag);
+    for id in ids {
+        buf.extend_from_slice(&id.0);
+    }
+    stellar_crypto::sha256::sha256(&buf)
 }
 
 #[cfg(test)]
@@ -86,5 +114,20 @@ mod tests {
     fn scp_detection() {
         assert!(FloodMessage::Scp(sample_envelope()).is_scp());
         assert!(!FloodMessage::TxSet(TransactionSet::empty(Hash256::ZERO)).is_scp());
+    }
+
+    #[test]
+    fn advert_and_demand_are_control_messages() {
+        let ids = vec![Hash256([1u8; 32]), Hash256([2u8; 32])];
+        let advert = FloodMessage::Advert(ids.clone());
+        let demand = FloodMessage::Demand(ids.clone());
+        assert!(advert.is_pull_control() && demand.is_pull_control());
+        assert!(!FloodMessage::TxSet(TransactionSet::empty(Hash256::ZERO)).is_pull_control());
+        // Same hash list, different direction: distinct ids.
+        assert_ne!(advert.id(), demand.id());
+        assert_eq!(advert.id(), FloodMessage::Advert(ids).id());
+        // Wire size scales with the batch: count prefix + 32 B per hash.
+        assert_eq!(advert.wire_size(), 4 + 64);
+        assert_eq!(FloodMessage::Demand(Vec::new()).wire_size(), 4);
     }
 }

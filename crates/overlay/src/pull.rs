@@ -1,0 +1,316 @@
+//! Pull-mode flooding: advert/demand scheduling and the payload cache.
+//!
+//! Naïve push flooding sends every payload across every link; §7.2 shows
+//! the resulting bandwidth is dominated by redundant copies (the
+//! duplicate-suppression ratio the traffic stats measure). Pull mode
+//! replaces payload pushes with content-addressed gossip: a node that
+//! learns a transaction or transaction set **adverts** its hash to its
+//! peers, and each peer **demands** the payload from exactly one
+//! advertiser, retrying from the next advertiser after a deterministic
+//! timeout. Small SCP envelopes stay push — their latency is on the
+//! consensus critical path and their size makes pull overhead pointless.
+//!
+//! This module holds the per-node bookkeeping; the simulator (or a real
+//! overlay) supplies the clock, the links, and the tick cadence:
+//!
+//! * [`DemandScheduler`] — batches outgoing adverts per flood tick and
+//!   tracks wanted hashes: who advertised them, whom we demanded from,
+//!   and when to give up and try the next advertiser;
+//! * [`PayloadCache`] — a bounded FIFO map of recently learned payloads,
+//!   from which incoming demands are answered.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use stellar_crypto::Hash256;
+use stellar_scp::NodeId;
+
+/// How a simulation floods large payloads (transactions and tx sets).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FloodMode {
+    /// Naïve push flooding: every payload crosses every link (§7.5).
+    #[default]
+    Push,
+    /// Advert/demand gossip: payloads cross a link only when demanded.
+    Pull,
+}
+
+/// Total demand attempts per hash before the scheduler gives up (each
+/// attempt waits one demand timeout). Advertisers are tried round-robin,
+/// so transient drops retry a healthy peer before exhaustion.
+pub const MAX_DEMAND_ATTEMPTS: u32 = 8;
+
+/// One hash the node still lacks: its advertisers and the outstanding
+/// demand, if any.
+#[derive(Debug)]
+struct Want {
+    /// Peers that advertised the hash, in arrival order.
+    advertisers: Vec<NodeId>,
+    /// Index into `advertisers` of the next peer to try.
+    next: usize,
+    /// Demand attempts made so far.
+    attempts: u32,
+    /// Deadline of the outstanding demand (simulated ms).
+    deadline_ms: u64,
+}
+
+/// What a scheduler tick asks the embedder to transmit.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct TickActions {
+    /// Hash batch to advertise to every peer (empty: no advert).
+    pub adverts: Vec<Hash256>,
+    /// Retry demands, grouped per target peer.
+    pub demands: Vec<(NodeId, Vec<Hash256>)>,
+    /// Demands that expired this tick (telemetry: timeout counter).
+    pub timeouts: u64,
+}
+
+/// Per-node pull-mode bookkeeping. All state transitions are driven by
+/// explicit timestamps, so embedding it in a deterministic simulation
+/// keeps runs bit-identical.
+#[derive(Debug)]
+pub struct DemandScheduler {
+    /// Hashes learned since the last tick, to advertise in one batch.
+    pending_adverts: Vec<Hash256>,
+    /// Hashes we lack, keyed for deterministic iteration.
+    wanted: BTreeMap<Hash256, Want>,
+    demand_timeout_ms: u64,
+}
+
+impl DemandScheduler {
+    /// A scheduler that retries an unanswered demand after
+    /// `demand_timeout_ms` of simulated time.
+    pub fn new(demand_timeout_ms: u64) -> DemandScheduler {
+        DemandScheduler {
+            pending_adverts: Vec::new(),
+            wanted: BTreeMap::new(),
+            demand_timeout_ms: demand_timeout_ms.max(1),
+        }
+    }
+
+    /// Queues a freshly learned payload hash for the next advert batch.
+    pub fn queue_advert(&mut self, id: Hash256) {
+        if !self.pending_adverts.contains(&id) {
+            self.pending_adverts.push(id);
+        }
+    }
+
+    /// Registers an advert from `from` for hashes the node lacks
+    /// (`missing` is pre-filtered by the caller's have-check). Returns
+    /// the hashes to demand from `from` right now — those with no other
+    /// outstanding demand. Hashes already being demanded elsewhere just
+    /// gain `from` as a fallback advertiser for the retry path.
+    pub fn on_advert(&mut self, from: NodeId, missing: &[Hash256], now_ms: u64) -> Vec<Hash256> {
+        let mut demand_now = Vec::new();
+        for id in missing {
+            match self.wanted.get_mut(id) {
+                Some(w) => {
+                    if !w.advertisers.contains(&from) {
+                        w.advertisers.push(from);
+                    }
+                }
+                None => {
+                    self.wanted.insert(
+                        *id,
+                        Want {
+                            advertisers: vec![from],
+                            next: 1,
+                            attempts: 1,
+                            deadline_ms: now_ms + self.demand_timeout_ms,
+                        },
+                    );
+                    demand_now.push(*id);
+                }
+            }
+        }
+        demand_now
+    }
+
+    /// Marks a wanted payload as arrived; returns `true` if a demand was
+    /// outstanding for it (the fulfilled counter).
+    pub fn on_fulfilled(&mut self, id: Hash256) -> bool {
+        self.wanted.remove(&id).is_some()
+    }
+
+    /// Whether `id` is currently being demanded.
+    pub fn is_wanted(&self, id: Hash256) -> bool {
+        self.wanted.contains_key(&id)
+    }
+
+    /// One flood tick: drains the advert batch and re-demands every
+    /// expired want from its next advertiser (round-robin). Wants that
+    /// exhausted [`MAX_DEMAND_ATTEMPTS`] are dropped — a later advert
+    /// recreates them.
+    pub fn tick(&mut self, now_ms: u64) -> TickActions {
+        let adverts = std::mem::take(&mut self.pending_adverts);
+        let mut demands: BTreeMap<NodeId, Vec<Hash256>> = BTreeMap::new();
+        let mut timeouts = 0u64;
+        let mut give_up = Vec::new();
+        for (id, w) in self.wanted.iter_mut() {
+            if w.deadline_ms > now_ms {
+                continue;
+            }
+            timeouts += 1;
+            if w.attempts >= MAX_DEMAND_ATTEMPTS {
+                give_up.push(*id);
+                continue;
+            }
+            let peer = w.advertisers[w.next % w.advertisers.len()];
+            w.next += 1;
+            w.attempts += 1;
+            w.deadline_ms = now_ms + self.demand_timeout_ms;
+            demands.entry(peer).or_default().push(*id);
+        }
+        for id in give_up {
+            self.wanted.remove(&id);
+        }
+        TickActions {
+            adverts,
+            demands: demands.into_iter().collect(),
+            timeouts,
+        }
+    }
+
+    /// True when a future tick still has work to do (advert batch to
+    /// send or demands to watch for expiry).
+    pub fn has_work(&self) -> bool {
+        !self.pending_adverts.is_empty() || !self.wanted.is_empty()
+    }
+}
+
+/// A bounded FIFO map of recently learned payloads, keyed by content
+/// hash — the store incoming demands are answered from. Overflow evicts
+/// oldest-first: a demand for an evicted payload goes unanswered and the
+/// demander retries another advertiser (mirroring production, where a
+/// peer may have pruned an old tx set).
+#[derive(Debug)]
+pub struct PayloadCache<V> {
+    map: HashMap<Hash256, V>,
+    order: VecDeque<Hash256>,
+    capacity: usize,
+}
+
+impl<V> PayloadCache<V> {
+    /// A cache holding at most `capacity` payloads.
+    pub fn new(capacity: usize) -> PayloadCache<V> {
+        PayloadCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Inserts a payload (no-op if the hash is already cached).
+    pub fn insert(&mut self, id: Hash256, payload: V) {
+        if self.map.contains_key(&id) {
+            return;
+        }
+        self.map.insert(id, payload);
+        self.order.push_back(id);
+        while self.order.len() > self.capacity {
+            let old = self.order.pop_front().expect("non-empty");
+            self.map.remove(&old);
+        }
+    }
+
+    /// The payload behind `id`, if still cached.
+    pub fn get(&self, id: Hash256) -> Option<&V> {
+        self.map.get(&id)
+    }
+
+    /// Number of cached payloads.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u8) -> Hash256 {
+        let mut b = [0u8; 32];
+        b[0] = n;
+        Hash256(b)
+    }
+
+    #[test]
+    fn advert_batches_drain_per_tick() {
+        let mut s = DemandScheduler::new(400);
+        s.queue_advert(id(1));
+        s.queue_advert(id(2));
+        s.queue_advert(id(1)); // dedup within a batch
+        let t = s.tick(100);
+        assert_eq!(t.adverts, vec![id(1), id(2)]);
+        assert_eq!(s.tick(200).adverts, Vec::<Hash256>::new());
+    }
+
+    #[test]
+    fn first_advertiser_is_demanded_immediately() {
+        let mut s = DemandScheduler::new(400);
+        let d = s.on_advert(NodeId(7), &[id(1), id(2)], 1000);
+        assert_eq!(d, vec![id(1), id(2)]);
+        // A second advertiser of an outstanding hash is only a fallback.
+        let d2 = s.on_advert(NodeId(8), &[id(1), id(3)], 1050);
+        assert_eq!(d2, vec![id(3)]);
+        assert!(s.is_wanted(id(1)) && s.is_wanted(id(3)));
+    }
+
+    #[test]
+    fn timeout_retries_next_advertiser_round_robin() {
+        let mut s = DemandScheduler::new(400);
+        s.on_advert(NodeId(7), &[id(1)], 1000);
+        s.on_advert(NodeId(8), &[id(1)], 1010);
+        // Before the deadline: nothing expires.
+        assert_eq!(s.tick(1300).timeouts, 0);
+        // After: retry goes to the *second* advertiser.
+        let t = s.tick(1400);
+        assert_eq!(t.timeouts, 1);
+        assert_eq!(t.demands, vec![(NodeId(8), vec![id(1)])]);
+        // Next expiry wraps back to the first.
+        let t2 = s.tick(1800);
+        assert_eq!(t2.demands, vec![(NodeId(7), vec![id(1)])]);
+    }
+
+    #[test]
+    fn fulfilled_cancels_the_retry() {
+        let mut s = DemandScheduler::new(400);
+        s.on_advert(NodeId(7), &[id(1)], 1000);
+        assert!(s.on_fulfilled(id(1)));
+        assert!(!s.on_fulfilled(id(1)), "second arrival was not wanted");
+        assert_eq!(s.tick(2000), TickActions::default());
+        assert!(!s.has_work());
+    }
+
+    #[test]
+    fn exhausted_attempts_drop_the_want() {
+        let mut s = DemandScheduler::new(100);
+        s.on_advert(NodeId(7), &[id(1)], 0);
+        let mut now = 0;
+        let mut retries = 0;
+        for _ in 0..MAX_DEMAND_ATTEMPTS + 2 {
+            now += 100;
+            retries += s.tick(now).demands.len();
+        }
+        assert_eq!(retries as u32, MAX_DEMAND_ATTEMPTS - 1, "bounded retries");
+        assert!(!s.is_wanted(id(1)), "given up");
+        // A fresh advert recreates the want.
+        assert_eq!(s.on_advert(NodeId(9), &[id(1)], now), vec![id(1)]);
+    }
+
+    #[test]
+    fn payload_cache_bounded_fifo() {
+        let mut c: PayloadCache<u32> = PayloadCache::new(2);
+        c.insert(id(1), 10);
+        c.insert(id(2), 20);
+        c.insert(id(2), 99); // duplicate insert ignored
+        assert_eq!(c.get(id(2)), Some(&20));
+        c.insert(id(3), 30); // evicts id(1)
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(id(1)), None);
+        assert_eq!(c.get(id(3)), Some(&30));
+    }
+}

@@ -7,7 +7,8 @@
 //! flood duplicate-suppression hits) feeds the §7.2 traffic table and
 //! the telemetry snapshot.
 
-/// The three flooded payload families, as a traffic-accounting tag.
+/// The flooded message families, as a traffic-accounting tag: three
+/// payload kinds plus the two pull-mode control kinds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MsgKind {
     /// An SCP envelope.
@@ -16,6 +17,10 @@ pub enum MsgKind {
     TxSet,
     /// A single transaction.
     Tx,
+    /// A pull-mode advert (hash batch announcement).
+    Advert,
+    /// A pull-mode demand (hash batch request).
+    Demand,
 }
 
 impl MsgKind {
@@ -25,8 +30,19 @@ impl MsgKind {
             MsgKind::Scp => "scp",
             MsgKind::TxSet => "tx_set",
             MsgKind::Tx => "tx",
+            MsgKind::Advert => "advert",
+            MsgKind::Demand => "demand",
         }
     }
+
+    /// Every kind, in index order (for report tables).
+    pub const ALL: [MsgKind; 5] = [
+        MsgKind::Scp,
+        MsgKind::TxSet,
+        MsgKind::Tx,
+        MsgKind::Advert,
+        MsgKind::Demand,
+    ];
 }
 
 /// Message/byte counters for one node.
@@ -43,14 +59,18 @@ pub struct TrafficStats {
     /// SCP envelopes *originated* by this node (logical broadcasts,
     /// the §7.2 per-ledger message count).
     pub scp_originated: u64,
-    /// Received messages by type: `[scp, tx_set, tx]`, indexable with
-    /// [`MsgKind`] via [`TrafficStats::in_count`].
-    pub in_by_kind: [u64; 3],
+    /// Received messages by type: `[scp, tx_set, tx, advert, demand]`,
+    /// indexable with [`MsgKind`] via [`TrafficStats::in_count`].
+    pub in_by_kind: [u64; 5],
     /// Sent messages by type.
-    pub out_by_kind: [u64; 3],
+    pub out_by_kind: [u64; 5],
     /// Deliveries dropped by the flood seen-cache (duplicate
     /// suppression hits) — the §7.5 cost of naïve flooding.
     pub dup_suppressed: u64,
+    /// Pull mode: demanded payloads that arrived.
+    pub pull_fulfilled: u64,
+    /// Pull mode: demands that expired and were retried (or given up).
+    pub pull_timeouts: u64,
 }
 
 impl TrafficStats {
@@ -59,6 +79,8 @@ impl TrafficStats {
             MsgKind::Scp => 0,
             MsgKind::TxSet => 1,
             MsgKind::Tx => 2,
+            MsgKind::Advert => 3,
+            MsgKind::Demand => 4,
         }
     }
 
@@ -90,6 +112,16 @@ impl TrafficStats {
     /// Records a delivery suppressed as a duplicate by the flood cache.
     pub fn dup_hit(&mut self) {
         self.dup_suppressed += 1;
+    }
+
+    /// Records a demanded payload arriving (pull mode).
+    pub fn record_pull_fulfilled(&mut self) {
+        self.pull_fulfilled += 1;
+    }
+
+    /// Records `n` demand timeouts expiring on one flood tick.
+    pub fn record_pull_timeouts(&mut self, n: u64) {
+        self.pull_timeouts += n;
     }
 
     /// Received-message count for one type.
@@ -128,11 +160,13 @@ impl TrafficStats {
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
         self.scp_originated += other.scp_originated;
-        for i in 0..3 {
+        for i in 0..5 {
             self.in_by_kind[i] += other.in_by_kind[i];
             self.out_by_kind[i] += other.out_by_kind[i];
         }
         self.dup_suppressed += other.dup_suppressed;
+        self.pull_fulfilled += other.pull_fulfilled;
+        self.pull_timeouts += other.pull_timeouts;
     }
 }
 
@@ -198,6 +232,8 @@ mod tests {
         b.send_kind(MsgKind::Tx, 20);
         b.scp_originated = 3;
         b.dup_hit();
+        b.record_pull_fulfilled();
+        b.record_pull_timeouts(2);
         a.merge(&b);
         assert_eq!(a.bytes_in, 10);
         assert_eq!(a.bytes_out, 20);
@@ -205,5 +241,19 @@ mod tests {
         assert_eq!(a.in_count(MsgKind::Scp), 1);
         assert_eq!(a.out_count(MsgKind::Tx), 1);
         assert_eq!(a.dup_suppressed, 2);
+        assert_eq!(a.pull_fulfilled, 1);
+        assert_eq!(a.pull_timeouts, 2);
+    }
+
+    #[test]
+    fn pull_control_kinds_tracked() {
+        let mut s = TrafficStats::default();
+        s.send_kind(MsgKind::Advert, 36);
+        s.recv_kind(MsgKind::Demand, 36);
+        assert_eq!(s.out_count(MsgKind::Advert), 1);
+        assert_eq!(s.in_count(MsgKind::Demand), 1);
+        assert_eq!(MsgKind::ALL.len(), 5);
+        assert_eq!(MsgKind::Advert.name(), "advert");
+        assert_eq!(MsgKind::Demand.name(), "demand");
     }
 }

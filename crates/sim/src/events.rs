@@ -74,6 +74,13 @@ pub enum Event {
         /// The transaction.
         tx: Box<TransactionEnvelope>,
     },
+    /// A pull-mode flood tick: the node drains its advert batch and
+    /// retries expired demands. Armed lazily — only while the node's
+    /// demand scheduler has work — so idle networks schedule no ticks.
+    PullTick {
+        /// The ticking node.
+        node: NodeId,
+    },
 }
 
 #[derive(Debug)]

@@ -120,8 +120,12 @@ mod tests {
         let mut lg = LoadGen::new(100, 10.0, 1);
         let mut q = stellar_herder::TxQueue::new();
         for _ in 0..20 {
-            q.submit(&s, lg.make_payment())
-                .expect("generated tx must be admissible");
+            q.submit(
+                &s,
+                lg.make_payment(),
+                &mut stellar_ledger::sigcache::SigVerifyCache::disabled(),
+            )
+            .expect("generated tx must be admissible");
         }
         assert_eq!(q.len(), 20);
     }

@@ -19,7 +19,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use stellar_crypto::sign::KeyPair;
 use stellar_crypto::Hash256;
 use stellar_herder::validator::{Outputs, Validator};
-use stellar_overlay::{FloodMessage, FloodState, LinkFaultTable, MsgKind, PeerGraph, TrafficStats};
+use stellar_overlay::{
+    DemandScheduler, FloodMessage, FloodMode, FloodState, LinkFaultTable, MsgKind, PayloadCache,
+    PeerGraph, TrafficStats,
+};
 use stellar_scp::driver::ScpEvent;
 use stellar_scp::{NodeId, QuorumSet, SlotIndex, Value};
 use stellar_telemetry::{Json, NodeTelemetry};
@@ -48,7 +51,23 @@ pub struct SimConfig {
     /// busy node, so message volume translates into latency — the effect
     /// behind Fig. 11's balloting growth.
     pub proc_cost_us_per_msg: u64,
+    /// How `Tx`/`TxSet` payloads cross the overlay: naïve push flooding
+    /// (the §7.5 default) or advert/demand pull gossip. SCP envelopes are
+    /// pushed either way.
+    pub flood_mode: FloodMode,
 }
+
+/// Pull-mode flood tick cadence: adverts batch for up to this long, and
+/// demand timeouts are checked at this granularity (production
+/// stellar-core floods adverts every 100 ms).
+pub const ADVERT_INTERVAL_MS: u64 = 100;
+
+/// How long a demand waits before the scheduler retries the next
+/// advertiser. Covers one round trip on the WAN latency model with slack.
+pub const DEMAND_TIMEOUT_MS: u64 = 400;
+
+/// Per-node bound on payloads kept for answering demands.
+const PAYLOAD_CACHE_CAPACITY: usize = 4096;
 
 /// Optional custom genesis state for scenario-driven examples/tests.
 #[derive(Default)]
@@ -69,6 +88,7 @@ impl Default for SimConfig {
             max_tx_set_ops: 1000,
             max_sim_time_ms: 3_600_000,
             proc_cost_us_per_msg: 200,
+            flood_mode: FloodMode::Push,
         }
     }
 }
@@ -84,6 +104,8 @@ fn msg_kind(msg: &FloodMessage) -> MsgKind {
         FloodMessage::Scp(_) => MsgKind::Scp,
         FloodMessage::TxSet(_) => MsgKind::TxSet,
         FloodMessage::Tx(_) => MsgKind::Tx,
+        FloodMessage::Advert(_) => MsgKind::Advert,
+        FloodMessage::Demand(_) => MsgKind::Demand,
     }
 }
 
@@ -159,6 +181,12 @@ pub struct Simulation {
     validators: BTreeMap<NodeId, Validator>,
     graph: PeerGraph,
     flood: BTreeMap<NodeId, FloodState>,
+    /// Pull mode: per-node advert batching and demand retry state.
+    pull: BTreeMap<NodeId, DemandScheduler>,
+    /// Pull mode: per-node payloads available for answering demands.
+    payloads: BTreeMap<NodeId, PayloadCache<Flooded>>,
+    /// Pull mode: nodes with a `PullTick` currently scheduled.
+    tick_armed: BTreeSet<NodeId>,
     traffic: BTreeMap<NodeId, TrafficStats>,
     latency: LatencyModel,
     rng: StdRng,
@@ -225,6 +253,18 @@ impl Simulation {
             .nodes()
             .map(|n| (n, FloodState::with_min_residency(200_000, 30_000)))
             .collect();
+        // Pull-mode state exists for every graph node (watchers relay
+        // payloads in pull mode by re-advertising them).
+        let pull = built
+            .graph
+            .nodes()
+            .map(|n| (n, DemandScheduler::new(DEMAND_TIMEOUT_MS)))
+            .collect();
+        let payloads = built
+            .graph
+            .nodes()
+            .map(|n| (n, PayloadCache::new(PAYLOAD_CACHE_CAPACITY)))
+            .collect();
         let traffic = built
             .graph
             .nodes()
@@ -242,6 +282,9 @@ impl Simulation {
             validators,
             graph: built.graph,
             flood,
+            pull,
+            payloads,
+            tick_armed: BTreeSet::new(),
             traffic,
             latency: built.latency,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x51),
@@ -390,9 +433,11 @@ impl Simulation {
                 continue;
             }
             // Tx sets first: a peer that sees a vote before the set it
-            // names cannot validate the value for nomination.
+            // names cannot validate the value for nomination. In pull
+            // mode the sets are (re-)advertised rather than re-flooded —
+            // peers that already hold them never see the payload again.
             for set in self.validators[&id].scp_state_tx_sets() {
-                self.broadcast_from(id, Flooded::new(FloodMessage::TxSet(set)));
+                self.publish_payload(id, Flooded::new(FloodMessage::TxSet(set)));
             }
             for env in self.validators[&id].scp_state_envelopes() {
                 self.broadcast_from(id, Flooded::new(FloodMessage::Scp(env)));
@@ -479,7 +524,7 @@ impl Simulation {
     pub fn inject_direct(&mut self, from: NodeId, to: NodeId, msg: FloodMessage) {
         let flooded = Flooded::new(msg);
         if let Some(f) = self.flood.get_mut(&from) {
-            f.record_id_at(flooded.id, self.now); // don't bounce back
+            f.record_at(flooded.id, self.now); // don't bounce back
         }
         self.enqueue_delivery(from, to, flooded);
     }
@@ -488,7 +533,7 @@ impl Simulation {
     pub fn inject_broadcast(&mut self, from: NodeId, msg: FloodMessage) {
         let flooded = Flooded::new(msg);
         if let Some(f) = self.flood.get_mut(&from) {
-            f.record_id_at(flooded.id, self.now);
+            f.record_at(flooded.id, self.now);
         }
         self.relay(from, None, flooded);
     }
@@ -704,8 +749,9 @@ impl Simulation {
                     v.set_time_ms(self.now);
                     let _ = v.submit_transaction((*tx).clone());
                 }
-                // The receiving node floods the transaction onward.
-                self.broadcast_from(to, Flooded::new(FloodMessage::Tx(*tx)));
+                // The receiving node floods the transaction onward (in
+                // pull mode: adverts it; peers demand the payload).
+                self.publish_payload(to, Flooded::new(FloodMessage::Tx(*tx)));
                 let dt = self
                     .loadgen
                     .as_mut()
@@ -716,6 +762,7 @@ impl Simulation {
                     self.schedule_load(self.now + dt);
                 }
             }
+            Event::PullTick { node } => self.handle_pull_tick(node),
         }
     }
 
@@ -751,6 +798,23 @@ impl Simulation {
     }
 
     fn handle_deliver(&mut self, to: NodeId, from: NodeId, msg: Flooded) {
+        // Pull-mode control messages are point-to-point: no seen-cache,
+        // no relay, and (being tiny) no processing-capacity charge.
+        if msg.msg.is_pull_control() {
+            if let Some(t) = self.traffic.get_mut(&to) {
+                t.recv_kind(msg_kind(&msg.msg), msg.size);
+            }
+            if self.puppets.contains(&to) {
+                self.puppet_inbox.entry(to).or_default().push((from, msg));
+                return;
+            }
+            match &*msg.msg {
+                FloodMessage::Advert(ids) => self.handle_advert(to, from, ids.clone()),
+                FloodMessage::Demand(ids) => self.handle_demand(to, from, ids.clone()),
+                _ => unreachable!("is_pull_control"),
+            }
+            return;
+        }
         // Duplicate deliveries cost only a cache lookup; account traffic
         // and drop them before the processing-capacity model.
         let fresh = self
@@ -783,7 +847,7 @@ impl Simulation {
         let fresh = self
             .flood
             .get_mut(&to)
-            .map(|f| f.record_id_at(msg.id, self.now))
+            .map(|f| f.record_at(msg.id, self.now))
             .unwrap_or(false);
         if !fresh {
             // A copy processed while this one waited in the busy queue.
@@ -811,6 +875,9 @@ impl Simulation {
                         let _ = v.submit_transaction(tx.clone());
                         Outputs::default()
                     }
+                    FloodMessage::Advert(_) | FloodMessage::Demand(_) => {
+                        unreachable!("pull control intercepted above")
+                    }
                 }
             };
             self.handle_outputs(to, out);
@@ -829,8 +896,130 @@ impl Simulation {
                 }
             }
         }
-        // Relay to all peers except the sender.
-        self.relay(to, Some(from), msg);
+        // Onward propagation. Push mode relays the payload to all peers
+        // except the sender. Pull mode relays only SCP envelopes that way;
+        // a fresh Tx/TxSet payload instead settles any outstanding demand,
+        // joins the node's payload cache, and is re-advertised.
+        if self.cfg.flood_mode == FloodMode::Pull && !msg.msg.is_scp() {
+            let fulfilled = self
+                .pull
+                .get_mut(&to)
+                .is_some_and(|p| p.on_fulfilled(msg.id));
+            if fulfilled {
+                if let Some(t) = self.traffic.get_mut(&to) {
+                    t.record_pull_fulfilled();
+                }
+            }
+            if let Some(cache) = self.payloads.get_mut(&to) {
+                cache.insert(msg.id, msg.clone());
+            }
+            if let Some(p) = self.pull.get_mut(&to) {
+                p.queue_advert(msg.id);
+            }
+            self.arm_pull_tick(to);
+        } else {
+            self.relay(to, Some(from), msg);
+        }
+    }
+
+    /// An advert arrived: register the sender for every hash this node
+    /// lacks, and demand the newly wanted ones straight back from it.
+    fn handle_advert(&mut self, to: NodeId, from: NodeId, ids: Vec<Hash256>) {
+        let missing: Vec<Hash256> = match self.flood.get(&to) {
+            Some(f) => ids.into_iter().filter(|id| !f.contains(*id)).collect(),
+            None => return,
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let demand_now = self
+            .pull
+            .get_mut(&to)
+            .map(|p| p.on_advert(from, &missing, self.now))
+            .unwrap_or_default();
+        if !demand_now.is_empty() {
+            self.enqueue_delivery(to, from, Flooded::new(FloodMessage::Demand(demand_now)));
+        }
+        // Arm the tick so the demand's timeout is checked even if no
+        // further traffic arrives.
+        self.arm_pull_tick(to);
+    }
+
+    /// A demand arrived: answer every hash still in the payload cache.
+    /// Evicted (or never-held) hashes go unanswered — the demander's
+    /// timeout retries another advertiser.
+    fn handle_demand(&mut self, to: NodeId, from: NodeId, ids: Vec<Hash256>) {
+        let answers: Vec<Flooded> = match self.payloads.get(&to) {
+            Some(cache) => ids
+                .iter()
+                .filter_map(|id| cache.get(*id).cloned())
+                .collect(),
+            None => return,
+        };
+        for payload in answers {
+            self.enqueue_delivery(to, from, payload);
+        }
+    }
+
+    /// Schedules the next pull tick for `node` unless one is pending.
+    fn arm_pull_tick(&mut self, node: NodeId) {
+        if self.tick_armed.insert(node) {
+            self.queue
+                .push(self.now + ADVERT_INTERVAL_MS, Event::PullTick { node });
+        }
+    }
+
+    /// One pull-mode flood tick: broadcast the batched adverts, re-demand
+    /// expired wants, and re-arm while the scheduler still has work.
+    fn handle_pull_tick(&mut self, node: NodeId) {
+        self.tick_armed.remove(&node);
+        if self.crashed.contains(&node) {
+            return; // rearmed by whatever traffic follows a revival
+        }
+        let Some(p) = self.pull.get_mut(&node) else {
+            return;
+        };
+        let actions = p.tick(self.now);
+        if actions.timeouts > 0 {
+            if let Some(t) = self.traffic.get_mut(&node) {
+                t.record_pull_timeouts(actions.timeouts);
+            }
+        }
+        if !actions.adverts.is_empty() {
+            let advert = Flooded::new(FloodMessage::Advert(actions.adverts));
+            let peers: Vec<NodeId> = self.graph.peers(node).collect();
+            for peer in peers {
+                self.enqueue_delivery(node, peer, advert.clone());
+            }
+        }
+        for (peer, ids) in actions.demands {
+            self.enqueue_delivery(node, peer, Flooded::new(FloodMessage::Demand(ids)));
+        }
+        if self.pull.get(&node).is_some_and(DemandScheduler::has_work) {
+            self.arm_pull_tick(node);
+        }
+    }
+
+    /// Hands a freshly originated `Tx`/`TxSet` payload to the overlay:
+    /// push mode floods it to every peer; pull mode caches it and
+    /// advertises its hash on the next flood tick.
+    fn publish_payload(&mut self, node: NodeId, msg: Flooded) {
+        match self.cfg.flood_mode {
+            FloodMode::Push => self.broadcast_from(node, msg),
+            FloodMode::Pull => {
+                if let Some(f) = self.flood.get_mut(&node) {
+                    f.record_at(msg.id, self.now);
+                }
+                let id = msg.id;
+                if let Some(cache) = self.payloads.get_mut(&node) {
+                    cache.insert(id, msg);
+                }
+                if let Some(p) = self.pull.get_mut(&node) {
+                    p.queue_advert(id);
+                }
+                self.arm_pull_tick(node);
+            }
+        }
     }
 
     /// The delivery chokepoint every sent message funnels through: crashed
@@ -882,7 +1071,7 @@ impl Simulation {
     /// Floods a message originated by `node`.
     fn broadcast_from(&mut self, node: NodeId, msg: Flooded) {
         if let Some(f) = self.flood.get_mut(&node) {
-            f.record_id_at(msg.id, self.now); // don't reprocess our own message
+            f.record_at(msg.id, self.now); // don't reprocess our own message
         }
         self.relay(node, None, msg);
     }
@@ -897,7 +1086,7 @@ impl Simulation {
             self.broadcast_from(node, Flooded::new(FloodMessage::Scp(env)));
         }
         for set in out.tx_sets {
-            self.broadcast_from(node, Flooded::new(FloodMessage::TxSet(set)));
+            self.publish_payload(node, Flooded::new(FloodMessage::TxSet(set)));
         }
         self.check_closed(node);
     }

@@ -22,6 +22,7 @@ use stellar::ledger::amount::BASE_FEE;
 use stellar::ledger::apply::{apply_transaction, check_validity};
 use stellar::ledger::entry::{AccountEntry, AccountId};
 use stellar::ledger::ops::{apply_operation, ExecEnv};
+use stellar::ledger::sigcache::SigVerifyCache;
 use stellar::ledger::store::LedgerStore;
 use stellar::ledger::tx::{OpError, Operation, SourcedOperation, Transaction, TransactionEnvelope};
 use stellar::ledger::Asset;
@@ -202,12 +203,26 @@ fn main() {
     // Alice's signature alone is not enough: Bob sources an operation.
     let half_signed = TransactionEnvelope::sign(swap.clone(), &[&alice_k]);
     let d0 = store.begin();
-    assert!(check_validity(&d0, &half_signed, 10, BASE_FEE * 3).is_err());
+    assert!(check_validity(
+        &d0,
+        &half_signed,
+        10,
+        BASE_FEE * 3,
+        &mut SigVerifyCache::disabled()
+    )
+    .is_err());
     println!("swap signed only by Alice: rejected (BadAuth) ✓");
 
     let fully_signed = TransactionEnvelope::sign(swap, &[&alice_k, &bob_k]);
     let mut d = store.begin();
-    let result = apply_transaction(&mut d, &fully_signed, 10, BASE_FEE * 3, &env);
+    let result = apply_transaction(
+        &mut d,
+        &fully_signed,
+        10,
+        BASE_FEE * 3,
+        &env,
+        &mut SigVerifyCache::disabled(),
+    );
     assert!(result.is_success(), "{result:?}");
     let ch = d.into_changes();
     store.commit(ch);

@@ -12,7 +12,7 @@ use stellar::crypto::sign::KeyPair;
 use stellar::crypto::Hash256;
 use stellar::herder::queue::TxQueue;
 use stellar::ledger::amount::{xlm, Price, BASE_FEE};
-use stellar::ledger::apply::close_ledger_cached;
+use stellar::ledger::apply::close_ledger;
 use stellar::ledger::entry::{AccountEntry, AccountId, LedgerEntry, TrustLineEntry};
 use stellar::ledger::header::{LedgerHeader, LedgerParams};
 use stellar::ledger::sigcache::SigVerifyCache;
@@ -112,12 +112,12 @@ fn run(mut sig_cache: SigVerifyCache) -> (Vec<Hash256>, Vec<Hash256>, u64) {
     for ledger in 0..LEDGERS {
         for env in batch(ledger, &mut next_seq) {
             queue
-                .submit_cached(&store, env, &mut sig_cache)
+                .submit(&store, env, &mut sig_cache)
                 .expect("valid submission");
         }
         let set = TransactionSet::assemble(header.hash(), queue.candidates(&store), u32::MAX);
         assert_eq!(set.txs.len() as u64, TXS_PER_LEDGER);
-        let result = close_ledger_cached(
+        let result = close_ledger(
             &mut store,
             &header,
             &set,

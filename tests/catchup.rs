@@ -13,6 +13,7 @@ use stellar::ledger::amount::{xlm, BASE_FEE};
 use stellar::ledger::apply::close_ledger;
 use stellar::ledger::entry::{AccountEntry, AccountId};
 use stellar::ledger::header::{LedgerHeader, LedgerParams};
+use stellar::ledger::sigcache::SigVerifyCache;
 use stellar::ledger::store::LedgerStore;
 use stellar::ledger::tx::{Memo, Operation, SourcedOperation, Transaction, TransactionEnvelope};
 use stellar::ledger::txset::TransactionSet;
@@ -61,7 +62,14 @@ fn run_chain(n_ledgers: u64) -> (LedgerStore, LedgerHeader, BucketList, HistoryA
             &[&keys(from)],
         );
         let set = TransactionSet::assemble(header.hash(), vec![env], 100);
-        let res = close_ledger(&mut store, &header, &set, 100 + l, LedgerParams::default());
+        let res = close_ledger(
+            &mut store,
+            &header,
+            &set,
+            100 + l,
+            LedgerParams::default(),
+            &mut SigVerifyCache::disabled(),
+        );
         assert!(
             res.results[0].is_success(),
             "ledger {l}: {:?}",
@@ -117,6 +125,7 @@ fn new_node_bootstraps_from_checkpoint_and_replays() {
             &set,
             expected.close_time,
             expected.params,
+            &mut SigVerifyCache::disabled(),
         );
         buckets.add_batch(res.header.ledger_seq, &res.changes);
         header = res.header;

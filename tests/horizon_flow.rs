@@ -129,7 +129,7 @@ fn federation_compliance_submission_bridge_roundtrip() {
     assert_eq!(notes[0].amount, 777);
     assert_eq!(notes[0].memo, Memo::Id(42));
     // Horizon finds the transaction and the new balance.
-    let (ledger_seq, found) = Horizon::find_transaction(herder, tx_hash).unwrap();
+    let (ledger_seq, found) = Horizon::find_transaction_exhaustive(herder, tx_hash).unwrap();
     assert_eq!(found.hash(), tx_hash);
     assert_eq!(notes[0].ledger_seq, ledger_seq);
     let info = Horizon::account(herder, benito).unwrap();

@@ -299,6 +299,7 @@ fn hash_preimage_signer_enables_htlc_style_claims() {
     use stellar::ledger::apply::{apply_transaction, check_validity};
     use stellar::ledger::entry::Signer;
     use stellar::ledger::ops::ExecEnv;
+    use stellar::ledger::sigcache::SigVerifyCache;
     use stellar::ledger::tx::{TimeBounds, TxError, TxResult};
 
     let secret = b"cross-chain-secret".to_vec();
@@ -340,7 +341,13 @@ fn hash_preimage_signer_enables_htlc_style_claims() {
     let unsigned = TransactionEnvelope::sign(claim_tx.clone(), &[]);
     let d = store.begin();
     assert_eq!(
-        check_validity(&d, &unsigned, 100, BASE_FEE),
+        check_validity(
+            &d,
+            &unsigned,
+            100,
+            BASE_FEE,
+            &mut SigVerifyCache::disabled()
+        ),
         Err(TxError::BadAuth)
     );
     drop(d);
@@ -349,7 +356,13 @@ fn hash_preimage_signer_enables_htlc_style_claims() {
     let master_signed = TransactionEnvelope::sign(claim_tx.clone(), &[&keys(10)]);
     let d = store.begin();
     assert_eq!(
-        check_validity(&d, &master_signed, 100, BASE_FEE),
+        check_validity(
+            &d,
+            &master_signed,
+            100,
+            BASE_FEE,
+            &mut SigVerifyCache::disabled()
+        ),
         Err(TxError::BadAuth)
     );
     drop(d);
@@ -358,7 +371,7 @@ fn hash_preimage_signer_enables_htlc_style_claims() {
     let wrong = TransactionEnvelope::sign(claim_tx.clone(), &[]).with_preimage(b"guess".to_vec());
     let d = store.begin();
     assert_eq!(
-        check_validity(&d, &wrong, 100, BASE_FEE),
+        check_validity(&d, &wrong, 100, BASE_FEE, &mut SigVerifyCache::disabled()),
         Err(TxError::BadAuth)
     );
     drop(d);
@@ -366,7 +379,14 @@ fn hash_preimage_signer_enables_htlc_style_claims() {
     // Revealing the secret claims the funds — inside the time window.
     let revealed = TransactionEnvelope::sign(claim_tx.clone(), &[]).with_preimage(secret.clone());
     let mut d = store.begin();
-    let r = apply_transaction(&mut d, &revealed, 100, BASE_FEE, &ExecEnv::default());
+    let r = apply_transaction(
+        &mut d,
+        &revealed,
+        100,
+        BASE_FEE,
+        &ExecEnv::default(),
+        &mut SigVerifyCache::disabled(),
+    );
     assert!(matches!(r, TxResult::Success { .. }), "{r:?}");
     assert_eq!(d.account(acct(11)).unwrap().balance, xlm(45));
     drop(d);
@@ -376,7 +396,7 @@ fn hash_preimage_signer_enables_htlc_style_claims() {
     let d = store.begin();
     let late = TransactionEnvelope::sign(claim_tx, &[]).with_preimage(secret);
     assert_eq!(
-        check_validity(&d, &late, 600, BASE_FEE),
+        check_validity(&d, &late, 600, BASE_FEE, &mut SigVerifyCache::disabled()),
         Err(TxError::TooLate)
     );
 }
