@@ -33,4 +33,12 @@ cargo test -q --test pull_flood
 echo "==> overlay pull smoke (exp_overlay_pull --quick; gates schema + flood-byte regression vs committed BENCH_overlay_pull.json)"
 BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_overlay_pull -- --quick
 
+echo "==> crash-restart recovery (amnesia A/B, restart storm, persistence twin run)"
+cargo test -q -p stellar-chaos --test recovery
+
+echo "==> recovery smoke (exp_recovery --quick -> schema-valid BENCH_recovery.json)"
+BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_recovery -- --quick
+grep -q '"schema": "stellar-bench/v1"' "$SMOKE_DIR/BENCH_recovery.json"
+grep -q '"schema": "stellar-bench/v1"' BENCH_recovery.json  # committed full sweep
+
 echo "CI green."

@@ -1,0 +1,216 @@
+//! E16 — crash-restart recovery: replay time vs. ledger gap.
+//!
+//! A rebooted validator rebuilds its state from cheap durable storage
+//! alone (§5.4): it replays its own history archive from the last state
+//! it can prove, re-verifying every header hash on the way. This bench
+//! measures that recovery path end to end — build a chain of `gap`
+//! ledgers under payment load, publish each to an archive, then time a
+//! fresh herder catching up from genesis through the whole archive —
+//! and sweeps the gap to show recovery cost is linear in the distance
+//! fallen behind, not in total chain history.
+//!
+//! ```sh
+//! cargo run --release -p stellar-bench --bin exp_recovery [-- --quick]
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+use stellar_bench::{print_table, store_with_accounts, write_bench_json};
+use stellar_buckets::{BucketList, HistoryArchive};
+use stellar_crypto::Hash256;
+use stellar_herder::Herder;
+use stellar_ledger::amount::BASE_FEE;
+use stellar_ledger::apply::close_ledger;
+use stellar_ledger::asset::Asset;
+use stellar_ledger::header::{LedgerHeader, LedgerParams};
+use stellar_ledger::sigcache::SigVerifyCache;
+use stellar_ledger::store::LedgerStore;
+use stellar_ledger::tx::{Memo, Operation, SourcedOperation, Transaction, TransactionEnvelope};
+use stellar_ledger::txset::TransactionSet;
+use stellar_scp::NodeId;
+use stellar_sim::loadgen::{user_account, user_keys};
+use stellar_telemetry::Json;
+
+/// One sweep point: how many ledgers behind the rebooted node is.
+#[derive(Clone, Copy)]
+struct Config {
+    gap: u64,
+    accounts: u64,
+    txs_per_ledger: u64,
+}
+
+/// Measured outcome of one sweep point.
+struct Outcome {
+    ledgers_replayed: u64,
+    recovery_ms: f64,
+    ledgers_per_sec: f64,
+    txs_replayed: u64,
+    archive_bytes: u64,
+    checkpoints: u64,
+    persisted_bytes: u64,
+}
+
+/// Closes `cfg.gap` ledgers of payment load on a lone chain, publishing
+/// every ledger to a history archive, and returns the genesis store
+/// (what the rebooted node starts from) plus the archive (what it
+/// recovers through).
+fn build_archive(cfg: &Config) -> (LedgerStore, HistoryArchive, u64) {
+    let genesis = store_with_accounts(cfg.accounts);
+    let mut live = genesis.clone();
+    let mut buckets = BucketList::seed(live.all_entries());
+    // Mirror `Herder::new` exactly: the recovering herder must start
+    // from a bit-identical genesis header or replay verification fails.
+    let mut header = LedgerHeader::genesis(Hash256::ZERO);
+    header.snapshot_hash = buckets.hash();
+    let mut archive = HistoryArchive::new();
+    let mut next_seq: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut total_txs = 0u64;
+    for l in 0..cfg.gap {
+        let mut batch = Vec::with_capacity(cfg.txs_per_ledger as usize);
+        for t in 0..cfg.txs_per_ledger {
+            let n = l * cfg.txs_per_ledger + t;
+            let src = n % cfg.accounts;
+            let seq = {
+                let s = next_seq.entry(src).or_insert(1);
+                let v = *s;
+                *s += 1;
+                v
+            };
+            let tx = Transaction {
+                source: user_account(src),
+                seq_num: seq,
+                fee: BASE_FEE,
+                time_bounds: None,
+                memo: Memo::Id(n),
+                operations: vec![SourcedOperation {
+                    source: None,
+                    op: Operation::Payment {
+                        destination: user_account((src + 1) % cfg.accounts),
+                        asset: Asset::Native,
+                        amount: 1 + (n % 100) as i64,
+                    },
+                }],
+            };
+            batch.push(TransactionEnvelope::sign(tx, &[&user_keys(src)]));
+        }
+        let set = TransactionSet::assemble(header.hash(), batch, u32::MAX);
+        let res = close_ledger(
+            &mut live,
+            &header,
+            &set,
+            header.close_time + 5,
+            LedgerParams::default(),
+            &mut SigVerifyCache::disabled(),
+        );
+        for r in &res.results {
+            assert!(r.is_success(), "bench tx failed: {r:?}");
+        }
+        total_txs += set.txs.len() as u64;
+        buckets.add_batch(res.header.ledger_seq, &res.changes);
+        header = res.header;
+        header.snapshot_hash = buckets.hash();
+        archive.publish(&header, &set, &mut buckets);
+    }
+    (genesis, archive, total_txs)
+}
+
+/// Times a fresh herder recovering through the archive: genesis state,
+/// empty durable store, `catch_up_from` replays and hash-verifies every
+/// ledger, then persists the recovered LCL.
+fn run_config(cfg: Config) -> Outcome {
+    let (genesis, archive, txs_replayed) = build_archive(&cfg);
+    let mut herder = Herder::new(NodeId(0), genesis, BTreeMap::new());
+    let t0 = Instant::now();
+    let replayed = herder.catch_up_from(&archive);
+    let elapsed = t0.elapsed();
+    assert_eq!(replayed, cfg.gap, "recovery must replay the full gap");
+    assert_eq!(
+        herder.header.hash(),
+        archive
+            .header(archive.latest_seq().unwrap())
+            .unwrap()
+            .hash(),
+        "recovered tip must match the archive"
+    );
+    let recovery_ms = elapsed.as_secs_f64() * 1e3;
+    Outcome {
+        ledgers_replayed: replayed,
+        recovery_ms,
+        ledgers_per_sec: replayed as f64 / elapsed.as_secs_f64(),
+        txs_replayed,
+        archive_bytes: archive.bytes_written,
+        checkpoints: archive.checkpoint_count() as u64,
+        persisted_bytes: herder.persist.stats().bytes_written,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let gaps: &[u64] = if quick {
+        &[4, 16, 64]
+    } else {
+        &[4, 16, 64, 128, 256]
+    };
+    let configs: Vec<Config> = gaps
+        .iter()
+        .map(|&gap| Config {
+            gap,
+            accounts: 500,
+            txs_per_ledger: 20,
+        })
+        .collect();
+
+    println!("=== E16: crash-restart recovery time vs ledger gap ===\n");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for cfg in &configs {
+        eprintln!(
+            "running gap {} ({} tx/ledger, {} accounts) …",
+            cfg.gap, cfg.txs_per_ledger, cfg.accounts
+        );
+        let out = run_config(*cfg);
+        rows.push(vec![
+            format!("{}", cfg.gap),
+            format!("{}", out.ledgers_replayed),
+            format!("{}", out.txs_replayed),
+            format!("{:.2}", out.recovery_ms),
+            format!("{:.0}", out.ledgers_per_sec),
+            format!("{}", out.checkpoints),
+            format!("{:.1}", out.archive_bytes as f64 / 1024.0),
+            format!("{}", out.persisted_bytes),
+        ]);
+        results.push(
+            Json::obj()
+                .set("gap", cfg.gap)
+                .set("accounts", cfg.accounts)
+                .set("txs_per_ledger", cfg.txs_per_ledger)
+                .set("ledgers_replayed", out.ledgers_replayed)
+                .set("txs_replayed", out.txs_replayed)
+                .set("recovery_ms", out.recovery_ms)
+                .set("ledgers_per_sec", out.ledgers_per_sec)
+                .set("checkpoints", out.checkpoints)
+                .set("archive_bytes", out.archive_bytes)
+                .set("persisted_bytes", out.persisted_bytes),
+        );
+    }
+    print_table(
+        &[
+            "gap",
+            "replayed",
+            "txs",
+            "recovery(ms)",
+            "ledgers/s",
+            "ckpts",
+            "archive(KiB)",
+            "lcl bytes",
+        ],
+        &rows,
+    );
+
+    let doc = Json::obj()
+        .set("schema", "stellar-bench/v1")
+        .set("name", "recovery")
+        .set("quick", quick)
+        .set("results", Json::Arr(results));
+    write_bench_json("recovery", &doc).expect("write BENCH_recovery.json");
+}

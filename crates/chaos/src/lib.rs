@@ -17,6 +17,11 @@
 //! - [`monitor`] — an invariant monitor computing the *intact* set the
 //!   FBA way and checking, every tick, that no two intact nodes diverge
 //!   and that connected intact quorums keep closing ledgers.
+//! - [`recovery`] — crash-restart recovery scenarios: the amnesia
+//!   equivocation demonstration (reboot a mid-ballot quorum with and
+//!   without durable persistence), randomized restart storms, and
+//!   persistence twin runs comparing a rebooted run's ledger headers
+//!   against an undisturbed twin.
 //!
 //! [`runner::ChaosRun`] glues them together; every run from one seed is
 //! bit-reproducible, and the resulting [`runner::ChaosReport`] carries
@@ -53,10 +58,14 @@
 
 pub mod adversary;
 pub mod monitor;
+pub mod recovery;
 pub mod runner;
 pub mod schedule;
 
 pub use adversary::{Adversary, Injection, Strategy};
 pub use monitor::{intact_nodes, InvariantMonitor, Violation};
+pub use recovery::{
+    amnesia_restart_scenario, persistence_twin_run, restart_storm, AmnesiaOutcome, TwinOutcome,
+};
 pub use runner::{ChaosConfig, ChaosReport, ChaosRun};
 pub use schedule::{FaultAction, FaultSchedule};

@@ -173,6 +173,9 @@ impl ChaosRun {
             match f.action {
                 FaultAction::Crash(id) => self.sim.crash(id),
                 FaultAction::Revive(id) => self.sim.revive(id),
+                FaultAction::Restart(id) => self.sim.restart(id),
+                FaultAction::FailFsync { node, count } => self.sim.fail_next_fsyncs(node, count),
+                FaultAction::TornWrite(id) => self.sim.tear_next_crash(id),
                 FaultAction::Partition { groups, heal_at_ms } => {
                     self.sim.set_partition(&groups, heal_at_ms)
                 }

@@ -34,9 +34,24 @@ use stellar_scp::NodeId;
 pub enum FaultAction {
     /// Fail-stop the node: no sends, receives, or timers.
     Crash(NodeId),
-    /// Bring a crashed node back (it catches up via the reconnect
-    /// state exchange).
+    /// Bring a crashed node back. Revival is a full crash-restart: the
+    /// node rebuilds from its durable store and history archive, not
+    /// from pre-crash RAM.
     Revive(NodeId),
+    /// Crash-restart the node in place (atomic reboot): in-memory state
+    /// is wiped and rebuilt from the durable store + archives alone.
+    Restart(NodeId),
+    /// Arm `count` failing fsyncs on the node's durable store — the
+    /// write-ahead gate must withhold envelopes until a sync succeeds.
+    FailFsync {
+        /// The node whose disk misbehaves.
+        node: NodeId,
+        /// How many consecutive fsyncs fail.
+        count: u32,
+    },
+    /// Arm a torn write: the node's next crash commits only a strict
+    /// prefix of its oldest unsynced durable record.
+    TornWrite(NodeId),
     /// Partition the network into the given groups; unlisted nodes form
     /// one implicit extra group. `heal_at_ms` lifts it automatically.
     Partition {
@@ -150,6 +165,21 @@ impl FaultScheduleBuilder {
     /// Revive `node` at `at_ms`.
     pub fn revive_at(self, at_ms: u64, node: NodeId) -> Self {
         self.push(at_ms, FaultAction::Revive(node))
+    }
+
+    /// Crash-restart `node` in place at `at_ms` (atomic reboot).
+    pub fn restart_at(self, at_ms: u64, node: NodeId) -> Self {
+        self.push(at_ms, FaultAction::Restart(node))
+    }
+
+    /// Make `node`'s next `count` fsyncs fail, starting at `at_ms`.
+    pub fn fail_fsyncs_at(self, at_ms: u64, node: NodeId, count: u32) -> Self {
+        self.push(at_ms, FaultAction::FailFsync { node, count })
+    }
+
+    /// Arm a torn write on `node`'s next crash, at `at_ms`.
+    pub fn torn_write_at(self, at_ms: u64, node: NodeId) -> Self {
+        self.push(at_ms, FaultAction::TornWrite(node))
     }
 
     /// Partition the network at `at_ms`; heal automatically at

@@ -13,6 +13,7 @@ use crate::value::StellarValue;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Duration;
 use stellar_buckets::{BucketList, HistoryArchive};
+use stellar_crypto::codec::{Decode, Encode};
 use stellar_crypto::sign::PublicKey;
 use stellar_crypto::Hash256;
 use stellar_ledger::apply::close_ledger;
@@ -21,9 +22,36 @@ use stellar_ledger::sigcache::SigVerifyCache;
 use stellar_ledger::store::LedgerStore;
 use stellar_ledger::tx::TxResult;
 use stellar_ledger::txset::TransactionSet;
+use stellar_persist::DurableStore;
 use stellar_scp::driver::{Driver, ScpEvent, TimerKind, Validity};
+use stellar_scp::slot::SlotSnapshot;
 use stellar_scp::{Envelope, NodeId, SlotIndex, Value};
 use stellar_telemetry::{NodeTelemetry, TraceKind};
+
+/// Durable-store key for the SCP slot snapshots (written write-ahead of
+/// every outbound envelope).
+pub const SCP_SNAPSHOT_KEY: &str = "scp";
+
+/// Durable-store key for the latest-closed-ledger record (written at
+/// every ledger close).
+pub const LCL_KEY: &str = "lcl";
+
+/// The durable latest-closed-ledger record: the header plus the bucket
+/// level hashes it commits to. Used after a restart to cross-check the
+/// state rebuilt from the history archive against what this node had
+/// actually made durable before crashing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LclRecord {
+    /// The latest closed ledger header.
+    pub header: LedgerHeader,
+    /// Bucket-list level hashes at that close.
+    pub bucket_hashes: Vec<Hash256>,
+}
+
+stellar_crypto::impl_codec_struct!(LclRecord {
+    header,
+    bucket_hashes,
+});
 
 /// Statistics from one ledger close (feeds the §7.3 metrics).
 #[derive(Clone, Debug)]
@@ -111,6 +139,11 @@ pub struct Herder {
     /// This node's observability bundle: metrics registry + flight
     /// recorder, updated on the hot path by every driver hook.
     pub telemetry: NodeTelemetry,
+    /// This node's simulated disk: SCP snapshots are written here
+    /// write-ahead of outbound envelopes, and the latest closed ledger at
+    /// every close, so a crash-restarted node recovers without amnesia
+    /// (§3, §5.4).
+    pub persist: DurableStore,
 
     // ---- buffered driver outputs ----
     /// Envelopes to flood.
@@ -153,6 +186,7 @@ impl Herder {
             max_time_slip: 60,
             key_registry,
             telemetry: NodeTelemetry::new(node_id.0),
+            persist: DurableStore::new(),
             outbox: Vec::new(),
             timer_requests: Vec::new(),
             pending_externalize: Vec::new(),
@@ -304,6 +338,7 @@ impl Herder {
         );
         self.record_results(&result.results);
         self.known_tx_sets.insert(value.tx_set_hash, set);
+        self.persist_lcl();
         self.try_apply_stalled();
         true
     }
@@ -362,6 +397,7 @@ impl Herder {
         }
         if applied > 0 {
             self.queue.prune(&self.store);
+            self.persist_lcl();
             self.try_apply_stalled();
         }
         applied
@@ -375,6 +411,82 @@ impl Herder {
                 self.apply_externalized(slot, &value);
             }
         }
+    }
+
+    /// Write-ahead persists the given SCP slot snapshots and fsyncs.
+    ///
+    /// Returns `false` when the fsync failed: the state is NOT on disk
+    /// and the caller must hold back any outbound envelope derived from
+    /// it until a later sync succeeds (otherwise a crash could make this
+    /// node contradict a vote the network already saw).
+    pub fn persist_scp(&mut self, snaps: &[SlotSnapshot]) -> bool {
+        if !self.persist.is_enabled() {
+            return true;
+        }
+        let before = self.persist.stats().bytes_written;
+        // Same wire layout as `Vec<SlotSnapshot>`: u64 count + elements.
+        let mut buf = Vec::new();
+        (snaps.len() as u64).encode(&mut buf);
+        for s in snaps {
+            s.encode(&mut buf);
+        }
+        self.persist.write(SCP_SNAPSHOT_KEY, &buf);
+        let ok = self.persist.sync();
+        let written = self.persist.stats().bytes_written - before;
+        self.telemetry
+            .registry
+            .add("persist.bytes_written", written);
+        if ok {
+            self.telemetry.registry.inc("persist.syncs");
+        } else {
+            self.telemetry.registry.inc("persist.failed_syncs");
+        }
+        ok
+    }
+
+    /// Persists the latest-closed-ledger record (header + bucket level
+    /// hashes) and fsyncs. Called at every ledger close; the archive
+    /// already holds the full history, this record is the node-local
+    /// integrity anchor recovery verifies against.
+    pub fn persist_lcl(&mut self) -> bool {
+        if !self.persist.is_enabled() {
+            return true;
+        }
+        let rec = LclRecord {
+            header: self.header.clone(),
+            bucket_hashes: self.buckets.level_hashes(),
+        };
+        let before = self.persist.stats().bytes_written;
+        self.persist.write(LCL_KEY, &rec.to_bytes());
+        let ok = self.persist.sync();
+        let written = self.persist.stats().bytes_written - before;
+        self.telemetry
+            .registry
+            .add("persist.bytes_written", written);
+        self.telemetry
+            .registry
+            .observe("persist.lcl_bytes", written);
+        if ok {
+            self.telemetry.registry.inc("persist.syncs");
+        } else {
+            self.telemetry.registry.inc("persist.failed_syncs");
+        }
+        ok
+    }
+
+    /// Reads back the durable SCP slot snapshots (crash recovery). A
+    /// missing or torn record yields an empty list — recovery then leans
+    /// on the history archive alone.
+    pub fn recover_scp_snapshots(&self) -> Vec<SlotSnapshot> {
+        self.persist
+            .read(SCP_SNAPSHOT_KEY)
+            .and_then(|bytes| Vec::<SlotSnapshot>::from_bytes(&bytes).ok())
+            .unwrap_or_default()
+    }
+
+    /// Reads back the durable latest-closed-ledger record, if intact.
+    pub fn recover_lcl(&self) -> Option<LclRecord> {
+        LclRecord::from_bytes(&self.persist.read(LCL_KEY)?).ok()
     }
 
     /// Drains buffered envelopes.

@@ -176,11 +176,54 @@ impl Validator {
         out
     }
 
+    /// Rebuilds in-memory SCP state from the durable store after a crash
+    /// restart: every snapshotted slot at or above the current one is
+    /// restored (timers re-arm, decided values re-notify), then any
+    /// decided-but-unapplied value is pushed through the close path.
+    /// Returns the number of slots restored.
+    pub fn recover_scp_state(&mut self) -> usize {
+        let current = self.herder.current_slot();
+        let mut restored = 0;
+        for snap in self.herder.recover_scp_snapshots() {
+            if snap.index >= current {
+                self.scp.restore_slot(&mut self.herder, snap);
+                restored += 1;
+            }
+        }
+        self.process_externalized();
+        restored
+    }
+
+    /// Drains buffered outputs through the write-ahead gate — embedder
+    /// hook for out-of-band steps (crash recovery restores re-arm timers
+    /// that must reach the event loop).
+    pub fn drain_outputs(&mut self) -> Outputs {
+        self.drain()
+    }
+
     fn drain(&mut self) -> Outputs {
+        let envelopes = self.herder.take_outbox();
+        let timers = self.herder.take_timer_requests();
+        // Write-ahead discipline (§5.4): our SCP state must be durable
+        // before any envelope derived from it reaches the network — a
+        // crash between emitting and persisting would let the restarted
+        // node contradict votes peers already hold. On a failed fsync the
+        // envelopes stay queued; a later drain retries the sync.
+        let envelopes = if envelopes.is_empty() {
+            envelopes
+        } else {
+            let snaps = self.scp.snapshot_slots();
+            if self.herder.persist_scp(&snaps) {
+                envelopes
+            } else {
+                self.herder.outbox.splice(0..0, envelopes);
+                Vec::new()
+            }
+        };
         Outputs {
-            envelopes: self.herder.take_outbox(),
+            envelopes,
             tx_sets: Vec::new(),
-            timers: self.herder.take_timer_requests(),
+            timers,
         }
     }
 }

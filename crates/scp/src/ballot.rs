@@ -42,6 +42,72 @@ pub enum BallotPhase {
     Externalize,
 }
 
+impl stellar_crypto::codec::Encode for BallotPhase {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u32 = match self {
+            BallotPhase::Prepare => 0,
+            BallotPhase::Confirm => 1,
+            BallotPhase::Externalize => 2,
+        };
+        tag.encode(out);
+    }
+}
+
+impl stellar_crypto::codec::Decode for BallotPhase {
+    fn decode(input: &mut &[u8]) -> Result<Self, stellar_crypto::codec::DecodeError> {
+        match u32::decode(input)? {
+            0 => Ok(BallotPhase::Prepare),
+            1 => Ok(BallotPhase::Confirm),
+            2 => Ok(BallotPhase::Externalize),
+            t => Err(stellar_crypto::codec::DecodeError::BadTag(t)),
+        }
+    }
+}
+
+/// Durable image of a [`BallotProtocol`], for write-ahead persistence.
+///
+/// This is what stellar-core keeps on disk so that a rebooted validator
+/// cannot contradict a `commit` it already accepted (§3, §5.4): the phase,
+/// the five-ballot summary, and the latest statements it based them on.
+/// The timer arming is deliberately absent — timers are process-local and
+/// are re-derived after restore.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BallotSnapshot {
+    /// Protocol phase.
+    pub phase: BallotPhase,
+    /// Current ballot `b`.
+    pub current: Option<Ballot>,
+    /// Highest accepted-prepared ballot `p`.
+    pub prepared: Option<Ballot>,
+    /// Highest accepted-prepared ballot incompatible with `p`.
+    pub prepared_prime: Option<Ballot>,
+    /// `h` (meaning depends on phase; see [`BallotProtocol`]).
+    pub high: Option<Ballot>,
+    /// `c` (meaning depends on phase).
+    pub commit: Option<Ballot>,
+    /// Latest ballot statement per node (including our own).
+    pub latest: BTreeMap<NodeId, Statement>,
+    /// Latest composite candidate from nomination.
+    pub composite: Option<Value>,
+    /// Ballot-timeout count.
+    pub timeouts: u64,
+    /// The decided value, if externalized.
+    pub decided: Option<Value>,
+}
+
+stellar_crypto::impl_codec_struct!(BallotSnapshot {
+    phase,
+    current,
+    prepared,
+    prepared_prime,
+    high,
+    commit,
+    latest,
+    composite,
+    timeouts,
+    decided,
+});
+
 /// Per-slot ballot-protocol state machine.
 #[derive(Debug)]
 pub struct BallotProtocol {
@@ -117,6 +183,49 @@ impl BallotProtocol {
     /// Latest ballot statements seen, keyed by node.
     pub fn latest_statements(&self) -> &BTreeMap<NodeId, Statement> {
         &self.latest
+    }
+
+    /// Captures the full ballot state for durable storage.
+    pub fn snapshot(&self) -> BallotSnapshot {
+        BallotSnapshot {
+            phase: self.phase,
+            current: self.current.clone(),
+            prepared: self.prepared.clone(),
+            prepared_prime: self.prepared_prime.clone(),
+            high: self.high.clone(),
+            commit: self.commit.clone(),
+            latest: self.latest.clone(),
+            composite: self.composite.clone(),
+            timeouts: self.timeouts,
+            decided: self.decided.clone(),
+        }
+    }
+
+    /// Rebuilds ballot state from a durable snapshot after a restart.
+    ///
+    /// The ballot timer is re-armed through the normal quorum check, and a
+    /// decided-but-possibly-unapplied slot re-notifies the driver (the
+    /// embedder deduplicates by ledger sequence, so redelivery across a
+    /// crash is safe — losing the notification would not be).
+    pub fn restore<D: Driver>(ctx: &mut Ctx<'_, D>, snap: BallotSnapshot) -> Self {
+        let mut bp = BallotProtocol {
+            phase: snap.phase,
+            current: snap.current,
+            prepared: snap.prepared,
+            prepared_prime: snap.prepared_prime,
+            high: snap.high,
+            commit: snap.commit,
+            latest: snap.latest,
+            composite: snap.composite,
+            timer_armed_for: None,
+            timeouts: snap.timeouts,
+            decided: snap.decided,
+        };
+        bp.check_heard_from_quorum(ctx);
+        if let Some(v) = bp.decided.clone() {
+            ctx.driver.externalized(ctx.slot, &v);
+        }
+        bp
     }
 
     /// Feeds a new composite candidate value from nomination.

@@ -5,7 +5,7 @@
 //! (nodes may retune slices at any time, §3.1.1), and old-slot pruning.
 
 use crate::driver::{Driver, ScpEvent, TimerKind};
-use crate::slot::{Ctx, Slot};
+use crate::slot::{Ctx, Slot, SlotSnapshot};
 use crate::{Envelope, NodeId, QuorumSet, SlotIndex, Value};
 use std::collections::BTreeMap;
 use stellar_crypto::sign::KeyPair;
@@ -177,6 +177,31 @@ impl ScpNode {
             };
             slot.on_timeout(&mut ctx, kind);
         }
+    }
+
+    /// Snapshots every live slot, for write-ahead persistence: the
+    /// embedder serializes these to its durable store *before* releasing
+    /// any outbound envelope, so a crash-restarted node can never
+    /// contradict a vote it already published (§3, §5.4).
+    pub fn snapshot_slots(&self) -> Vec<SlotSnapshot> {
+        self.slots.values().map(Slot::snapshot).collect()
+    }
+
+    /// Restores one slot from a durable snapshot (crash recovery),
+    /// replacing any in-memory state for that index. Timers are re-armed
+    /// through the driver and a decided slot re-notifies
+    /// [`Driver::externalized`].
+    pub fn restore_slot<D: Driver>(&mut self, driver: &mut D, snap: SlotSnapshot) {
+        let index = snap.index;
+        let mut ctx = Ctx {
+            node: self.id,
+            slot: index,
+            qset: &self.qset,
+            keys: &self.keys,
+            driver,
+        };
+        let slot = Slot::restore(&mut ctx, snap);
+        self.slots.insert(index, slot);
     }
 
     /// Drops state for slots below `keep_from` (ledger history is the

@@ -24,6 +24,47 @@ use crate::statement::{Statement, StatementKind};
 use crate::{Envelope, NodeId, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Durable image of a [`NominationProtocol`], serialized via the
+/// hand-rolled codec for write-ahead persistence (§5.4): a node must be
+/// able to rebuild its nomination votes after a crash, or a restart could
+/// make it vote for new values it already stopped voting for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NominationSnapshot {
+    /// See [`NominationProtocol::started`].
+    pub started: bool,
+    /// Whether balloting already shut nomination down.
+    pub stopped: bool,
+    /// Current nomination round.
+    pub round: u32,
+    /// Leader set accumulated so far.
+    pub leaders: BTreeSet<NodeId>,
+    /// Values voted `nominate x`.
+    pub voted: BTreeSet<Value>,
+    /// Values accepted as nominated.
+    pub accepted: BTreeSet<Value>,
+    /// Confirmed-nominated candidate set.
+    pub candidates: BTreeSet<Value>,
+    /// Latest nominate statement per node (including our own).
+    pub latest: BTreeMap<NodeId, Statement>,
+    /// Our proposed value, if any.
+    pub proposed: Option<Value>,
+    /// Round-timeout count.
+    pub timeouts: u64,
+}
+
+stellar_crypto::impl_codec_struct!(NominationSnapshot {
+    started,
+    stopped,
+    round,
+    leaders,
+    voted,
+    accepted,
+    candidates,
+    latest,
+    proposed,
+    timeouts,
+});
+
 /// Per-slot nomination state machine.
 #[derive(Debug, Default)]
 pub struct NominationProtocol {
@@ -74,6 +115,46 @@ impl NominationProtocol {
     /// Latest nomination statements seen, keyed by node.
     pub fn latest_statements(&self) -> &BTreeMap<NodeId, Statement> {
         &self.latest
+    }
+
+    /// Captures the full nomination state for durable storage.
+    pub fn snapshot(&self) -> NominationSnapshot {
+        NominationSnapshot {
+            started: self.started,
+            stopped: self.stopped,
+            round: self.round,
+            leaders: self.leaders.clone(),
+            voted: self.voted.clone(),
+            accepted: self.accepted.clone(),
+            candidates: self.candidates.clone(),
+            latest: self.latest.clone(),
+            proposed: self.proposed.clone(),
+            timeouts: self.timeouts,
+        }
+    }
+
+    /// Rebuilds nomination state from a durable snapshot after a restart,
+    /// re-arming the round timer (timers are process-local and do not
+    /// survive a crash).
+    pub fn restore<D: Driver>(ctx: &mut Ctx<'_, D>, snap: NominationSnapshot) -> Self {
+        let np = NominationProtocol {
+            started: snap.started,
+            stopped: snap.stopped,
+            round: snap.round,
+            leaders: snap.leaders,
+            voted: snap.voted,
+            accepted: snap.accepted,
+            candidates: snap.candidates,
+            latest: snap.latest,
+            proposed: snap.proposed,
+            timeouts: snap.timeouts,
+        };
+        if np.started && !np.stopped {
+            let delay = ctx.driver.nomination_timeout(np.round);
+            ctx.driver
+                .set_timer(ctx.slot, TimerKind::Nomination, Some(delay));
+        }
+        np
     }
 
     /// Begins nominating `proposed` (round 1).

@@ -6,9 +6,9 @@
 //! ([`Driver::combine_candidates`]) into the composite value balloting
 //! proposes, and a decision shuts nomination down.
 
-use crate::ballot::{BallotPhase, BallotProtocol};
+use crate::ballot::{BallotPhase, BallotProtocol, BallotSnapshot};
 use crate::driver::{Driver, TimerKind};
-use crate::nomination::NominationProtocol;
+use crate::nomination::{NominationProtocol, NominationSnapshot};
 use crate::statement::Statement;
 use crate::{Envelope, NodeId, QuorumSet, SlotIndex, Value};
 use stellar_crypto::sign::KeyPair;
@@ -27,6 +27,25 @@ pub struct Ctx<'a, D: Driver> {
     /// The application driver.
     pub driver: &'a mut D,
 }
+
+/// Durable image of one slot's full SCP state — what the herder persists
+/// write-ahead of every outbound envelope so a crash cannot produce an
+/// amnesiac validator (§3, §5.4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    /// The slot index.
+    pub index: SlotIndex,
+    /// Nomination-protocol state.
+    pub nomination: NominationSnapshot,
+    /// Ballot-protocol state.
+    pub ballot: BallotSnapshot,
+}
+
+stellar_crypto::impl_codec_struct!(SlotSnapshot {
+    index,
+    nomination,
+    ballot,
+});
 
 /// One consensus instance.
 pub struct Slot {
@@ -128,6 +147,27 @@ impl Slot {
     fn after_ballot_step<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>) {
         if self.ballot.phase() == BallotPhase::Externalize {
             self.nomination.stop(ctx);
+        }
+    }
+
+    /// Captures the slot's full state for durable storage.
+    pub fn snapshot(&self) -> SlotSnapshot {
+        SlotSnapshot {
+            index: self.index,
+            nomination: self.nomination.snapshot(),
+            ballot: self.ballot.snapshot(),
+        }
+    }
+
+    /// Rebuilds a slot from a durable snapshot after a restart, re-arming
+    /// timers and re-notifying the driver of a decided value.
+    pub fn restore<D: Driver>(ctx: &mut Ctx<'_, D>, snap: SlotSnapshot) -> Slot {
+        let nomination = NominationProtocol::restore(ctx, snap.nomination);
+        let ballot = BallotProtocol::restore(ctx, snap.ballot);
+        Slot {
+            index: snap.index,
+            nomination,
+            ballot,
         }
     }
 

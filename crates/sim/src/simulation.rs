@@ -55,6 +55,12 @@ pub struct SimConfig {
     /// (the §7.5 default) or advert/demand pull gossip. SCP envelopes are
     /// pushed either way.
     pub flood_mode: FloodMode,
+    /// Whether nodes persist SCP state and the latest closed ledger to a
+    /// (simulated) durable store before emitting votes (§3, §5.4). On by
+    /// default, as in production stellar-core; turning it off makes a
+    /// crash-restarted node amnesiac — the configuration the chaos layer
+    /// uses to demonstrate restart equivocation.
+    pub persistence: bool,
 }
 
 /// Pull-mode flood tick cadence: adverts batch for up to this long, and
@@ -89,6 +95,7 @@ impl Default for SimConfig {
             max_sim_time_ms: 3_600_000,
             proc_cost_us_per_msg: 200,
             flood_mode: FloodMode::Push,
+            persistence: true,
         }
     }
 }
@@ -217,6 +224,17 @@ pub struct Simulation {
     puppet_inbox: BTreeMap<NodeId, Vec<(NodeId, Flooded)>>,
     /// Event trace, recorded when enabled (see [`Simulation::enable_trace`]).
     trace: Option<Vec<TraceEntry>>,
+    /// The genesis ledger store, retained so a crash-restart can rebuild
+    /// a validator from scratch (disk + archives only, no magic RAM).
+    genesis: stellar_ledger::store::LedgerStore,
+    /// The shared signing-key registry, retained for restart rebuilds.
+    registry: BTreeMap<NodeId, stellar_crypto::sign::PublicKey>,
+    /// Recovery bookkeeping: restarts performed this run.
+    restarts: u64,
+    /// Ledgers replayed from history archives during recoveries.
+    recovery_replayed: u64,
+    /// Wall-clock time spent rebuilding restarted nodes (µs).
+    recovery_us: u64,
 }
 
 impl Simulation {
@@ -246,6 +264,9 @@ impl Simulation {
                 registry.clone(),
             );
             v.herder.header.params.max_tx_set_ops = cfg.max_tx_set_ops;
+            if !cfg.persistence {
+                v.herder.persist = stellar_persist::DurableStore::disabled();
+            }
             validators.insert(*id, v);
         }
         let flood = built
@@ -302,6 +323,11 @@ impl Simulation {
             puppets: BTreeSet::new(),
             puppet_inbox: BTreeMap::new(),
             trace: None,
+            genesis: store,
+            registry,
+            restarts: 0,
+            recovery_replayed: 0,
+            recovery_us: 0,
             cfg,
         };
         // Initial ledger triggers, slightly staggered like real restarts.
@@ -384,41 +410,160 @@ impl Simulation {
         self.queue.purge_deliveries_to(id);
     }
 
-    /// Revives a crashed node (it rejoins with its pre-crash state and
-    /// catches up from peers' traffic, starting with an SCP state
-    /// exchange).
+    /// Revives a crashed node. The node does **not** keep its pre-crash
+    /// RAM: revival is a full crash-restart ([`Simulation::restart`]) that
+    /// rebuilds the validator from its durable store and history archive
+    /// alone, exactly what a rebooted stellar-core does (§3, §5.4).
     pub fn revive(&mut self, id: NodeId) {
-        if self.crashed.remove(&id) {
-            self.catch_up(id);
-            self.resync();
+        if self.crashed.contains(&id) {
+            self.restart(id);
         }
+    }
+
+    /// Crash-restarts a node in place: every byte of in-memory state is
+    /// discarded and the validator is rebuilt solely from what survived
+    /// the reboot —
+    ///
+    /// 1. its durable store takes the crash (unsynced writes are lost, a
+    ///    pending record may be torn);
+    /// 2. a fresh validator replays its own history archive from genesis
+    ///    and cross-checks the tip against the durable LCL record;
+    /// 3. SCP voting state is restored from the durable snapshot, so the
+    ///    node re-arms timers and can never contradict a vote it already
+    ///    published (with persistence off it forgets those votes — the
+    ///    amnesia-equivocation hazard the chaos layer demonstrates);
+    /// 4. the remaining ledger gap is closed from a reachable live peer's
+    ///    archive and the reconnect state exchange runs.
+    ///
+    /// Works on live nodes too (an atomic reboot) and clears the crashed
+    /// flag for nodes that were down.
+    pub fn restart(&mut self, id: NodeId) {
+        if self.puppets.contains(&id) || !self.validators.contains_key(&id) {
+            return;
+        }
+        let started = std::time::Instant::now();
+        self.crashed.remove(&id);
+        let old = self.validators.remove(&id).expect("known node");
+        let qset = old.scp.quorum_set().clone();
+        let herder = old.herder;
+        let own_archive = herder.archive;
+        let mut disk = herder.persist;
+        // Power loss: whatever was written but not fsynced is gone, and
+        // an injected torn-write fault may corrupt a pending record.
+        disk.crash();
+        let mut v = Validator::new(
+            id,
+            validator_keys(id),
+            qset,
+            self.genesis.clone(),
+            self.registry.clone(),
+        );
+        v.herder.header.params.max_tx_set_ops = self.cfg.max_tx_set_ops;
+        v.herder.persist = disk;
+        v.set_time_ms(self.now);
+        // Replay our own archive (archives model external durable
+        // storage — they survive the reboot in both persistence modes).
+        let mut replayed = v.herder.catch_up_from(&own_archive);
+        // The durable LCL record is the node-local integrity anchor: if
+        // it is intact and covers the replayed tip, the hashes must line
+        // up — a mismatch means local corruption, which we surface as a
+        // counter rather than trusting either side blindly.
+        if let Some(lcl) = v.herder.recover_lcl() {
+            if lcl.header.ledger_seq == v.ledger_seq()
+                && lcl.header.hash() != v.herder.header.hash()
+            {
+                v.herder.telemetry.registry.inc("recovery.lcl_mismatch");
+            }
+        }
+        // Restore durable SCP voting state (may re-fire a decided slot
+        // into the close path and re-arm consensus timers).
+        let restored = v.recover_scp_state();
+        let out = v.drain_outputs();
+        v.herder
+            .telemetry
+            .registry
+            .add("recovery.slots_restored", restored as u64);
+        self.validators.insert(id, v);
+        // A rebooted process has no flood caches, demand state, queued
+        // deliveries, or CPU backlog.
+        self.flood
+            .insert(id, FloodState::with_min_residency(200_000, 30_000));
+        self.pull
+            .insert(id, DemandScheduler::new(DEMAND_TIMEOUT_MS));
+        self.payloads
+            .insert(id, PayloadCache::new(PAYLOAD_CACHE_CAPACITY));
+        self.tick_armed.remove(&id);
+        self.busy_until_us.remove(&id);
+        self.queue.purge_deliveries_to(id);
+        // The node will re-trigger its current slot, but on the normal
+        // 5-second pacing — not the instant the process boots. (The
+        // pacing base survives the reboot: production derives it from
+        // the recovered last-close time.) Triggering immediately would
+        // propose an off-schedule close time and perturb the values the
+        // network agrees on.
+        self.last_triggered_slot.remove(&id);
+        let recovered_seq = self.validators[&id].ledger_seq();
+        self.last_closed.insert(id, recovered_seq);
+        self.handle_outputs(id, out);
+        // Close the remaining gap from the network's archives, then
+        // rejoin consensus: re-trigger and exchange SCP state.
+        replayed += self.catch_up(id);
+        let trigger_at = self
+            .last_trigger_time
+            .get(&id)
+            .map_or(self.now + 1, |base| {
+                (base + self.cfg.ledger_interval_ms).max(self.now + 1)
+            });
+        self.queue
+            .push(trigger_at, Event::TriggerLedger { node: id });
+        self.resync();
+        let dur_us = started.elapsed().as_micros() as u64;
+        self.restarts += 1;
+        self.recovery_replayed += replayed;
+        self.recovery_us += dur_us;
+        let reg = &mut self
+            .validators
+            .get_mut(&id)
+            .expect("known node")
+            .herder
+            .telemetry
+            .registry;
+        reg.inc("recovery.restarts");
+        reg.add("recovery.ledgers_replayed", replayed);
+        reg.observe("recovery.duration_us", dur_us);
     }
 
     /// Replays ledgers the node missed from the most-advanced live
     /// peer's history archive (paper §5.4 — flooding never retransmits,
-    /// so closed history must come from the archive). No-op when nobody
-    /// is ahead.
-    fn catch_up(&mut self, id: NodeId) {
+    /// so closed history must come from the archive). Only peers the
+    /// node can actually reach under the active partition are consulted.
+    /// Returns the number of ledgers applied; 0 when nobody reachable is
+    /// ahead.
+    fn catch_up(&mut self, id: NodeId) -> u64 {
         let own_seq = self.ledger_seq_of(id);
         let best = self
             .validators
             .iter()
             .filter(|(peer, _)| {
-                **peer != id && !self.crashed.contains(peer) && !self.puppets.contains(peer)
+                **peer != id
+                    && !self.crashed.contains(peer)
+                    && !self.puppets.contains(peer)
+                    && self.link_open(**peer, id)
             })
             .max_by_key(|(_, v)| v.ledger_seq())
             .map(|(peer, v)| (*peer, v.ledger_seq()));
         let Some((peer, peer_seq)) = best else {
-            return;
+            return 0;
         };
         if peer_seq <= own_seq {
-            return;
+            return 0;
         }
         let archive = self.validators[&peer].herder.archive.clone();
         let v = self.validators.get_mut(&id).expect("known node");
         v.set_time_ms(self.now);
-        v.herder.catch_up_from(&archive);
+        let applied = v.herder.catch_up_from(&archive);
         self.check_closed(id);
+        applied
     }
 
     /// Re-floods every live validator's own latest SCP envelopes — the
@@ -448,6 +593,24 @@ impl Simulation {
     /// Whether `id` is currently crashed.
     pub fn is_crashed(&self, id: NodeId) -> bool {
         self.crashed.contains(&id)
+    }
+
+    /// Arms `n` failing fsyncs on `id`'s durable store (chaos hook). The
+    /// write-ahead gate reacts by withholding outbound envelopes until a
+    /// later sync succeeds.
+    pub fn fail_next_fsyncs(&mut self, id: NodeId, n: u32) {
+        if let Some(v) = self.validators.get_mut(&id) {
+            v.herder.persist.fail_next_fsyncs(n);
+        }
+    }
+
+    /// Arms a torn write on `id`'s durable store: its next crash commits
+    /// only a strict prefix of the oldest unsynced record (chaos hook;
+    /// recovery must treat the torn record as absent).
+    pub fn tear_next_crash(&mut self, id: NodeId) {
+        if let Some(v) = self.validators.get_mut(&id) {
+            v.herder.persist.tear_next_crash();
+        }
     }
 
     /// Imposes a network partition: messages flow only within a group.
@@ -1162,6 +1325,24 @@ impl Simulation {
                 crate::metrics::traffic_to_json(&observer_traffic),
             )
             .set("network_traffic", crate::metrics::traffic_to_json(&network))
+            .set(
+                "recovery",
+                Json::obj()
+                    .set("restarts", self.restarts)
+                    .set("ledgers_replayed", self.recovery_replayed)
+                    .set("recovery_us", self.recovery_us)
+                    .set("persistence", self.cfg.persistence),
+            )
+    }
+
+    /// Crash-restarts performed this run (recovery telemetry).
+    pub fn restart_count(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Ledgers replayed from history archives across all recoveries.
+    pub fn recovery_ledgers_replayed(&self) -> u64 {
+        self.recovery_replayed
     }
 }
 
@@ -1471,15 +1652,111 @@ mod crash_tests {
             max_sim_time_ms: 120_000,
             ..SimConfig::default()
         });
+        // Let the node do some work first, then fail-stop it mid-run.
+        while sim.now_ms() < 8_000 && sim.step() {}
         sim.crash(NodeId(3));
+        while sim.now_ms() < 23_000 && sim.step() {}
+        let stuck_at = sim.validator(NodeId(3)).ledger_seq();
+        let peer_seq = sim.validator(NodeId(0)).ledger_seq();
+        assert!(
+            peer_seq > stuck_at,
+            "majority kept closing while 3 was down"
+        );
+        // Revival is a full crash-restart: RAM is wiped, recovery runs
+        // from the durable store + archive, and the gap comes from a
+        // live peer's archive.
+        sim.revive(NodeId(3));
+        assert!(
+            sim.validator(NodeId(3)).ledger_seq() >= peer_seq,
+            "revived node replays the missed ledgers from the archive"
+        );
         let report = sim.run();
         assert!(report.ledgers.len() >= 6, "3-of-4 majority keeps going");
-        assert_eq!(
-            sim.validator(NodeId(3)).ledger_seq(),
-            1,
-            "crashed node is stuck at genesis"
+        assert!(
+            sim.validator(NodeId(3)).ledger_seq() >= 7,
+            "revived node rejoins consensus and reaches the target: {}",
+            sim.validator(NodeId(3)).ledger_seq()
         );
-        // Note: full catch-up uses the history archive (tests/catchup.rs);
-        // here we only assert fail-stop does not hurt the rest.
+        // Byte-identical history: every sequence both closed hashes equal.
+        let h0: BTreeMap<u64, Hash256> = sim.header_hashes(NodeId(0)).into_iter().collect();
+        for (seq, hash) in sim.header_hashes(NodeId(3)) {
+            if let Some(expected) = h0.get(&seq) {
+                assert_eq!(hash, *expected, "header divergence at seq {seq}");
+            }
+        }
+        assert_eq!(sim.restart_count(), 1);
+    }
+
+    #[test]
+    fn restarted_node_recovers_from_durable_state_alone() {
+        // Atomic reboot of a live node: every byte of in-memory state is
+        // discarded mid-run; the rebuilt validator has only its durable
+        // store and archives, yet rejoins without stalling or diverging.
+        let mut sim = Simulation::new(SimConfig {
+            scenario: Scenario::ControlledMesh { n_validators: 4 },
+            n_accounts: 20,
+            target_ledgers: 6,
+            seed: 67,
+            max_sim_time_ms: 120_000,
+            ..SimConfig::default()
+        });
+        while sim.now_ms() < 12_300 && sim.step() {}
+        sim.restart(NodeId(2));
+        let report = sim.run();
+        assert!(report.ledgers.len() >= 6);
+        assert!(
+            sim.validator(NodeId(2)).ledger_seq() >= 7,
+            "restarted node must keep closing ledgers: {}",
+            sim.validator(NodeId(2)).ledger_seq()
+        );
+        let h0: BTreeMap<u64, Hash256> = sim.header_hashes(NodeId(0)).into_iter().collect();
+        for (seq, hash) in sim.header_hashes(NodeId(2)) {
+            if let Some(expected) = h0.get(&seq) {
+                assert_eq!(hash, *expected, "header divergence at seq {seq}");
+            }
+        }
+        // Recovery telemetry lands in the report snapshot.
+        let rec = report.telemetry.get("recovery").expect("recovery section");
+        assert_eq!(
+            rec.get("restarts")
+                .and_then(stellar_telemetry::Json::as_f64),
+            Some(1.0)
+        );
+        assert!(rec
+            .get("persistence")
+            .is_some_and(|j| matches!(j, stellar_telemetry::Json::Bool(true))));
+    }
+
+    #[test]
+    fn restart_without_persistence_forgets_scp_votes() {
+        // With persistence disabled the durable store holds nothing: a
+        // restarted node comes back with archive state only (closed
+        // ledgers survive — archives model external storage) but zero
+        // SCP voting state. This is the amnesia configuration whose
+        // safety consequences the chaos recovery scenarios demonstrate.
+        let mut sim = Simulation::new(SimConfig {
+            scenario: Scenario::ControlledMesh { n_validators: 4 },
+            n_accounts: 20,
+            target_ledgers: 4,
+            seed: 68,
+            persistence: false,
+            max_sim_time_ms: 120_000,
+            ..SimConfig::default()
+        });
+        while sim.now_ms() < 12_300 && sim.step() {}
+        let seq_before = sim.validator(NodeId(1)).ledger_seq();
+        assert!(seq_before > 1, "some ledgers closed before the restart");
+        sim.restart(NodeId(1));
+        let v = sim.validator(NodeId(1));
+        assert_eq!(
+            v.scp.live_slots(),
+            0,
+            "no durable snapshot: all voting state is forgotten"
+        );
+        assert!(
+            v.ledger_seq() >= seq_before,
+            "closed ledgers still recover from the (external) archive"
+        );
+        assert!(!v.herder.persist.is_enabled());
     }
 }

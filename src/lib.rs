@@ -10,6 +10,7 @@
 //! | Quorum-health analysis & tier synthesis | [`quorum`] | §6 |
 //! | Ledger, transactions, order book, path payments | [`ledger`] | §5.1–§5.2 |
 //! | Bucket list & history archive | [`buckets`] | §5.1, §5.4 |
+//! | Durable node state (simulated disk, write-ahead persistence) | [`persist`] | §3, §5.4 |
 //! | Herder: consensus values, upgrades, validators | [`herder`] | §5.3 |
 //! | Horizon, bridge, compliance, federation | [`horizon`] | §5.4, Fig. 5 |
 //! | Overlay: flooding, topology, traffic stats | [`overlay`] | §5.4 |
@@ -50,6 +51,7 @@ pub use stellar_herder as herder;
 pub use stellar_horizon as horizon;
 pub use stellar_ledger as ledger;
 pub use stellar_overlay as overlay;
+pub use stellar_persist as persist;
 pub use stellar_quorum as quorum;
 pub use stellar_scp as scp;
 pub use stellar_sim as sim;

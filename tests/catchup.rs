@@ -178,6 +178,80 @@ fn reconciliation_downloads_only_differing_levels() {
     );
 }
 
+/// The genesis store `run_chain` starts from (a rebooted node's durable
+/// starting point).
+fn chain_genesis_store() -> LedgerStore {
+    let mut store = LedgerStore::new();
+    for i in 0..4 {
+        store.put_account(AccountEntry::new(acct(i), xlm(10_000)));
+    }
+    store
+}
+
+#[test]
+fn restart_on_checkpoint_boundary_replays_cleanly() {
+    // 63 closes on top of genesis (seq 1) put the tip at seq 64 — exactly
+    // a checkpoint boundary, the trickiest restart point: the checkpoint
+    // and the latest ledger are the same record, and an off-by-one in
+    // either direction re-applies or skips the boundary ledger.
+    let (_, live_header, _, archive) = run_chain(63);
+    assert_eq!(live_header.ledger_seq, 64);
+    let cp = archive
+        .latest_checkpoint_at(64)
+        .expect("boundary checkpoint");
+    assert_eq!(cp.header.ledger_seq, 64, "checkpoint lands on the tip");
+    assert_eq!(cp.header.hash(), live_header.hash());
+
+    let mut herder = stellar::herder::Herder::new(
+        stellar::scp::NodeId(0),
+        chain_genesis_store(),
+        std::collections::BTreeMap::new(),
+    );
+    let replayed = herder.catch_up_from(&archive);
+    assert_eq!(replayed, 63, "every post-genesis ledger replays once");
+    assert_eq!(herder.header.ledger_seq, 64);
+    assert_eq!(
+        herder.header.hash(),
+        live_header.hash(),
+        "recovered tip must be bit-identical to the boundary header"
+    );
+    // Recovery is write-ahead too: the replayed tip is already durable.
+    let lcl = herder.recover_lcl().expect("durable LCL after catch-up");
+    assert_eq!(lcl.header.hash(), live_header.hash());
+    // A second catch-up from the same archive is a no-op, not a re-apply.
+    assert_eq!(herder.catch_up_from(&archive), 0);
+    assert_eq!(herder.header.hash(), live_header.hash());
+}
+
+#[test]
+fn restart_before_first_checkpoint_replays_from_genesis() {
+    // A node rebooting before ledger 64 has no checkpoint to anchor on:
+    // recovery must fall back to a full replay from genesis instead of
+    // panicking on the missing checkpoint.
+    let (_, live_header, _, archive) = run_chain(10);
+    assert_eq!(live_header.ledger_seq, 11);
+    assert!(
+        archive
+            .latest_checkpoint_at(live_header.ledger_seq)
+            .is_none(),
+        "no checkpoint exists yet"
+    );
+    assert_eq!(archive.checkpoint_count(), 0);
+
+    let mut herder = stellar::herder::Herder::new(
+        stellar::scp::NodeId(0),
+        chain_genesis_store(),
+        std::collections::BTreeMap::new(),
+    );
+    let replayed = herder.catch_up_from(&archive);
+    assert_eq!(replayed, 10);
+    assert_eq!(
+        herder.header.hash(),
+        live_header.hash(),
+        "genesis replay must reproduce the live chain"
+    );
+}
+
 #[test]
 fn snapshot_hash_commits_to_every_entry() {
     let (_, header_a, _, _) = run_chain(20);

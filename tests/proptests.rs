@@ -561,3 +561,176 @@ proptest! {
         prop_assert_eq!(merged.len(), rebuilt.len());
     }
 }
+
+// ---------- durable persistence: codec round-trips & torn writes ----------
+
+fn arb_ballot() -> impl Strategy<Value = Option<Ballot>> {
+    (0u32..1000, proptest::collection::vec(any::<u8>(), 0..24)).prop_map(|(n, bytes)| {
+        // n == 0 plays the role of `proptest::option::of`: absent.
+        (n > 0).then(|| Ballot::new(n, Value::new(bytes)))
+    })
+}
+
+fn arb_value_set() -> impl Strategy<Value = BTreeSet<Value>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::new),
+        0..4,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+/// Arbitrary durable slot snapshot: every phase, optional ballots, value
+/// sets, and a latest-statement map with a realistically shaped statement.
+fn arb_slot_snapshot() -> impl Strategy<Value = stellar::scp::slot::SlotSnapshot> {
+    use stellar::scp::ballot::{BallotPhase, BallotSnapshot};
+    use stellar::scp::nomination::NominationSnapshot;
+    use stellar::scp::slot::SlotSnapshot;
+    (
+        (any::<u64>(), any::<bool>(), any::<bool>(), 0u32..50),
+        arb_value_set(),
+        arb_value_set(),
+        (arb_ballot(), arb_ballot(), arb_ballot(), arb_ballot()),
+        (0u32..3, 0u64..100),
+        proptest::collection::vec(any::<u8>(), 0..16),
+    )
+        .prop_map(
+            |(
+                (slot, started, stopped, round),
+                voted,
+                accepted,
+                ballots,
+                (phase, timeouts),
+                val,
+            )| {
+                let (current, prepared, prepared_prime, high) = ballots;
+                let phase = match phase {
+                    0 => BallotPhase::Prepare,
+                    1 => BallotPhase::Confirm,
+                    _ => BallotPhase::Externalize,
+                };
+                let value = Value::new(val);
+                let mut latest = std::collections::BTreeMap::new();
+                latest.insert(
+                    NodeId(7),
+                    stellar::scp::Statement {
+                        node: NodeId(7),
+                        slot,
+                        quorum_set: QuorumSet::threshold_of(2, (0..3).map(NodeId).collect()),
+                        kind: StatementKind::Nominate {
+                            voted: [value.clone()].into_iter().collect(),
+                            accepted: BTreeSet::new(),
+                        },
+                    },
+                );
+                SlotSnapshot {
+                    index: slot,
+                    nomination: NominationSnapshot {
+                        started,
+                        stopped,
+                        round,
+                        leaders: (0..(round % 4)).map(NodeId).collect(),
+                        voted,
+                        accepted: accepted.clone(),
+                        candidates: accepted,
+                        latest: latest.clone(),
+                        proposed: stopped.then(|| value.clone()),
+                        timeouts,
+                    },
+                    ballot: BallotSnapshot {
+                        phase,
+                        current,
+                        prepared,
+                        prepared_prime,
+                        high,
+                        commit: None,
+                        latest,
+                        composite: started.then_some(value.clone()),
+                        timeouts,
+                        decided: matches!(phase, BallotPhase::Externalize).then_some(value),
+                    },
+                }
+            },
+        )
+}
+
+fn arb_ledger_header() -> impl Strategy<Value = stellar::ledger::header::LedgerHeader> {
+    use stellar::ledger::header::{LedgerHeader, LedgerParams};
+    (
+        1u64..u64::MAX / 2,
+        (any::<u64>(), any::<u64>()),
+        any::<u64>(),
+        any::<i64>(),
+        (1u32..10, 1i64..1000, 1i64..1000, 1u32..10_000),
+    )
+        .prop_map(|(seq, (prev, snap), close_time, fee_pool, params)| {
+            let (protocol_version, base_fee, base_reserve, max_tx_set_ops) = params;
+            LedgerHeader {
+                ledger_seq: seq,
+                prev_header_hash: sha256(&prev.to_be_bytes()),
+                tx_set_hash: sha256(&snap.to_be_bytes()),
+                close_time,
+                results_hash: sha256(&prev.to_le_bytes()),
+                snapshot_hash: sha256(&snap.to_le_bytes()),
+                params: LedgerParams {
+                    protocol_version,
+                    base_fee,
+                    base_reserve,
+                    max_tx_set_ops,
+                },
+                fee_pool,
+            }
+        })
+}
+
+proptest! {
+    /// What the herder writes ahead of envelopes must read back
+    /// bit-identically: an SCP slot snapshot survives encode → decode.
+    #[test]
+    fn slot_snapshot_codec_roundtrip(snap in arb_slot_snapshot()) {
+        use stellar::scp::slot::SlotSnapshot;
+        let bytes = snap.to_bytes();
+        prop_assert_eq!(SlotSnapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    /// The durable LCL record's header half survives encode → decode.
+    #[test]
+    fn ledger_header_codec_roundtrip(header in arb_ledger_header()) {
+        use stellar::ledger::header::LedgerHeader;
+        let bytes = header.to_bytes();
+        let back = LedgerHeader::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.hash(), header.hash());
+        prop_assert_eq!(back, header);
+    }
+
+    /// Torn-write safety: no strict prefix of a valid framed record
+    /// unframes (a crash mid-write can only yield "whole record" or
+    /// "detectably torn", never a silently shortened one), and a full
+    /// frame always recovers its payload exactly.
+    #[test]
+    fn torn_frame_prefix_never_unframes(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        cut in 0usize..600,
+    ) {
+        use stellar::persist::{frame, unframe};
+        let record = frame(&payload);
+        prop_assert_eq!(unframe(&record), Some(payload));
+        let cut = cut % record.len(); // strict prefix: 0..len
+        prop_assert_eq!(unframe(&record[..cut]), None);
+    }
+
+    /// Bit-flip safety: corrupting any single byte of a framed record
+    /// makes it unreadable (the checksum pins the payload, the length
+    /// prefix pins the size).
+    #[test]
+    fn corrupted_frame_never_unframes(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        pos in 0usize..300,
+        flip in 1u8..=255,
+    ) {
+        use stellar::persist::{frame, unframe};
+        let mut record = frame(&payload);
+        let pos = pos % record.len();
+        record[pos] ^= flip;
+        prop_assert_eq!(unframe(&record), None);
+    }
+}
