@@ -7,8 +7,11 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q --workspace"
+echo "==> cargo test -q --workspace (mem backend)"
 cargo test -q --workspace
+
+echo "==> cargo test -q --workspace (disk backend)"
+STELLAR_STORE_BACKEND=disk cargo test -q --workspace
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -40,5 +43,10 @@ echo "==> recovery smoke (exp_recovery --quick -> schema-valid BENCH_recovery.js
 BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_recovery -- --quick
 grep -q '"schema": "stellar-bench/v1"' "$SMOKE_DIR/BENCH_recovery.json"
 grep -q '"schema": "stellar-bench/v1"' BENCH_recovery.json  # committed full sweep
+
+echo "==> storage-engine smoke (exp_store --quick; RAM/disk twin hash gate + schema-valid BENCH_store.json)"
+BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_store -- --quick
+grep -q '"schema": "stellar-bench/v1"' "$SMOKE_DIR/BENCH_store.json"
+grep -q '"schema": "stellar-bench/v1"' BENCH_store_baseline.json  # committed full sweep
 
 echo "CI green."

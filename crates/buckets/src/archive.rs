@@ -12,7 +12,6 @@
 
 use crate::bucket_list::BucketList;
 use std::collections::BTreeMap;
-use stellar_crypto::codec::Encode;
 use stellar_crypto::Hash256;
 use stellar_ledger::header::LedgerHeader;
 use stellar_ledger::txset::TransactionSet;
@@ -68,17 +67,10 @@ impl HistoryArchive {
             let hashes = buckets.level_hashes();
             for (i, h) in hashes.iter().enumerate() {
                 if !self.blobs.contains_key(h) {
-                    let mut buf = Vec::new();
-                    for (k, e) in buckets.level(i).iter() {
-                        k.encode(&mut buf);
-                        match e {
-                            crate::bucket::BucketEntry::Live(entry) => {
-                                0u8.encode(&mut buf);
-                                entry.encode(&mut buf);
-                            }
-                            crate::bucket::BucketEntry::Dead => 1u8.encode(&mut buf),
-                        }
-                    }
+                    // The blob format is the bucket's canonical encoding
+                    // (whose SHA-256 is the level hash), so disk-spilled
+                    // levels stream straight through without re-encoding.
+                    let buf = buckets.level_bytes(i);
                     self.bytes_written += buf.len() as u64;
                     self.blobs.insert(*h, buf);
                 }

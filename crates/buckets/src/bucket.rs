@@ -10,7 +10,7 @@
 //! The hash value is byte-identical to serializing on the fly.
 
 use std::rc::Rc;
-use stellar_crypto::codec::Encode;
+use stellar_crypto::codec::{Decode, DecodeError, Encode};
 use stellar_crypto::{sha256::Sha256, Hash256};
 use stellar_ledger::entry::{LedgerEntry, LedgerKey};
 
@@ -55,6 +55,10 @@ pub struct Bucket {
     /// Slots sorted by key, keys unique. `Rc` so merges share unchanged
     /// slots with their inputs instead of re-allocating them.
     slots: Vec<Rc<Slot>>,
+    /// Total cached-encoding bytes across slots — the exact size of
+    /// [`Bucket::encoded_bytes`], tracked at construction so resident-set
+    /// gauges never have to walk the slots.
+    bytes: u64,
 }
 
 impl PartialEq for Bucket {
@@ -100,7 +104,51 @@ impl Bucket {
                 deduped.push(s);
             }
         }
-        Bucket { slots: deduped }
+        let bytes = deduped.iter().map(|s| s.enc.len() as u64).sum();
+        Bucket {
+            slots: deduped,
+            bytes,
+        }
+    }
+
+    /// Rebuilds a bucket from its serialized form (a concatenation of
+    /// slot encodings, as produced by [`Bucket::encoded_bytes`] — also
+    /// the archive's checkpoint blob format). Slots must appear in key
+    /// order with unique keys; anything else is a corrupt blob.
+    pub fn decode(blob: &[u8]) -> Result<Bucket, DecodeError> {
+        let mut input = blob;
+        let mut slots: Vec<Rc<Slot>> = Vec::new();
+        while !input.is_empty() {
+            let start = input;
+            let key = LedgerKey::decode(&mut input)?;
+            let entry = match u8::decode(&mut input)? {
+                0 => BucketEntry::Live(LedgerEntry::decode(&mut input)?),
+                1 => BucketEntry::Dead,
+                t => return Err(DecodeError::BadTag(t.into())),
+            };
+            if slots.last().is_some_and(|p| p.key >= key) {
+                return Err(DecodeError::Invalid("bucket slots out of order"));
+            }
+            let enc = start[..start.len() - input.len()].to_vec();
+            slots.push(Rc::new(Slot { key, entry, enc }));
+        }
+        let bytes = blob.len() as u64;
+        Ok(Bucket { slots, bytes })
+    }
+
+    /// The serialized bucket: every slot's cached encoding, concatenated
+    /// in key order. `sha256(encoded_bytes()) == hash()` by construction.
+    pub fn encoded_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bytes as usize);
+        for s in &self.slots {
+            out.extend_from_slice(&s.enc);
+        }
+        out
+    }
+
+    /// Size of [`Bucket::encoded_bytes`] without materializing it.
+    pub fn encoded_len(&self) -> u64 {
+        self.bytes
     }
 
     /// Number of slots (live + tombstones).
@@ -173,7 +221,8 @@ impl Bucket {
             }
             out.push(Rc::clone(slot));
         }
-        Bucket { slots: out }
+        let bytes = out.iter().map(|s| s.enc.len() as u64).sum();
+        Bucket { slots: out, bytes }
     }
 
     /// Live entries only (for state reconstruction during catch-up).
@@ -267,6 +316,20 @@ mod tests {
         let bottom = old.merge(&new, true);
         assert!(bottom.get(&key(1)).is_none());
         assert!(bottom.is_empty());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_hash() {
+        let b = Bucket::from_changes(&[live(1, 10), dead(2), live(3, 30)]);
+        let blob = b.encoded_bytes();
+        assert_eq!(blob.len() as u64, b.encoded_len());
+        assert_eq!(stellar_crypto::sha256::sha256(&blob), b.hash());
+        let back = Bucket::decode(&blob).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.hash(), b.hash());
+        assert_eq!(back.encoded_len(), b.encoded_len());
+        // Truncation never decodes.
+        assert!(Bucket::decode(&blob[..blob.len() - 1]).is_err());
     }
 
     #[test]

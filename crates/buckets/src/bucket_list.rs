@@ -7,24 +7,95 @@
 //! buckets at the bottom are merged (and re-hashed) exponentially rarely —
 //! this is the "overhead of merging buckets, which get larger" visible in
 //! the paper's Fig. 9 account sweep.
+//!
+//! With a data disk attached ([`BucketList::attach_disk`]), level blobs
+//! are additionally persisted — each level's serialized form under
+//! `bkt/<i>`, whose SHA-256 *is* the level hash — and cold levels (≥
+//! [`SPILL_MIN_LEVEL`]) drop their in-RAM buckets entirely once their
+//! blob is durable. Deep levels are then resident only as `(hash, len)`
+//! bookkeeping; they are re-loaded (and hash-verified) only when a deep
+//! spill falls due, which is exponentially rare. The blob format is
+//! byte-identical to the history archive's checkpoint blobs, so archive
+//! publishing streams spilled levels without re-encoding.
 
 use crate::bucket::Bucket;
-use stellar_crypto::{sha256::Sha256, Hash256};
+use std::cell::RefCell;
+use std::rc::Rc;
+use stellar_crypto::codec::{Decode, Encode};
+use stellar_crypto::sha256::{sha256, Sha256};
+use stellar_crypto::Hash256;
 use stellar_ledger::entry::{LedgerEntry, LedgerKey};
+use stellar_persist::DurableStore;
 
 /// Number of levels; `4^(NUM_LEVELS)` ledgers before the bottom level
 /// spills, which at 5 s/ledger is far beyond any experiment horizon.
 pub const NUM_LEVELS: usize = 10;
 
+/// Levels at or below this index are spilled to disk (RAM copy dropped)
+/// once their blob is durable. Level 6 spills into 7 every 4^7 ≈ 16k
+/// ledgers — deep enough that re-loading is negligible, shallow enough
+/// that a seeded bottom level never stays resident.
+pub const SPILL_MIN_LEVEL: usize = 6;
+
+/// Version stamp of the on-disk bucket metadata record.
+const BUCKET_META_VERSION: u32 = 1;
+
+/// Disk key of the bucket metadata record.
+const BUCKET_META_KEY: &str = "bkt/meta";
+
+fn level_key(i: usize) -> String {
+    format!("bkt/{i}")
+}
+
+/// One level: either resident, or spilled to disk with its identifying
+/// hash and slot count retained.
+#[derive(Clone, Debug)]
+enum LevelSlot {
+    /// The bucket is in RAM.
+    Ram(Bucket),
+    /// The bucket lives on disk under `bkt/<i>`; `hash` is the level
+    /// hash (= SHA-256 of the blob), `len` its slot count, `bytes` the
+    /// blob size.
+    Spilled {
+        hash: Hash256,
+        len: usize,
+        bytes: u64,
+    },
+}
+
+impl LevelSlot {
+    fn len(&self) -> usize {
+        match self {
+            LevelSlot::Ram(b) => b.len(),
+            LevelSlot::Spilled { len, .. } => *len,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The leveled bucket structure.
+///
+/// Cloning shares the attached data disk (the clone writes to the same
+/// simulated device); validators that need independent disks construct
+/// their own lists.
 #[derive(Clone, Debug)]
 pub struct BucketList {
-    levels: Vec<Bucket>,
-    /// Cached per-level hashes, invalidated on change.
+    levels: Vec<LevelSlot>,
+    /// Cached per-level hashes, invalidated on change. A spilled level's
+    /// hash is always cached (it is the key to its blob).
     level_hashes: Vec<Option<Hash256>>,
     /// Cumulative work counter: slots merged so far (metrics for the
     /// Fig. 9 "merging buckets" overhead).
     pub merge_work: u64,
+    /// The node's data disk, shared with the ledger store's disk backend
+    /// so one sync per close covers both.
+    disk: Option<Rc<RefCell<DurableStore>>>,
+    /// Per-level hash as last made durable; levels whose current hash
+    /// matches are skipped by [`BucketList::persist_levels`].
+    synced: Vec<Option<Hash256>>,
 }
 
 impl Default for BucketList {
@@ -37,9 +108,13 @@ impl BucketList {
     /// An empty bucket list.
     pub fn new() -> BucketList {
         BucketList {
-            levels: vec![Bucket::empty(); NUM_LEVELS],
+            levels: (0..NUM_LEVELS)
+                .map(|_| LevelSlot::Ram(Bucket::empty()))
+                .collect(),
             level_hashes: vec![None; NUM_LEVELS],
             merge_work: 0,
+            disk: None,
+            synced: vec![None; NUM_LEVELS],
         }
     }
 
@@ -49,7 +124,7 @@ impl BucketList {
         let mut list = BucketList::new();
         let changes: Vec<(LedgerKey, Option<LedgerEntry>)> =
             entries.into_iter().map(|e| (e.key(), Some(e))).collect();
-        list.levels[NUM_LEVELS - 1] = Bucket::from_changes(&changes);
+        list.levels[NUM_LEVELS - 1] = LevelSlot::Ram(Bucket::from_changes(&changes));
         list
     }
 
@@ -57,6 +132,38 @@ impl BucketList {
     /// `4^(i+1)` ledgers.
     fn spill_period(i: usize) -> u64 {
         4u64.pow(i as u32 + 1)
+    }
+
+    /// Re-loads a spilled level into RAM, verifying its blob hash.
+    fn ensure_ram(&mut self, i: usize) {
+        let LevelSlot::Spilled { hash, .. } = self.levels[i] else {
+            return;
+        };
+        let disk = self.disk.as_ref().expect("spilled level without a disk");
+        let blob = disk
+            .borrow()
+            .read(&level_key(i))
+            .expect("spilled bucket blob must be durable");
+        assert_eq!(sha256(&blob), hash, "spilled bucket blob hash mismatch");
+        let bucket = Bucket::decode(&blob).expect("durable bucket blob decodes");
+        self.levels[i] = LevelSlot::Ram(bucket);
+    }
+
+    /// Read-only view of a level's bucket, loading a spilled one into a
+    /// scratch copy without mutating the list.
+    fn level_snapshot(&self, i: usize) -> std::borrow::Cow<'_, Bucket> {
+        match &self.levels[i] {
+            LevelSlot::Ram(b) => std::borrow::Cow::Borrowed(b),
+            LevelSlot::Spilled { hash, .. } => {
+                let disk = self.disk.as_ref().expect("spilled level without a disk");
+                let blob = disk
+                    .borrow()
+                    .read(&level_key(i))
+                    .expect("spilled bucket blob must be durable");
+                assert_eq!(sha256(&blob), *hash, "spilled bucket blob hash mismatch");
+                std::borrow::Cow::Owned(Bucket::decode(&blob).expect("durable blob decodes"))
+            }
+        }
     }
 
     /// Adds one ledger's change batch (at `ledger_seq`) and performs any
@@ -67,19 +174,46 @@ impl BucketList {
         // only accumulates).
         for i in (0..NUM_LEVELS - 1).rev() {
             if ledger_seq.is_multiple_of(Self::spill_period(i)) && !self.levels[i].is_empty() {
-                let spilled = std::mem::take(&mut self.levels[i]);
+                self.ensure_ram(i);
+                self.ensure_ram(i + 1);
+                let spilled =
+                    match std::mem::replace(&mut self.levels[i], LevelSlot::Ram(Bucket::empty())) {
+                        LevelSlot::Ram(b) => b,
+                        LevelSlot::Spilled { .. } => unreachable!("ensure_ram loaded it"),
+                    };
+                let LevelSlot::Ram(below) = &self.levels[i + 1] else {
+                    unreachable!("ensure_ram loaded it")
+                };
                 let bottom = i + 1 == NUM_LEVELS - 1;
-                self.merge_work += (spilled.len() + self.levels[i + 1].len()) as u64;
-                self.levels[i + 1] = self.levels[i + 1].merge(&spilled, bottom);
+                self.merge_work += (spilled.len() + below.len()) as u64;
+                self.levels[i + 1] = LevelSlot::Ram(below.merge(&spilled, bottom));
                 self.level_hashes[i] = None;
                 self.level_hashes[i + 1] = None;
             }
         }
         if !changes.is_empty() {
+            self.ensure_ram(0);
             let batch = Bucket::from_changes(changes);
-            self.merge_work += (batch.len() + self.levels[0].len()) as u64;
-            self.levels[0] = self.levels[0].merge(&batch, false);
+            let LevelSlot::Ram(level0) = &self.levels[0] else {
+                unreachable!("ensure_ram loaded it")
+            };
+            self.merge_work += (batch.len() + level0.len()) as u64;
+            self.levels[0] = LevelSlot::Ram(level0.merge(&batch, false));
             self.level_hashes[0] = None;
+        }
+    }
+
+    fn level_hash(&mut self, i: usize) -> Hash256 {
+        match self.level_hashes[i] {
+            Some(x) => x,
+            None => {
+                let x = match &self.levels[i] {
+                    LevelSlot::Ram(b) => b.hash(),
+                    LevelSlot::Spilled { hash, .. } => *hash,
+                };
+                self.level_hashes[i] = Some(x);
+                x
+            }
         }
     }
 
@@ -88,14 +222,7 @@ impl BucketList {
     pub fn hash(&mut self) -> Hash256 {
         let mut h = Sha256::new();
         for i in 0..NUM_LEVELS {
-            let lh = match self.level_hashes[i] {
-                Some(x) => x,
-                None => {
-                    let x = self.levels[i].hash();
-                    self.level_hashes[i] = Some(x);
-                    x
-                }
-            };
+            let lh = self.level_hash(i);
             h.update(lh.as_bytes());
         }
         h.finish()
@@ -104,26 +231,68 @@ impl BucketList {
     /// Per-level bucket hashes (what peers exchange to reconcile: only
     /// buckets whose hashes differ need downloading).
     pub fn level_hashes(&mut self) -> Vec<Hash256> {
-        (0..NUM_LEVELS)
-            .map(|i| match self.level_hashes[i] {
-                Some(x) => x,
-                None => {
-                    let x = self.levels[i].hash();
-                    self.level_hashes[i] = Some(x);
-                    x
-                }
-            })
-            .collect()
+        (0..NUM_LEVELS).map(|i| self.level_hash(i)).collect()
     }
 
-    /// Read access to a level (archive snapshots, tests).
+    /// Read access to a resident level (archive snapshots, tests).
+    ///
+    /// Panics on a disk-spilled level — use [`BucketList::level_bytes`]
+    /// for a representation that works for both.
     pub fn level(&self, i: usize) -> &Bucket {
-        &self.levels[i]
+        match &self.levels[i] {
+            LevelSlot::Ram(b) => b,
+            LevelSlot::Spilled { .. } => {
+                panic!("level {i} is spilled to disk; use level_bytes")
+            }
+        }
+    }
+
+    /// Slot count of a level, resident or spilled.
+    pub fn level_len(&self, i: usize) -> usize {
+        self.levels[i].len()
+    }
+
+    /// A level's serialized blob — the concatenated slot encodings whose
+    /// SHA-256 is the level hash. Spilled levels stream straight from
+    /// their durable blob; resident levels encode from cached bytes.
+    pub fn level_bytes(&self, i: usize) -> Vec<u8> {
+        match &self.levels[i] {
+            LevelSlot::Ram(b) => b.encoded_bytes(),
+            LevelSlot::Spilled { .. } => {
+                let disk = self.disk.as_ref().expect("spilled level without a disk");
+                disk.borrow()
+                    .read(&level_key(i))
+                    .expect("spilled bucket blob must be durable")
+            }
+        }
     }
 
     /// Total slots across all levels.
     pub fn total_entries(&self) -> usize {
-        self.levels.iter().map(Bucket::len).sum()
+        self.levels.iter().map(LevelSlot::len).sum()
+    }
+
+    /// Bytes of RAM the resident levels hold (spilled levels cost only
+    /// their bookkeeping).
+    pub fn resident_bytes(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| match l {
+                LevelSlot::Ram(b) => b.encoded_len(),
+                LevelSlot::Spilled { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Bytes of durable blob the spilled (non-resident) levels occupy.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| match l {
+                LevelSlot::Ram(_) => 0,
+                LevelSlot::Spilled { bytes, .. } => *bytes,
+            })
+            .sum()
     }
 
     /// Reconstructs the latest live state by merging bottom-up (catch-up
@@ -131,7 +300,7 @@ impl BucketList {
     pub fn reconstruct_state(&self) -> Vec<LedgerEntry> {
         let mut acc = Bucket::empty();
         for i in (0..NUM_LEVELS).rev() {
-            acc = acc.merge(&self.levels[i], false);
+            acc = acc.merge(&self.level_snapshot(i), false);
         }
         acc.live_entries().cloned().collect()
     }
@@ -142,6 +311,143 @@ impl BucketList {
         let a = self.level_hashes();
         let b = other.level_hashes();
         (0..NUM_LEVELS).filter(|&i| a[i] != b[i]).collect()
+    }
+
+    // ---- disk spill ----
+
+    /// Attaches the node's data disk: persists every level blob now
+    /// (one sync) and drops cold levels from RAM. Called once at node
+    /// construction, with the store's disk, so bucket blobs and ledger
+    /// segments ride the same device.
+    pub fn attach_disk(&mut self, disk: Rc<RefCell<DurableStore>>, ledger_seq: u64) {
+        self.disk = Some(disk);
+        self.persist_levels(ledger_seq);
+        let ok = self
+            .disk
+            .as_ref()
+            .expect("just attached")
+            .borrow_mut()
+            .sync();
+        if ok {
+            self.note_synced();
+        }
+    }
+
+    /// True when a data disk is attached.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Stages every changed level blob plus the bucket metadata record
+    /// onto the data disk. Nothing is durable until the caller syncs the
+    /// disk (the ledger store's flush provides that sync, so bucket and
+    /// store writes commit atomically per close).
+    pub fn persist_levels(&mut self, ledger_seq: u64) {
+        let Some(disk) = self.disk.clone() else {
+            return;
+        };
+        let mut disk = disk.borrow_mut();
+        for i in 0..NUM_LEVELS {
+            let h = self.level_hash(i);
+            if self.synced[i] != Some(h) {
+                let blob = match &self.levels[i] {
+                    LevelSlot::Ram(b) => b.encoded_bytes(),
+                    // Spilled ⇒ already durable under the same hash.
+                    LevelSlot::Spilled { .. } => continue,
+                };
+                disk.write(&level_key(i), &blob);
+            }
+        }
+        let mut meta = Vec::new();
+        BUCKET_META_VERSION.encode(&mut meta);
+        ledger_seq.encode(&mut meta);
+        for i in 0..NUM_LEVELS {
+            self.level_hash(i); // ensure cached
+        }
+        for i in 0..NUM_LEVELS {
+            self.level_hashes[i]
+                .expect("cached above")
+                .encode(&mut meta);
+            (self.levels[i].len() as u64).encode(&mut meta);
+        }
+        disk.write(BUCKET_META_KEY, &meta);
+    }
+
+    /// Records that the disk sync following [`BucketList::persist_levels`]
+    /// succeeded: every level blob staged there is now durable. Cold
+    /// levels (≥ [`SPILL_MIN_LEVEL`]) drop their RAM copy — only when a
+    /// disk holds the blob; without one the RAM copy is the only copy.
+    pub fn note_synced(&mut self) {
+        let spill_ok = self.disk.is_some();
+        for i in 0..NUM_LEVELS {
+            let h = self.level_hash(i);
+            self.synced[i] = Some(h);
+            if spill_ok && i >= SPILL_MIN_LEVEL {
+                if let LevelSlot::Ram(b) = &self.levels[i] {
+                    if !b.is_empty() {
+                        self.levels[i] = LevelSlot::Spilled {
+                            hash: h,
+                            len: b.len(),
+                            bytes: b.encoded_len(),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a bucket list from a data disk, verifying every level
+    /// blob against `expected_hashes` (the per-level hashes the node's
+    /// write-ahead LCL record vouches for). Returns the list and the
+    /// ledger sequence its blobs describe, or `None` if anything is
+    /// missing, torn, or divergent — callers then fall back to archive
+    /// replay.
+    pub fn recover(
+        disk: Rc<RefCell<DurableStore>>,
+        expected_hashes: &[Hash256],
+    ) -> Option<(BucketList, u64)> {
+        if expected_hashes.len() != NUM_LEVELS {
+            return None;
+        }
+        let meta = disk.borrow().read(BUCKET_META_KEY)?;
+        let mut input = meta.as_slice();
+        let version = u32::decode(&mut input).ok()?;
+        if version != BUCKET_META_VERSION {
+            return None;
+        }
+        let ledger_seq = u64::decode(&mut input).ok()?;
+        let mut list = BucketList::new();
+        for (i, expected) in expected_hashes.iter().enumerate() {
+            let hash = Hash256::decode(&mut input).ok()?;
+            let len = u64::decode(&mut input).ok()? as usize;
+            if hash != *expected {
+                return None;
+            }
+            let blob = disk.borrow().read(&level_key(i)).or_else(|| {
+                // An always-empty level may never have been written.
+                (len == 0).then(Vec::new)
+            })?;
+            if sha256(&blob) != hash {
+                return None;
+            }
+            if i >= SPILL_MIN_LEVEL && len > 0 {
+                list.levels[i] = LevelSlot::Spilled {
+                    hash,
+                    len,
+                    bytes: blob.len() as u64,
+                };
+            } else {
+                let bucket = Bucket::decode(&blob).ok()?;
+                if bucket.len() != len {
+                    return None;
+                }
+                list.levels[i] = LevelSlot::Ram(bucket);
+            }
+            list.level_hashes[i] = Some(hash);
+            list.synced[i] = Some(hash);
+        }
+        list.disk = Some(disk);
+        Some((list, ledger_seq))
     }
 }
 
@@ -264,5 +570,92 @@ mod tests {
         let mut fresh = bl.clone();
         fresh.level_hashes = vec![None; NUM_LEVELS];
         assert_eq!(cached, fresh.hash());
+    }
+
+    #[test]
+    fn disk_spill_preserves_hashes_and_state() {
+        let entries: Vec<LedgerEntry> = (0..200u64)
+            .map(|n| LedgerEntry::Account(AccountEntry::new(AccountId(PublicKey(n)), n as i64)))
+            .collect();
+        let mut ram = BucketList::seed(entries.clone());
+        let expected = ram.hash();
+
+        let disk = Rc::new(RefCell::new(DurableStore::new()));
+        let mut spilled = BucketList::seed(entries);
+        spilled.attach_disk(disk.clone(), 1);
+        // The seeded bottom level must have left RAM.
+        assert_eq!(spilled.resident_bytes(), 0);
+        assert!(disk.borrow().read(&level_key(NUM_LEVELS - 1)).is_some());
+        assert_eq!(spilled.hash(), expected);
+        assert_eq!(spilled.total_entries(), 200);
+        assert_eq!(spilled.reconstruct_state().len(), 200);
+        // Archive blob path reads the durable bytes directly.
+        assert_eq!(
+            sha256(&spilled.level_bytes(NUM_LEVELS - 1)),
+            spilled.level_hashes()[NUM_LEVELS - 1]
+        );
+
+        // Batches keep both lists in lockstep even across deep reloads.
+        for seq in 2..=40u64 {
+            let batch = [change(seq % 9, seq as i64)];
+            ram.add_batch(seq, &batch);
+            spilled.add_batch(seq, &batch);
+            spilled.persist_levels(seq);
+            assert!(disk.borrow_mut().sync());
+            spilled.note_synced();
+            assert_eq!(ram.hash(), spilled.hash(), "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn note_synced_without_a_disk_keeps_deep_levels_resident() {
+        // Regression: a diskless list must never mark a deep level
+        // Spilled — the RAM copy is the only copy, and dropping it both
+        // loses the data (ensure_ram panics later) and zeroes the
+        // level's resident-byte accounting.
+        let entries: Vec<LedgerEntry> = (0..200u64)
+            .map(|n| LedgerEntry::Account(AccountEntry::new(AccountId(PublicKey(n)), n as i64)))
+            .collect();
+        let mut bl = BucketList::seed(entries);
+        let expected = bl.hash();
+        bl.note_synced();
+        assert!(bl.resident_bytes() > 0, "deep level dropped without a disk");
+        assert_eq!(bl.hash(), expected);
+        assert_eq!(bl.reconstruct_state().len(), 200);
+    }
+
+    #[test]
+    fn recover_roundtrip_and_tamper_detection() {
+        let entries: Vec<LedgerEntry> = (0..150u64)
+            .map(|n| LedgerEntry::Account(AccountEntry::new(AccountId(PublicKey(n)), n as i64)))
+            .collect();
+        let disk = Rc::new(RefCell::new(DurableStore::new()));
+        let mut bl = BucketList::seed(entries);
+        bl.attach_disk(disk.clone(), 1);
+        for seq in 2..=10u64 {
+            bl.add_batch(seq, &[change(seq, seq as i64)]);
+            bl.persist_levels(seq);
+            assert!(disk.borrow_mut().sync());
+            bl.note_synced();
+        }
+        let want = bl.hash();
+        let hashes = bl.level_hashes();
+
+        let (mut back, seq) = BucketList::recover(disk.clone(), &hashes).unwrap();
+        assert_eq!(seq, 10);
+        assert_eq!(back.hash(), want);
+        assert_eq!(back.total_entries(), bl.total_entries());
+
+        // Divergent expected hashes are refused.
+        let mut wrong = hashes.clone();
+        wrong[0] = Hash256::ZERO;
+        assert!(BucketList::recover(disk.clone(), &wrong).is_none());
+
+        // A torn level blob is refused even with honest expectations.
+        let mut torn = disk.borrow().clone();
+        torn.write(&level_key(NUM_LEVELS - 1), b"partial");
+        torn.tear_next_crash();
+        torn.crash();
+        assert!(BucketList::recover(Rc::new(RefCell::new(torn)), &hashes).is_none());
     }
 }

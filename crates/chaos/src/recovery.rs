@@ -141,12 +141,31 @@ pub fn restart_storm_schedule(
 /// restarted node equivocated (safety) and everyone still reached the
 /// ledger target (no stall).
 pub fn restart_storm(seed: u64, n_restarts: usize, target_ledgers: u64) -> ChaosReport {
+    restart_storm_on(
+        seed,
+        n_restarts,
+        target_ledgers,
+        stellar_store::BackendKind::from_env(),
+    )
+}
+
+/// [`restart_storm`] pinned to a specific ledger storage backend. On
+/// [`stellar_store::BackendKind::Disk`] every reboot also crashes the
+/// node's data disk, so recovery exercises the durable-store fast path
+/// (or its genesis-replay fallback) under the storm.
+pub fn restart_storm_on(
+    seed: u64,
+    n_restarts: usize,
+    target_ledgers: u64,
+    backend: stellar_store::BackendKind,
+) -> ChaosReport {
     let sim = SimConfig {
         scenario: Scenario::ControlledMesh { n_validators: 4 },
         n_accounts: 10,
         target_ledgers,
         seed,
         max_sim_time_ms: 600_000,
+        store_backend: backend,
         ..SimConfig::default()
     };
     let window = (6_000, 6_000 + sim.ledger_interval_ms * target_ledgers);
@@ -155,6 +174,45 @@ pub fn restart_storm(seed: u64, n_restarts: usize, target_ledgers: u64) -> Chaos
         sim,
         adversaries: Vec::new(),
         schedule,
+        liveness_bound_ms: 60_000,
+        monitor_interval_ms: 250,
+        record_trace: false,
+    })
+    .run()
+}
+
+/// Runs a randomized device-fault storm on the disk backend: before
+/// each reboot the victim's disks (write-ahead log *and* ledger data
+/// disk) suffer a burst of failed fsyncs, and half the reboots tear the
+/// oldest unsynced record on the way down. Torn data disks force the
+/// genesis-replay fallback; intact ones take the durable fast path —
+/// either way the run must stay violation-free and reach the target.
+pub fn disk_fault_storm(seed: u64, n_restarts: usize, target_ledgers: u64) -> ChaosReport {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15C);
+    let window = (6_000u64, 6_000 + 5_000 * target_ledgers);
+    let mut b = FaultSchedule::builder();
+    for i in 0..n_restarts {
+        let at = rng.gen_range(window.0..window.1);
+        let node = NodeId(rng.gen_range(0..4));
+        b = b.fail_fsyncs_at(at.saturating_sub(500), node, rng.gen_range(1..4));
+        if i % 2 == 0 {
+            b = b.torn_write_at(at, node);
+        }
+        b = b.restart_at(at, node);
+    }
+    let sim = SimConfig {
+        scenario: Scenario::ControlledMesh { n_validators: 4 },
+        n_accounts: 10,
+        target_ledgers,
+        seed,
+        max_sim_time_ms: 600_000,
+        store_backend: stellar_store::BackendKind::Disk,
+        ..SimConfig::default()
+    };
+    ChaosRun::new(ChaosConfig {
+        sim,
+        adversaries: Vec::new(),
+        schedule: b.build(),
         liveness_bound_ms: 60_000,
         monitor_interval_ms: 250,
         record_trace: false,

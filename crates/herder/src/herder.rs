@@ -22,6 +22,7 @@ use stellar_ledger::sigcache::SigVerifyCache;
 use stellar_ledger::store::LedgerStore;
 use stellar_ledger::tx::TxResult;
 use stellar_ledger::txset::TransactionSet;
+use stellar_ledger::StoreIoStats;
 use stellar_persist::DurableStore;
 use stellar_scp::driver::{Driver, ScpEvent, TimerKind, Validity};
 use stellar_scp::slot::SlotSnapshot;
@@ -144,6 +145,9 @@ pub struct Herder {
     /// every close, so a crash-restarted node recovers without amnesia
     /// (§3, §5.4).
     pub persist: DurableStore,
+    /// Data-disk I/O counters as of the previous close — the per-close
+    /// telemetry deltas are computed against this.
+    last_store_stats: StoreIoStats,
 
     // ---- buffered driver outputs ----
     /// Envelopes to flood.
@@ -169,14 +173,64 @@ impl Herder {
         key_registry: BTreeMap<NodeId, PublicKey>,
     ) -> Herder {
         let mut buckets = BucketList::seed(store.all_entries());
+        // A disk-backed store brings a data disk; spill cold bucket
+        // levels onto the same device so one sync per close covers both.
+        if let Some(disk) = store.disk() {
+            buckets.attach_disk(disk, 0);
+        }
         let mut header = LedgerHeader::genesis(Hash256::ZERO);
         header.snapshot_hash = buckets.hash();
+        let last_store_stats = store.io_stats();
         Herder {
             node_id,
             store,
             buckets,
             archive: HistoryArchive::new(),
             header,
+            last_store_stats,
+            queue: TxQueue::new(),
+            sig_cache: SigVerifyCache::new(1 << 16),
+            upgrade_policy: UpgradePolicy::default(),
+            known_tx_sets: HashMap::new(),
+            now: 1,
+            clock_ms: 1000,
+            max_time_slip: 60,
+            key_registry,
+            telemetry: NodeTelemetry::new(node_id.0),
+            persist: DurableStore::new(),
+            outbox: Vec::new(),
+            timer_requests: Vec::new(),
+            pending_externalize: Vec::new(),
+            events: Vec::new(),
+            close_stats: Vec::new(),
+            stalled_externalize: Vec::new(),
+        }
+    }
+
+    /// Creates a herder from state recovered off a durable data disk
+    /// (`stellar-store`'s `recover_node`): the ledger store, bucket list,
+    /// and header resume exactly where the crashed node's last durable
+    /// flush left them — no genesis replay. The archive starts empty;
+    /// catch-up from a peer's archive fills the gap to the network tip.
+    pub fn from_recovered(
+        node_id: NodeId,
+        store: LedgerStore,
+        buckets: BucketList,
+        header: LedgerHeader,
+        key_registry: BTreeMap<NodeId, PublicKey>,
+    ) -> Herder {
+        debug_assert_eq!(header.snapshot_hash, {
+            let mut b = buckets.clone();
+            b.hash()
+        });
+        let last_store_stats = store.io_stats();
+        Herder {
+            node_id,
+            store,
+            buckets,
+            archive: HistoryArchive::new(),
+            header,
+            last_store_stats,
             queue: TxQueue::new(),
             sig_cache: SigVerifyCache::new(1 << 16),
             upgrade_policy: UpgradePolicy::default(),
@@ -338,6 +392,9 @@ impl Herder {
         );
         self.record_results(&result.results);
         self.known_tx_sets.insert(value.tx_set_hash, set);
+        // Data disk first, then the write-ahead LCL record: the LCL
+        // never vouches for state the data disk has not made durable.
+        self.flush_store();
         self.persist_lcl();
         self.try_apply_stalled();
         true
@@ -397,10 +454,37 @@ impl Herder {
         }
         if applied > 0 {
             self.queue.prune(&self.store);
+            self.flush_store();
             self.persist_lcl();
             self.try_apply_stalled();
         }
         applied
+    }
+
+    /// Makes the close durable on the data disk: stages changed bucket
+    /// level blobs, flushes the ledger store (one sync covers both), and
+    /// records the per-close I/O telemetry. A failed sync leaves
+    /// everything cached and dirty — the next close retries; reads are
+    /// unaffected.
+    fn flush_store(&mut self) {
+        let seq = self.header.ledger_seq;
+        self.buckets.persist_levels(seq);
+        if self.store.flush(seq) {
+            self.buckets.note_synced();
+        }
+        let s = self.store.io_stats();
+        let p = self.last_store_stats;
+        let reg = &mut self.telemetry.registry;
+        reg.add("store.cache_hit", s.cache_hits - p.cache_hits);
+        reg.add("store.cache_miss", s.cache_misses - p.cache_misses);
+        reg.add("store.cache_evict", s.cache_evicts - p.cache_evicts);
+        reg.add("persist.bytes_written", s.bytes_written - p.bytes_written);
+        reg.add("persist.fsyncs", s.fsyncs - p.fsyncs);
+        reg.add("persist.failed_syncs", s.failed_fsyncs - p.failed_fsyncs);
+        let resident = self.store.resident_bytes() + self.buckets.resident_bytes();
+        reg.set_gauge("store.resident_bytes", resident as i64);
+        reg.set_gauge("store.disk_bytes", s.disk_bytes as i64);
+        self.last_store_stats = s;
     }
 
     fn try_apply_stalled(&mut self) {
@@ -438,6 +522,7 @@ impl Herder {
             .add("persist.bytes_written", written);
         if ok {
             self.telemetry.registry.inc("persist.syncs");
+            self.telemetry.registry.inc("persist.fsyncs");
         } else {
             self.telemetry.registry.inc("persist.failed_syncs");
         }
@@ -468,6 +553,7 @@ impl Herder {
             .observe("persist.lcl_bytes", written);
         if ok {
             self.telemetry.registry.inc("persist.syncs");
+            self.telemetry.registry.inc("persist.fsyncs");
         } else {
             self.telemetry.registry.inc("persist.failed_syncs");
         }

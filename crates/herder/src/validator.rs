@@ -67,6 +67,26 @@ impl Validator {
         }
     }
 
+    /// Creates a validator whose ledger state was recovered from a
+    /// durable data disk ([`stellar_ledger::LedgerBackend`] recovery)
+    /// rather than rebuilt from genesis: the store, bucket list, and
+    /// header resume at the last durable close. SCP state starts fresh —
+    /// the caller restores it from the write-ahead snapshots.
+    pub fn from_recovered(
+        id: NodeId,
+        keys: KeyPair,
+        qset: QuorumSet,
+        store: LedgerStore,
+        buckets: stellar_buckets::BucketList,
+        header: stellar_ledger::header::LedgerHeader,
+        key_registry: BTreeMap<NodeId, stellar_crypto::sign::PublicKey>,
+    ) -> Validator {
+        Validator {
+            scp: ScpNode::new(id, keys, qset),
+            herder: Herder::from_recovered(id, store, buckets, header, key_registry),
+        }
+    }
+
     /// This node's id.
     pub fn id(&self) -> NodeId {
         self.scp.id()

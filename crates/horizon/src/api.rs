@@ -64,20 +64,14 @@ impl Horizon {
     /// Fetches an account summary, or `None` if it does not exist.
     pub fn account(herder: &Herder, id: AccountId) -> Option<AccountInfo> {
         let a = herder.store.account(id)?;
-        let delta = herder.store.begin();
-        // Scan trustlines via the entry dump (horizon keeps its own DB in
-        // production; here the store is small enough to filter).
+        // Indexed range scan over this account's trustlines — on the
+        // disk backend a full entry dump would page in the whole store.
         let trustlines: Vec<(Asset, i64, i64, bool)> = herder
             .store
-            .all_entries()
-            .filter_map(|e| match e {
-                stellar_ledger::entry::LedgerEntry::TrustLine(t) if t.account == id => {
-                    Some((t.asset, t.balance, t.limit, t.authorized))
-                }
-                _ => None,
-            })
+            .trustlines_of(id)
+            .into_iter()
+            .map(|t| (t.asset, t.balance, t.limit, t.authorized))
             .collect();
-        drop(delta);
         Some(AccountInfo {
             id,
             xlm_balance: a.balance,
@@ -299,6 +293,33 @@ mod tests {
         assert_eq!(info.trustlines[0].1, 200);
         assert_eq!(info.num_subentries, 2); // trustline + offer
         assert!(Horizon::account(&h, acct(9)).is_none());
+    }
+
+    #[test]
+    fn queries_are_identical_on_the_disk_backend() {
+        // Horizon reads go through the backend trait: the same queries
+        // over the same state must answer identically on the disk store.
+        let ram = herder();
+        let disk_store = stellar_store::open(
+            &ram.store,
+            stellar_store::BackendKind::Disk,
+            &stellar_store::DiskConfig::default(),
+        );
+        let disk = Herder::new(NodeId(0), disk_store, BTreeMap::new());
+        let usd = Asset::issued(acct(2), "USD");
+        for a in 0..3 {
+            assert_eq!(
+                Horizon::account(&ram, acct(a)),
+                Horizon::account(&disk, acct(a))
+            );
+        }
+        let ram_book = Horizon::order_book(&ram, &usd, &Asset::Native, None, 10);
+        let disk_book = Horizon::order_book(&disk, &usd, &Asset::Native, None, 10);
+        assert_eq!(ram_book.records, disk_book.records);
+        assert_eq!(
+            Horizon::find_payment_path(&ram, &Asset::Native, &usd, 50, &[]),
+            Horizon::find_payment_path(&disk, &Asset::Native, &usd, 50, &[]),
+        );
     }
 
     #[test]

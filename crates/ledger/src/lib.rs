@@ -34,6 +34,7 @@
 pub mod amount;
 pub mod apply;
 pub mod asset;
+pub mod backend;
 pub mod entry;
 pub mod header;
 pub mod ops;
@@ -46,6 +47,7 @@ pub mod txset;
 
 pub use amount::{Price, STROOPS_PER_XLM};
 pub use asset::{Asset, AssetCode};
+pub use backend::{LedgerBackend, MemBackend, StoreIoStats};
 pub use entry::{AccountEntry, AccountId, DataEntry, OfferEntry, TrustLineEntry};
 pub use header::LedgerHeader;
 pub use store::{LedgerDelta, LedgerStore};

@@ -1,15 +1,17 @@
 //! The ledger entry store with copy-on-write deltas.
 //!
 //! Production `stellar-core` keeps the ledger in a SQL database; this
-//! reproduction substitutes in-memory ordered maps behind the same
-//! read/modify interface (see `DESIGN.md`). The important structural
-//! property is shared: transactions execute against a [`LedgerDelta`]
-//! overlay that is either *committed* into the base store or discarded —
-//! which is how "transactions are atomic: if any operation fails, none of
-//! them execute" (§5.2) is implemented.
+//! reproduction substitutes a pluggable [`LedgerBackend`] behind the same
+//! read/modify interface (see `DESIGN.md`): in-RAM ordered maps by
+//! default, a log-structured disk store via `crates/store`. The important
+//! structural property is shared: transactions execute against a
+//! [`LedgerDelta`] overlay that is either *committed* into the base store
+//! or discarded — which is how "transactions are atomic: if any operation
+//! fails, none of them execute" (§5.2) is implemented.
 //!
 //! The store also tracks, per ledger close, which entries changed; that
-//! change feed drives the bucket list in `stellar-buckets`.
+//! change feed drives both the backend and the bucket list in
+//! `stellar-buckets` (one feed, two consumers).
 //!
 //! Two hot-path choices matter for close throughput:
 //!
@@ -17,288 +19,248 @@
 //!   maps (`account → asset → entry`), not by `(AccountId, Asset)` tuples,
 //!   so point reads never clone an `Asset` or build a scratch `String`
 //!   just to form a lookup key.
-//! * **Order-book index.** The store maintains a side index
+//! * **Order-book index.** Backends maintain a side index
 //!   `selling → buying → {(price, offer id)}` kept in lockstep with the
 //!   offer map at commit time. `offers_for_pair` walks the index in order
 //!   — O(log n + k) for k results — instead of scanning and sorting every
 //!   live offer; the matching engine pages through it lazily so a deep
 //!   book costs only what it fills.
 
-use crate::amount::Price;
 use crate::asset::Asset;
+use crate::backend::{LedgerBackend, MemBackend, StoreIoStats};
 use crate::entry::{
     AccountEntry, AccountId, DataEntry, LedgerEntry, LedgerKey, OfferEntry, TrustLineEntry,
 };
-use std::collections::{BTreeMap, BTreeSet};
-use std::ops::Bound;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+use stellar_persist::DurableStore;
 
-/// Position in a pair's book: `(price, offer id)` — the canonical
-/// price-time-priority ordering (numeric price, ties by id).
-pub type BookCursor = (Price, u64);
+pub use crate::backend::{book_key, BookCursor};
 
-/// The order-book side index: selling asset → buying asset → positions.
-type BookIndex = BTreeMap<Asset, BTreeMap<Asset, BTreeSet<BookCursor>>>;
-
-/// The book position of an offer — the one definition of book ordering
-/// shared by the base index and every delta merge, so price/time priority
-/// cannot drift between the two paths.
-pub fn book_key(offer: &OfferEntry) -> BookCursor {
-    (offer.price, offer.id)
+/// The base ledger state: all live entries, behind a pluggable backend.
+pub struct LedgerStore {
+    backend: Box<dyn LedgerBackend>,
 }
 
-fn index_insert(book: &mut BookIndex, offer: &OfferEntry) {
-    book.entry(offer.selling.clone())
-        .or_default()
-        .entry(offer.buying.clone())
-        .or_default()
-        .insert(book_key(offer));
-}
-
-fn index_remove(book: &mut BookIndex, offer: &OfferEntry) {
-    if let Some(buys) = book.get_mut(&offer.selling) {
-        if let Some(set) = buys.get_mut(&offer.buying) {
-            set.remove(&book_key(offer));
-            if set.is_empty() {
-                buys.remove(&offer.buying);
-            }
-        }
-        if buys.is_empty() {
-            book.remove(&offer.selling);
+impl Clone for LedgerStore {
+    fn clone(&self) -> LedgerStore {
+        LedgerStore {
+            backend: self.backend.boxed_clone(),
         }
     }
 }
 
-/// The base ledger state: all live entries.
-#[derive(Clone, Debug, Default)]
-pub struct LedgerStore {
-    accounts: BTreeMap<AccountId, AccountEntry>,
-    trustlines: BTreeMap<AccountId, BTreeMap<Asset, TrustLineEntry>>,
-    offers: BTreeMap<u64, OfferEntry>,
-    data: BTreeMap<AccountId, BTreeMap<String, DataEntry>>,
-    /// Side index over `offers`, maintained by every offer mutation.
-    book: BookIndex,
-    /// Next offer id to allocate.
-    next_offer_id: u64,
+impl std::fmt::Debug for LedgerStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LedgerStore")
+            .field("backend", &self.backend.name())
+            .field("accounts", &self.backend.account_count())
+            .field("offers", &self.backend.offer_count())
+            .finish()
+    }
+}
+
+impl Default for LedgerStore {
+    fn default() -> Self {
+        LedgerStore::new()
+    }
 }
 
 impl LedgerStore {
-    /// An empty store.
+    /// An empty store over the in-RAM backend.
     pub fn new() -> LedgerStore {
-        LedgerStore {
-            next_offer_id: 1,
-            ..LedgerStore::default()
-        }
+        LedgerStore::with_backend(Box::new(MemBackend::new()))
+    }
+
+    /// A store over an explicit backend (the one constructor `sim`,
+    /// `herder`, and `horizon` thread the backend choice through).
+    pub fn with_backend(backend: Box<dyn LedgerBackend>) -> LedgerStore {
+        LedgerStore { backend }
+    }
+
+    /// The backend's short name ("mem" / "disk").
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The next offer id the allocator will hand out.
+    pub fn next_offer_id(&self) -> u64 {
+        self.backend.next_offer_id()
     }
 
     /// Number of accounts.
     pub fn account_count(&self) -> usize {
-        self.accounts.len()
+        self.backend.account_count()
     }
 
     /// Number of open offers.
     pub fn offer_count(&self) -> usize {
-        self.offers.len()
+        self.backend.offer_count()
     }
 
     /// Looks up an account.
-    pub fn account(&self, id: AccountId) -> Option<&AccountEntry> {
-        self.accounts.get(&id)
+    pub fn account(&self, id: AccountId) -> Option<AccountEntry> {
+        self.backend.account(id)
     }
 
-    /// Looks up a trustline (allocation-free).
-    pub fn trustline(&self, id: AccountId, asset: &Asset) -> Option<&TrustLineEntry> {
-        self.trustlines.get(&id)?.get(asset)
+    /// Looks up a trustline.
+    pub fn trustline(&self, id: AccountId, asset: &Asset) -> Option<TrustLineEntry> {
+        self.backend.trustline(id, asset)
     }
 
     /// Looks up an offer by id.
-    pub fn offer(&self, id: u64) -> Option<&OfferEntry> {
-        self.offers.get(&id)
+    pub fn offer(&self, id: u64) -> Option<OfferEntry> {
+        self.backend.offer(id)
     }
 
-    /// Looks up a data entry (allocation-free).
-    pub fn data(&self, id: AccountId, name: &str) -> Option<&DataEntry> {
-        self.data.get(&id)?.get(name)
+    /// Looks up a data entry.
+    pub fn data(&self, id: AccountId, name: &str) -> Option<DataEntry> {
+        self.backend.data(id, name)
+    }
+
+    /// All trustlines of one account (Horizon's account view).
+    pub fn trustlines_of(&self, id: AccountId) -> Vec<TrustLineEntry> {
+        self.backend.trustlines_of(id)
     }
 
     /// Every live offer, in id order (naive-scan reference for tests).
-    pub fn offers(&self) -> impl Iterator<Item = &OfferEntry> {
-        self.offers.values()
+    pub fn offers(&self) -> Vec<OfferEntry> {
+        self.backend
+            .all_entries()
+            .into_iter()
+            .filter_map(|e| match e {
+                LedgerEntry::Offer(o) => Some(o),
+                _ => None,
+            })
+            .collect()
     }
 
     /// All offers selling `selling` for `buying`, best (lowest) price
     /// first, ties by offer id (time priority). Served from the book
     /// index: O(log n + k), already in order.
     pub fn offers_for_pair(&self, selling: &Asset, buying: &Asset) -> Vec<OfferEntry> {
-        let Some(set) = self.book.get(selling).and_then(|m| m.get(buying)) else {
-            return Vec::new();
-        };
-        set.iter()
-            .map(|&(_, id)| self.offers[&id].clone())
+        self.backend
+            .book_page(selling, buying, None, usize::MAX)
+            .into_iter()
+            .map(|(_, id)| self.backend.offer(id).expect("indexed offer exists"))
             .collect()
     }
 
     /// Directly inserts an account (genesis / test setup).
     pub fn put_account(&mut self, account: AccountEntry) {
-        self.accounts.insert(account.id, account);
+        let key = LedgerKey::Account(account.id);
+        self.backend
+            .apply(&[(key, Some(LedgerEntry::Account(account)))]);
     }
 
     /// Directly inserts a trustline (genesis / test setup).
     pub fn put_trustline(&mut self, tl: TrustLineEntry) {
-        self.trustlines
-            .entry(tl.account)
-            .or_default()
-            .insert(tl.asset.clone(), tl);
+        let key = LedgerKey::TrustLine(tl.account, tl.asset.clone());
+        self.backend
+            .apply(&[(key, Some(LedgerEntry::TrustLine(tl)))]);
     }
 
     /// Iterates over every live entry (snapshot hashing, bucket seeding).
-    pub fn all_entries(&self) -> impl Iterator<Item = LedgerEntry> + '_ {
-        let accounts = self.accounts.values().cloned().map(LedgerEntry::Account);
-        let tls = self
-            .trustlines
-            .values()
-            .flat_map(BTreeMap::values)
-            .cloned()
-            .map(LedgerEntry::TrustLine);
-        let offers = self.offers.values().cloned().map(LedgerEntry::Offer);
-        let data = self
-            .data
-            .values()
-            .flat_map(BTreeMap::values)
-            .cloned()
-            .map(LedgerEntry::Data);
-        accounts.chain(tls).chain(offers).chain(data)
+    pub fn all_entries(&self) -> impl Iterator<Item = LedgerEntry> {
+        self.backend.all_entries().into_iter()
     }
 
-    /// Rebuilds a store from a flat entry dump (bucket-list catch-up).
+    /// Rebuilds a store (in-RAM backend) from a flat entry dump
+    /// (bucket-list catch-up).
     pub fn from_entries(entries: impl IntoIterator<Item = LedgerEntry>) -> LedgerStore {
         let mut store = LedgerStore::new();
+        store.load_entries(entries);
+        store
+    }
+
+    /// Bulk-loads entries into this store's backend, bumping the offer-id
+    /// allocator past any loaded offer. Applies in bounded chunks so a
+    /// disk backend can flush between them instead of buffering the whole
+    /// dump in its cache.
+    pub fn load_entries(&mut self, entries: impl IntoIterator<Item = LedgerEntry>) {
+        const CHUNK: usize = 8192;
+        let mut next_offer_id = self.backend.next_offer_id();
+        let mut batch = Vec::with_capacity(CHUNK);
         for e in entries {
-            match e {
-                LedgerEntry::Account(a) => {
-                    store.accounts.insert(a.id, a);
-                }
-                LedgerEntry::TrustLine(t) => {
-                    store.put_trustline(t);
-                }
-                LedgerEntry::Offer(o) => {
-                    store.next_offer_id = store.next_offer_id.max(o.id + 1);
-                    index_insert(&mut store.book, &o);
-                    store.offers.insert(o.id, o);
-                }
-                LedgerEntry::Data(d) => {
-                    store
-                        .data
-                        .entry(d.account)
-                        .or_default()
-                        .insert(d.name.clone(), d);
-                }
+            if let LedgerEntry::Offer(o) = &e {
+                next_offer_id = next_offer_id.max(o.id + 1);
+            }
+            batch.push((e.key(), Some(e)));
+            if batch.len() >= CHUNK {
+                self.backend.apply(&batch);
+                batch.clear();
             }
         }
-        store
+        if !batch.is_empty() {
+            self.backend.apply(&batch);
+        }
+        self.backend.set_next_offer_id(next_offer_id);
+    }
+
+    /// Makes all committed state durable (disk backends). `true` in RAM.
+    pub fn flush(&mut self, ledger_seq: u64) -> bool {
+        self.backend.flush(ledger_seq)
+    }
+
+    /// The data disk the backend writes to, if any.
+    pub fn disk(&self) -> Option<Rc<RefCell<DurableStore>>> {
+        self.backend.disk()
+    }
+
+    /// Backend I/O counters (telemetry).
+    pub fn io_stats(&self) -> StoreIoStats {
+        self.backend.io_stats()
+    }
+
+    /// Approximate bytes of RAM the backend holds entries in.
+    pub fn resident_bytes(&self) -> u64 {
+        self.backend.resident_bytes()
     }
 
     /// Starts a delta (scratch overlay) over this store.
     pub fn begin(&self) -> LedgerDelta<'_> {
         LedgerDelta {
-            base: self,
+            base: self.backend.as_ref(),
             accounts: BTreeMap::new(),
             trustlines: BTreeMap::new(),
             offers: BTreeMap::new(),
             data: BTreeMap::new(),
-            next_offer_id: self.next_offer_id,
+            next_offer_id: self.backend.next_offer_id(),
         }
     }
 
     /// Applies a committed delta's changes, returning the change feed for
     /// the bucket list: `(key, Some(entry))` for creates/updates,
     /// `(key, None)` for deletions.
+    ///
+    /// Entries are *moved* out of the delta into the feed (not cloned):
+    /// the feed is built once and shared by the backend and the bucket
+    /// list, so memoized encodings stay warm and a disk backend can
+    /// serialize straight from it.
     pub fn commit(&mut self, changes: DeltaChanges) -> Vec<(LedgerKey, Option<LedgerEntry>)> {
         let mut feed = Vec::new();
         for (id, slot) in changes.accounts {
-            let key = LedgerKey::Account(id);
-            match slot {
-                Some(a) => {
-                    feed.push((key, Some(LedgerEntry::Account(a.clone()))));
-                    self.accounts.insert(id, a);
-                }
-                None => {
-                    feed.push((key, None));
-                    self.accounts.remove(&id);
-                }
-            }
+            feed.push((LedgerKey::Account(id), slot.map(LedgerEntry::Account)));
         }
         for (id, by_asset) in changes.trustlines {
             for (asset, slot) in by_asset {
-                let key = LedgerKey::TrustLine(id, asset.clone());
-                match slot {
-                    Some(t) => {
-                        feed.push((key, Some(LedgerEntry::TrustLine(t.clone()))));
-                        self.trustlines.entry(id).or_default().insert(asset, t);
-                    }
-                    None => {
-                        feed.push((key, None));
-                        if let Some(m) = self.trustlines.get_mut(&id) {
-                            m.remove(&asset);
-                            if m.is_empty() {
-                                self.trustlines.remove(&id);
-                            }
-                        }
-                    }
-                }
+                feed.push((
+                    LedgerKey::TrustLine(id, asset),
+                    slot.map(LedgerEntry::TrustLine),
+                ));
             }
         }
         for (id, slot) in changes.offers {
-            let key = LedgerKey::Offer(id);
-            match slot {
-                Some(o) => {
-                    feed.push((key, Some(LedgerEntry::Offer(o.clone()))));
-                    index_insert(&mut self.book, &o);
-                    if let Some(prev) = self.offers.insert(id, o) {
-                        // An update may have moved the offer's book
-                        // position; drop the stale one. Position must be
-                        // compared with `Ord` (the set's notion of
-                        // equality): prices are unreduced fractions, so
-                        // 2/4 and 1/2 are Ord-equal but field-different,
-                        // and removing the "old" key would strip the
-                        // entry the no-op insert just kept.
-                        let cur = &self.offers[&id];
-                        if book_key(&prev).cmp(&book_key(cur)) != std::cmp::Ordering::Equal
-                            || prev.selling != cur.selling
-                            || prev.buying != cur.buying
-                        {
-                            index_remove(&mut self.book, &prev);
-                        }
-                    }
-                }
-                None => {
-                    feed.push((key, None));
-                    if let Some(prev) = self.offers.remove(&id) {
-                        index_remove(&mut self.book, &prev);
-                    }
-                }
-            }
+            feed.push((LedgerKey::Offer(id), slot.map(LedgerEntry::Offer)));
         }
         for (id, by_name) in changes.data {
             for (name, slot) in by_name {
-                let key = LedgerKey::Data(id, name.clone());
-                match slot {
-                    Some(d) => {
-                        feed.push((key, Some(LedgerEntry::Data(d.clone()))));
-                        self.data.entry(id).or_default().insert(name, d);
-                    }
-                    None => {
-                        feed.push((key, None));
-                        if let Some(m) = self.data.get_mut(&id) {
-                            m.remove(&name);
-                            if m.is_empty() {
-                                self.data.remove(&id);
-                            }
-                        }
-                    }
-                }
+                feed.push((LedgerKey::Data(id, name), slot.map(LedgerEntry::Data)));
             }
         }
-        self.next_offer_id = changes.next_offer_id;
+        self.backend.apply(&feed);
+        self.backend.set_next_offer_id(changes.next_offer_id);
         feed
     }
 }
@@ -319,7 +281,7 @@ pub struct DeltaChanges {
 /// `None` in an overlay slot means "deleted". Dropping the delta discards
 /// all changes; [`LedgerDelta::into_changes`] extracts them for commit.
 pub struct LedgerDelta<'a> {
-    base: &'a LedgerStore,
+    base: &'a dyn LedgerBackend,
     accounts: BTreeMap<AccountId, Option<AccountEntry>>,
     trustlines: BTreeMap<AccountId, BTreeMap<Asset, Option<TrustLineEntry>>>,
     offers: BTreeMap<u64, Option<OfferEntry>>,
@@ -332,7 +294,7 @@ impl LedgerDelta<'_> {
     pub fn account(&self, id: AccountId) -> Option<AccountEntry> {
         match self.accounts.get(&id) {
             Some(slot) => slot.clone(),
-            None => self.base.accounts.get(&id).cloned(),
+            None => self.base.account(id),
         }
     }
 
@@ -346,11 +308,11 @@ impl LedgerDelta<'_> {
         self.accounts.insert(id, None);
     }
 
-    /// Looks up a trustline through the overlay (allocation-free).
+    /// Looks up a trustline through the overlay.
     pub fn trustline(&self, id: AccountId, asset: &Asset) -> Option<TrustLineEntry> {
         match self.trustlines.get(&id).and_then(|m| m.get(asset)) {
             Some(slot) => slot.clone(),
-            None => self.base.trustline(id, asset).cloned(),
+            None => self.base.trustline(id, asset),
         }
     }
 
@@ -374,7 +336,7 @@ impl LedgerDelta<'_> {
     pub fn offer(&self, id: u64) -> Option<OfferEntry> {
         match self.offers.get(&id) {
             Some(slot) => slot.clone(),
-            None => self.base.offers.get(&id).cloned(),
+            None => self.base.offer(id),
         }
     }
 
@@ -395,11 +357,11 @@ impl LedgerDelta<'_> {
         id
     }
 
-    /// Looks up a data entry through the overlay (allocation-free).
+    /// Looks up a data entry through the overlay.
     pub fn data(&self, id: AccountId, name: &str) -> Option<DataEntry> {
         match self.data.get(&id).and_then(|m| m.get(name)) {
             Some(slot) => slot.clone(),
-            None => self.base.data(id, name).cloned(),
+            None => self.base.data(id, name),
         }
     }
 
@@ -428,9 +390,11 @@ impl LedgerDelta<'_> {
     /// order (best price first, ties by id), merged overlay-over-base.
     ///
     /// This is the matching engine's lazy view of the book: the base side
-    /// streams from the store's index, the overlay side is the handful of
-    /// offers the current transaction already touched, and both merge
-    /// through [`book_key`] so ordering cannot diverge from the index.
+    /// pages through the backend's index in bounded chunks (so a disk
+    /// backend fetches only what the merge consumes), the overlay side is
+    /// the handful of offers the current transaction already touched, and
+    /// both merge through [`book_key`] so ordering cannot diverge from
+    /// the index.
     pub fn offers_page(
         &self,
         selling: &Asset,
@@ -438,18 +402,10 @@ impl LedgerDelta<'_> {
         after: Option<BookCursor>,
         limit: usize,
     ) -> Vec<OfferEntry> {
-        let lower = match after {
-            Some(cursor) => Bound::Excluded(cursor),
-            None => Bound::Unbounded,
-        };
-        let mut base = self
-            .base
-            .book
-            .get(selling)
-            .and_then(|m| m.get(buying))
-            .into_iter()
-            .flat_map(|set| set.range((lower, Bound::Unbounded)))
-            .peekable();
+        const CHUNK: usize = 64;
+        let mut base_buf: VecDeque<BookCursor> = VecDeque::new();
+        let mut base_cursor = after;
+        let mut base_done = false;
 
         // Overlay offers for this pair past the cursor, in book order.
         let mut overlay: Vec<&OfferEntry> = self
@@ -464,30 +420,38 @@ impl LedgerDelta<'_> {
 
         let mut out = Vec::new();
         while out.len() < limit {
-            // Skip base entries shadowed by any overlay slot (updated,
-            // deleted, or merely re-written): the overlay owns those ids.
-            while let Some(&&(_, id)) = base.peek() {
-                if self.offers.contains_key(&id) {
-                    base.next();
-                } else {
-                    break;
+            // Refill the base buffer, skipping entries shadowed by any
+            // overlay slot (updated, deleted, or merely re-written): the
+            // overlay owns those ids.
+            while base_buf.is_empty() && !base_done {
+                let chunk = self.base.book_page(selling, buying, base_cursor, CHUNK);
+                if chunk.len() < CHUNK {
+                    base_done = true;
                 }
+                if let Some(&last) = chunk.last() {
+                    base_cursor = Some(last);
+                }
+                base_buf.extend(
+                    chunk
+                        .into_iter()
+                        .filter(|(_, id)| !self.offers.contains_key(id)),
+                );
             }
-            let base_key = base.peek().map(|&&k| k);
+            let base_key = base_buf.front().copied();
             let overlay_key = overlay.peek().map(|o| book_key(o));
             match (base_key, overlay_key) {
                 (None, None) => break,
                 (Some(_), None) => {
-                    let &(_, id) = base.next().expect("peeked");
-                    out.push(self.base.offers[&id].clone());
+                    let (_, id) = base_buf.pop_front().expect("peeked");
+                    out.push(self.base.offer(id).expect("indexed offer exists"));
                 }
                 (None, Some(_)) => out.push(overlay.next().expect("peeked").clone()),
                 (Some(bk), Some(ok)) => {
                     if ok < bk {
                         out.push(overlay.next().expect("peeked").clone());
                     } else {
-                        let &(_, id) = base.next().expect("peeked");
-                        out.push(self.base.offers[&id].clone());
+                        let (_, id) = base_buf.pop_front().expect("peeked");
+                        out.push(self.base.offer(id).expect("indexed offer exists"));
                     }
                 }
             }
@@ -754,6 +718,7 @@ mod tests {
         store.commit(d.into_changes());
         assert_eq!(store.trustline(acct(1), &usd).unwrap().balance, 5);
         assert_eq!(store.data(acct(1), "k1").unwrap().value, vec![9]);
+        assert_eq!(store.trustlines_of(acct(1)).len(), 1);
         // Delete through a delta; the nested maps must clean up fully.
         let mut d = store.begin();
         d.delete_trustline(acct(1), &usd);
@@ -763,5 +728,25 @@ mod tests {
         assert!(store.trustline(acct(1), &usd).is_none());
         assert!(store.data(acct(1), "k1").is_none());
         assert_eq!(store.all_entries().count(), 0);
+    }
+
+    #[test]
+    fn from_entries_restores_offer_allocator() {
+        let usd = Asset::issued(acct(9), "USD");
+        let store = LedgerStore::from_entries(vec![
+            LedgerEntry::Account(AccountEntry::new(acct(1), 10)),
+            LedgerEntry::Offer(OfferEntry {
+                id: 41,
+                account: acct(1),
+                selling: Asset::Native,
+                buying: usd.clone(),
+                amount: 1,
+                price: Price::new(1, 1),
+                passive: false,
+            }),
+        ]);
+        let mut d = store.begin();
+        assert_eq!(d.allocate_offer_id(), 42);
+        assert_eq!(store.offers_for_pair(&Asset::Native, &usd).len(), 1);
     }
 }

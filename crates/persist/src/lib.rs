@@ -91,8 +91,9 @@ pub struct DurableStore {
     enabled: bool,
     durable: BTreeMap<String, Vec<u8>>,
     /// Unsynced writes in write order. A later write to the same key
-    /// shadows the earlier one at sync time (last write wins).
-    pending: Vec<(String, Vec<u8>)>,
+    /// shadows the earlier one at sync time (last write wins). `None`
+    /// stages a deletion (file unlink), applied at the same sync.
+    pending: Vec<(String, Option<Vec<u8>>)>,
     fail_next_fsyncs: u32,
     tear_next_crash: bool,
     stats: PersistStats,
@@ -144,7 +145,16 @@ impl DurableStore {
         }
         let rec = frame(payload);
         self.stats.bytes_written += rec.len() as u64;
-        self.pending.push((key.to_string(), rec));
+        self.pending.push((key.to_string(), Some(rec)));
+    }
+
+    /// Stages a deletion of `key` (segment reclamation after compaction).
+    /// Like `write`, nothing happens until `sync` succeeds.
+    pub fn remove(&mut self, key: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.pending.push((key.to_string(), None));
     }
 
     /// Flushes staged writes to durable storage. Returns `false` (leaving
@@ -159,9 +169,16 @@ impl DurableStore {
             self.stats.failed_syncs += 1;
             return false;
         }
-        for (key, rec) in self.pending.drain(..) {
-            self.stats.bytes_synced += rec.len() as u64;
-            self.durable.insert(key, rec);
+        for (key, slot) in self.pending.drain(..) {
+            match slot {
+                Some(rec) => {
+                    self.stats.bytes_synced += rec.len() as u64;
+                    self.durable.insert(key, rec);
+                }
+                None => {
+                    self.durable.remove(&key);
+                }
+            }
         }
         self.stats.syncs += 1;
         true
@@ -175,7 +192,13 @@ impl DurableStore {
         self.stats.crashes += 1;
         if self.tear_next_crash {
             self.tear_next_crash = false;
-            if let Some((key, rec)) = self.pending.first().cloned() {
+            // The oldest staged *write* tears; staged deletions have no
+            // bytes to half-apply.
+            let oldest = self
+                .pending
+                .iter()
+                .find_map(|(key, slot)| slot.as_ref().map(|rec| (key.clone(), rec.clone())));
+            if let Some((key, rec)) = oldest {
                 let cut = (rec.len() / 2).max(1).min(rec.len() - 1);
                 self.durable.insert(key, rec[..cut].to_vec());
                 self.stats.torn_writes += 1;
@@ -215,6 +238,11 @@ impl DurableStore {
     /// Number of durable records (readable or torn).
     pub fn durable_len(&self) -> usize {
         self.durable.len()
+    }
+
+    /// Total bytes occupying durable storage (framed records).
+    pub fn durable_bytes(&self) -> u64 {
+        self.durable.values().map(|rec| rec.len() as u64).sum()
     }
 
     /// Number of staged, not-yet-synced writes.
@@ -299,6 +327,40 @@ mod tests {
         for cut in 0..rec.len() {
             assert_eq!(unframe(&rec[..cut]), None, "prefix of len {cut}");
         }
+    }
+
+    #[test]
+    fn staged_removal_applies_at_sync() {
+        let mut s = DurableStore::new();
+        s.write("seg/1", b"old segment");
+        assert!(s.sync());
+        s.remove("seg/1");
+        s.write("seg/2", b"compacted segment");
+        assert!(s.sync());
+        assert_eq!(s.read("seg/1"), None);
+        assert_eq!(s.durable_len(), 1);
+        assert_eq!(s.read("seg/2").unwrap(), b"compacted segment");
+    }
+
+    #[test]
+    fn unsynced_removal_is_lost_on_crash() {
+        let mut s = DurableStore::new();
+        s.write("seg/1", b"old segment");
+        assert!(s.sync());
+        s.remove("seg/1");
+        s.crash();
+        assert_eq!(s.read("seg/1").unwrap(), b"old segment");
+    }
+
+    #[test]
+    fn durable_bytes_tracks_live_records() {
+        let mut s = DurableStore::new();
+        s.write("a", b"12345");
+        assert!(s.sync());
+        assert_eq!(s.durable_bytes(), 5 + FRAME_OVERHEAD as u64);
+        s.remove("a");
+        assert!(s.sync());
+        assert_eq!(s.durable_bytes(), 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
+use stellar_crypto::codec::Decode;
 use stellar_crypto::sign::KeyPair;
 use stellar_crypto::Hash256;
 use stellar_herder::validator::{Outputs, Validator};
@@ -61,6 +62,11 @@ pub struct SimConfig {
     /// crash-restarted node amnesiac — the configuration the chaos layer
     /// uses to demonstrate restart equivocation.
     pub persistence: bool,
+    /// Which ledger storage backend every validator runs on: the
+    /// original in-RAM maps or the log-structured disk store. Defaults
+    /// from `STELLAR_STORE_BACKEND` so an entire test run can be flipped
+    /// onto the disk backend without touching code.
+    pub store_backend: stellar_store::BackendKind,
 }
 
 /// Pull-mode flood tick cadence: adverts batch for up to this long, and
@@ -96,6 +102,7 @@ impl Default for SimConfig {
             proc_cost_us_per_msg: 200,
             flood_mode: FloodMode::Push,
             persistence: true,
+            store_backend: stellar_store::BackendKind::from_env(),
         }
     }
 }
@@ -256,11 +263,19 @@ impl Simulation {
             .collect();
         let mut validators = BTreeMap::new();
         for (id, qset) in &built.qsets {
+            // Each validator gets its own store on the configured
+            // backend: `Mem` clones the genesis template, `Disk` streams
+            // it onto a fresh simulated data disk.
+            let node_store = stellar_store::open(
+                &store,
+                cfg.store_backend,
+                &stellar_store::DiskConfig::default(),
+            );
             let mut v = Validator::new(
                 *id,
                 validator_keys(*id),
                 qset.clone(),
-                store.clone(),
+                node_store,
                 registry.clone(),
             );
             v.herder.header.params.max_tx_set_ops = cfg.max_tx_set_ops;
@@ -448,18 +463,63 @@ impl Simulation {
         let herder = old.herder;
         let own_archive = herder.archive;
         let mut disk = herder.persist;
+        let data_disk = herder.store.disk();
         // Power loss: whatever was written but not fsynced is gone, and
         // an injected torn-write fault may corrupt a pending record.
+        // Both devices take the crash — the write-ahead log and (on the
+        // disk backend) the ledger data disk.
         disk.crash();
-        let mut v = Validator::new(
-            id,
-            validator_keys(id),
-            qset,
-            self.genesis.clone(),
-            self.registry.clone(),
-        );
+        if let Some(dd) = &data_disk {
+            dd.borrow_mut().crash();
+        }
+        // Fast recovery path (disk backend only): rebuild the ledger
+        // store and bucket list straight off the durable data disk,
+        // cross-checked against the write-ahead LCL record. Any
+        // discrepancy — torn manifest, sequence split across the two
+        // disks, wrong snapshot hash — falls back to genesis replay.
+        let lcl = disk
+            .read(stellar_herder::herder::LCL_KEY)
+            .and_then(|b| stellar_herder::herder::LclRecord::from_bytes(&b).ok());
+        let recovered = match (&data_disk, &lcl) {
+            (Some(dd), Some(lcl)) => stellar_store::recover_node(
+                dd.clone(),
+                &lcl.header,
+                &lcl.bucket_hashes,
+                &stellar_store::DiskConfig::default(),
+            )
+            .map(|(store, buckets)| (store, buckets, lcl.header.clone())),
+            _ => None,
+        };
+        let durable_recovery = recovered.is_some();
+        let mut v = match recovered {
+            Some((store, buckets, header)) => Validator::from_recovered(
+                id,
+                validator_keys(id),
+                qset,
+                store,
+                buckets,
+                header,
+                self.registry.clone(),
+            ),
+            None => Validator::new(
+                id,
+                validator_keys(id),
+                qset,
+                // The data disk was unusable (or the node runs in RAM):
+                // re-image it and replay from genesis.
+                stellar_store::open(
+                    &self.genesis,
+                    self.cfg.store_backend,
+                    &stellar_store::DiskConfig::default(),
+                ),
+                self.registry.clone(),
+            ),
+        };
         v.herder.header.params.max_tx_set_ops = self.cfg.max_tx_set_ops;
         v.herder.persist = disk;
+        if durable_recovery {
+            v.herder.telemetry.registry.inc("recovery.durable_store");
+        }
         v.set_time_ms(self.now);
         // Replay our own archive (archives model external durable
         // storage — they survive the reboot in both persistence modes).
@@ -601,6 +661,12 @@ impl Simulation {
     pub fn fail_next_fsyncs(&mut self, id: NodeId, n: u32) {
         if let Some(v) = self.validators.get_mut(&id) {
             v.herder.persist.fail_next_fsyncs(n);
+            // On the disk backend the fault hits the data disk too: a
+            // failed close flush keeps the delta dirty in the write-back
+            // cache and retries at the next close.
+            if let Some(dd) = v.herder.store.disk() {
+                dd.borrow_mut().fail_next_fsyncs(n);
+            }
         }
     }
 
@@ -610,6 +676,11 @@ impl Simulation {
     pub fn tear_next_crash(&mut self, id: NodeId) {
         if let Some(v) = self.validators.get_mut(&id) {
             v.herder.persist.tear_next_crash();
+            // A torn data-disk record is caught by the segment/manifest
+            // checksums; recovery then refuses the fast path.
+            if let Some(dd) = v.herder.store.disk() {
+                dd.borrow_mut().tear_next_crash();
+            }
         }
     }
 
@@ -1333,6 +1404,24 @@ impl Simulation {
                     .set("recovery_us", self.recovery_us)
                     .set("persistence", self.cfg.persistence),
             )
+            .set("store", {
+                let stats = observer.herder.store.io_stats();
+                Json::obj()
+                    .set("backend", observer.herder.store.backend_name())
+                    .set(
+                        "resident_bytes",
+                        observer.herder.store.resident_bytes()
+                            + observer.herder.buckets.resident_bytes(),
+                    )
+                    .set("disk_bytes", stats.disk_bytes)
+                    .set("cache_hits", stats.cache_hits)
+                    .set("cache_misses", stats.cache_misses)
+                    .set("cache_evicts", stats.cache_evicts)
+                    .set("bytes_written", stats.bytes_written)
+                    .set("fsyncs", stats.fsyncs)
+                    .set("segments", stats.segments)
+                    .set("compactions", stats.compactions)
+            })
     }
 
     /// Crash-restarts performed this run (recovery telemetry).
@@ -1725,6 +1814,124 @@ mod crash_tests {
         assert!(rec
             .get("persistence")
             .is_some_and(|j| matches!(j, stellar_telemetry::Json::Bool(true))));
+    }
+
+    #[test]
+    fn disk_backend_closes_identical_ledgers() {
+        // The consensus-critical invariant of the storage subsystem: a
+        // network on the disk backend externalizes byte-identical headers
+        // to the same network on the RAM backend.
+        let cfg = SimConfig {
+            scenario: Scenario::ControlledMesh { n_validators: 4 },
+            n_accounts: 200,
+            tx_rate: 10.0,
+            target_ledgers: 5,
+            seed: 77,
+            max_sim_time_ms: 120_000,
+            ..SimConfig::default()
+        };
+        let mem = Simulation::new(SimConfig {
+            store_backend: stellar_store::BackendKind::Mem,
+            ..cfg.clone()
+        });
+        let disk = Simulation::new(SimConfig {
+            store_backend: stellar_store::BackendKind::Disk,
+            ..cfg
+        });
+        let (mut mem, mut disk) = (mem, disk);
+        let mem_report = mem.run();
+        let disk_report = disk.run();
+        assert_eq!(mem_report.ledgers.len(), disk_report.ledgers.len());
+        let mem_hashes: BTreeMap<u64, Hash256> = mem.header_hashes(NodeId(0)).into_iter().collect();
+        let disk_hashes: BTreeMap<u64, Hash256> =
+            disk.header_hashes(NodeId(0)).into_iter().collect();
+        assert_eq!(mem_hashes, disk_hashes, "backends must not diverge");
+        // The disk run actually ran on disk and reported its I/O.
+        let store = disk_report.telemetry.get("store").expect("store section");
+        assert!(store
+            .get("backend")
+            .is_some_and(|j| matches!(j, stellar_telemetry::Json::Str(s) if s == "disk")));
+        assert!(store
+            .get("disk_bytes")
+            .and_then(stellar_telemetry::Json::as_f64)
+            .is_some_and(|b| b > 0.0));
+    }
+
+    #[test]
+    fn disk_backend_restart_recovers_from_data_disk() {
+        // On the disk backend a crash-restart takes the fast path:
+        // ledger store + bucket list rebuilt from the durable data disk
+        // and cross-checked against the write-ahead LCL record — no
+        // genesis replay — then the node rejoins without divergence.
+        let mut sim = Simulation::new(SimConfig {
+            scenario: Scenario::ControlledMesh { n_validators: 4 },
+            n_accounts: 50,
+            tx_rate: 5.0,
+            target_ledgers: 6,
+            seed: 91,
+            max_sim_time_ms: 120_000,
+            store_backend: stellar_store::BackendKind::Disk,
+            ..SimConfig::default()
+        });
+        while sim.now_ms() < 12_300 && sim.step() {}
+        sim.restart(NodeId(2));
+        assert_eq!(
+            sim.validator(NodeId(2))
+                .herder
+                .telemetry
+                .registry
+                .counter("recovery.durable_store"),
+            1,
+            "restart must recover from the durable data disk"
+        );
+        let report = sim.run();
+        assert!(report.ledgers.len() >= 6);
+        assert!(
+            sim.validator(NodeId(2)).ledger_seq() >= 7,
+            "recovered node keeps closing ledgers: {}",
+            sim.validator(NodeId(2)).ledger_seq()
+        );
+        let h0: BTreeMap<u64, Hash256> = sim.header_hashes(NodeId(0)).into_iter().collect();
+        for (seq, hash) in sim.header_hashes(NodeId(2)) {
+            if let Some(expected) = h0.get(&seq) {
+                assert_eq!(hash, *expected, "header divergence at seq {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn disk_backend_restart_with_torn_data_disk_falls_back() {
+        // A torn data-disk write is caught by the checksums: the fast
+        // path refuses and the node re-images from genesis + archive —
+        // slower, but never corrupt, and it still rejoins cleanly.
+        let mut sim = Simulation::new(SimConfig {
+            scenario: Scenario::ControlledMesh { n_validators: 4 },
+            n_accounts: 30,
+            target_ledgers: 5,
+            seed: 92,
+            max_sim_time_ms: 120_000,
+            store_backend: stellar_store::BackendKind::Disk,
+            ..SimConfig::default()
+        });
+        while sim.now_ms() < 12_300 && sim.step() {}
+        // Arm a device fault so unsynced bytes exist, then tear them.
+        sim.fail_next_fsyncs(NodeId(1), 1);
+        while sim.now_ms() < 17_300 && sim.step() {}
+        sim.tear_next_crash(NodeId(1));
+        sim.restart(NodeId(1));
+        let report = sim.run();
+        assert!(report.ledgers.len() >= 5);
+        assert!(
+            sim.validator(NodeId(1)).ledger_seq() >= 6,
+            "fallback recovery still rejoins: {}",
+            sim.validator(NodeId(1)).ledger_seq()
+        );
+        let h0: BTreeMap<u64, Hash256> = sim.header_hashes(NodeId(0)).into_iter().collect();
+        for (seq, hash) in sim.header_hashes(NodeId(1)) {
+            if let Some(expected) = h0.get(&seq) {
+                assert_eq!(hash, *expected, "header divergence at seq {seq}");
+            }
+        }
     }
 
     #[test]

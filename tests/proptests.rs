@@ -510,7 +510,7 @@ proptest! {
             }
         }
         // The id-ordered iterator sees exactly the mirrored offers.
-        prop_assert_eq!(store.offers().count(), mirror.len());
+        prop_assert_eq!(store.offers().len(), mirror.len());
     }
 }
 
