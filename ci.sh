@@ -49,4 +49,11 @@ BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_sto
 grep -q '"schema": "stellar-bench/v1"' "$SMOKE_DIR/BENCH_store.json"
 grep -q '"schema": "stellar-bench/v1"' BENCH_store_baseline.json  # committed full sweep
 
+echo "==> lifecycle tracing smoke (exp_trace --quick on both store backends; in-run gates: twin-run byte-identical trace rows, pipeline coverage, sampled-tracing overhead ≤5% closes/s vs tracing-off)"
+BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_trace -- --quick
+grep -q '"schema": "stellar-bench/v1"' "$SMOKE_DIR/BENCH_trace.json"
+BENCH_OUT_DIR="$SMOKE_DIR" STELLAR_STORE_BACKEND=disk cargo run --release -q -p stellar-bench --bin exp_trace -- --quick
+grep -q '"schema": "stellar-bench/v1"' "$SMOKE_DIR/BENCH_trace.json"
+grep -q '"schema": "stellar-bench/v1"' BENCH_trace.json  # committed full sweep
+
 echo "CI green."

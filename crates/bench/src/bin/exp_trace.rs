@@ -1,0 +1,329 @@
+//! E18 — end-to-end transaction lifecycle tracing: phase decomposition,
+//! determinism, and overhead.
+//!
+//! The paper's headline number (§7.3, Fig. 7) is the ~5 s from payment
+//! submission to ledger apply. This experiment reconstructs that number
+//! from the distributed-tracing subsystem: every sampled transaction's
+//! cross-node spans are folded into a per-phase latency decomposition
+//! (submit → queue admit → nominate → externalize → apply → visible)
+//! with p50/p99 per phase and the Fig. 7-style submit-to-apply CDF.
+//!
+//! Three properties are asserted in-run:
+//!
+//! 1. **coverage** — every applied transaction completes the whole
+//!    pipeline (submit-to-apply samples == applied count);
+//! 2. **determinism** — a same-seed twin run renders byte-identical
+//!    per-transaction trace rows (trace timestamps are simulated-ms
+//!    only, so traces replay exactly);
+//! 3. **overhead** — sampled tracing (1-in-4) costs at most 5% of
+//!    closes/s against tracing disabled, wall-clock best-of-N over
+//!    alternating off/sampled runs.
+//!
+//! The committed `BENCH_trace.json` doubles as the regression baseline:
+//! reruns fail if the schema drifts or the flagship submit-to-apply
+//! median grows more than 10% over the committed figure.
+//!
+//! ```sh
+//! cargo run --release -p stellar-bench --bin exp_trace [-- --quick]
+//! ```
+
+use std::time::Instant;
+use stellar_bench::{print_table, write_bench_json};
+use stellar_sim::scenario::Scenario;
+use stellar_sim::tracing::{rows_to_json, trace_summary_json};
+use stellar_sim::{phase_stats, SimConfig, Simulation};
+use stellar_telemetry::Json;
+
+/// One sweep point: a tiered public-network topology under payment load.
+#[derive(Clone, Copy)]
+struct Config {
+    n_orgs: u32,
+    validators_per_org: u32,
+    n_watchers: u32,
+    tx_rate: f64,
+    target_ledgers: u64,
+    /// The acceptance-gated flagship (36 nodes, §7.3-level load).
+    flagship: bool,
+}
+
+impl Config {
+    fn nodes(&self) -> u32 {
+        self.n_orgs * self.validators_per_org + self.n_watchers
+    }
+
+    fn sim(&self, trace_sample_every: u64) -> SimConfig {
+        SimConfig {
+            scenario: Scenario::PublicNetwork {
+                n_orgs: self.n_orgs,
+                validators_per_org: self.validators_per_org,
+                n_watchers: self.n_watchers,
+            },
+            n_accounts: 2_000,
+            tx_rate: self.tx_rate,
+            target_ledgers: self.target_ledgers,
+            seed: 0xE18,
+            trace_sample_every,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Runs one simulation, returning the report and the wall-clock seconds
+/// the run took (the overhead gate's raw material).
+fn run_once(cfg: &Config, sample: u64) -> (stellar_sim::SimReport, f64) {
+    let mut sim = Simulation::new(cfg.sim(sample));
+    let t0 = Instant::now();
+    let report = sim.run();
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        report.ledgers.len() as u64 >= cfg.target_ledgers,
+        "run closed only {} of {} ledgers",
+        report.ledgers.len(),
+        cfg.target_ledgers
+    );
+    (report, wall)
+}
+
+/// Best-of-N wall-clock seconds for the tracing-off and sampled
+/// settings, measured in *alternating* pairs after a warmup run:
+/// alternation cancels slow container drift, best-of damps scheduler
+/// noise, and the warmup pays the one-time page-in cost outside the
+/// timed window.
+fn overhead_pair(cfg: &Config, iters: u32) -> (f64, f64) {
+    run_once(cfg, 0); // warmup, untimed
+    let (mut best_off, mut best_sampled) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..iters {
+        best_off = best_off.min(run_once(cfg, 0).1);
+        best_sampled = best_sampled.min(run_once(cfg, 4).1);
+    }
+    (best_off, best_sampled)
+}
+
+/// Loads the committed previous results, if present (they double as the
+/// regression baseline).
+fn load_committed() -> Option<Json> {
+    let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    for candidate in [
+        std::path::Path::new(&dir).join("BENCH_trace.json"),
+        std::path::PathBuf::from("BENCH_trace.json"),
+    ] {
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            if let Ok(doc) = Json::parse(&text) {
+                return Some(doc);
+            }
+        }
+    }
+    None
+}
+
+/// Committed submit-to-apply median for a config, if recorded.
+fn committed_s2a_p50(doc: &Json, cfg: &Config) -> Option<f64> {
+    for r in doc.get("results")?.as_arr()? {
+        let matches = |key: &str, v: f64| r.get(key).and_then(Json::as_f64) == Some(v);
+        if matches("n_orgs", cfg.n_orgs as f64)
+            && matches("validators_per_org", cfg.validators_per_org as f64)
+            && matches("n_watchers", cfg.n_watchers as f64)
+            && matches("tx_rate", cfg.tx_rate)
+        {
+            return r.get("submit_to_apply_p50_ms").and_then(Json::as_f64);
+        }
+    }
+    None
+}
+
+/// Validates the committed document's shape before using it as a gate.
+fn check_schema(doc: &Json) {
+    let schema = doc.get("schema").and_then(Json::as_str);
+    assert_eq!(
+        schema,
+        Some("stellar-bench/v1"),
+        "committed BENCH_trace.json schema mismatch: {schema:?}"
+    );
+    let name = doc.get("name").and_then(Json::as_str);
+    assert_eq!(
+        name,
+        Some("trace"),
+        "committed BENCH_trace.json is not the trace document"
+    );
+    assert!(
+        doc.get("results").and_then(Json::as_arr).is_some(),
+        "committed BENCH_trace.json has no results array"
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The quick config is the full sweep's smallest point, so the
+    // committed baseline covers it and CI gets a real regression gate.
+    let small = Config {
+        n_orgs: 3,
+        validators_per_org: 3,
+        n_watchers: 6,
+        tx_rate: 2.0,
+        target_ledgers: 6,
+        flagship: false,
+    };
+    let configs: Vec<Config> = if quick {
+        vec![small]
+    } else {
+        vec![
+            small,
+            // Flagship: the 36-node tiered topology under real payment
+            // load — the Fig. 7 setting whose phase decomposition is
+            // the acceptance artifact.
+            Config {
+                n_orgs: 4,
+                validators_per_org: 3,
+                n_watchers: 24,
+                tx_rate: 20.0,
+                target_ledgers: 8,
+                flagship: true,
+            },
+        ]
+    };
+
+    let committed = load_committed();
+    if let Some(doc) = &committed {
+        check_schema(doc);
+    }
+
+    println!("=== E18: transaction lifecycle tracing (submit→apply decomposition) ===\n");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for cfg in &configs {
+        eprintln!(
+            "running {} nodes ({} orgs × {} validators + {} watchers) at {} tx/s, traced twin + overhead …",
+            cfg.nodes(),
+            cfg.n_orgs,
+            cfg.validators_per_org,
+            cfg.n_watchers,
+            cfg.tx_rate
+        );
+
+        // Fully-traced run plus a same-seed twin: trace timestamps are
+        // simulated-ms only, so the rendered rows must match byte for
+        // byte.
+        let (report, _) = run_once(cfg, 1);
+        let (twin, _) = run_once(cfg, 1);
+        let rendered = rows_to_json(&report.tx_traces).render();
+        assert_eq!(
+            rendered,
+            rows_to_json(&twin.tx_traces).render(),
+            "same-seed twin runs must render identical trace rows"
+        );
+
+        let stats = phase_stats(&report.tx_traces);
+        let s2a = stats
+            .iter()
+            .find(|p| p.phase == "submit_to_apply")
+            .expect("submit_to_apply stats");
+        let applied = report
+            .tx_traces
+            .iter()
+            .filter(|r| r.applied_ms.is_some())
+            .count() as u64;
+        assert!(applied > 0, "load must apply transactions");
+        assert_eq!(
+            s2a.samples, applied,
+            "every applied transaction must complete the whole pipeline"
+        );
+        assert!(
+            report.health.is_empty(),
+            "a clean run must raise no watchdog alerts: {:?}",
+            report.health
+        );
+
+        // Overhead: sampled tracing (1-in-4) vs tracing off. The gate is
+        // the acceptance bound: ≤5% closes/s regression. Quick runs are
+        // short (sub-second), so they take more alternating pairs to
+        // push timing noise below the bound.
+        let iters = if quick { 5 } else { 3 };
+        let (wall_off, wall_sampled) = overhead_pair(cfg, iters);
+        let ledgers = report.ledgers.len() as f64;
+        let off = ledgers / wall_off.max(1e-9);
+        let sampled = ledgers / wall_sampled.max(1e-9);
+        let overhead = 1.0 - sampled / off;
+        assert!(
+            sampled >= off * 0.95,
+            "sampled tracing cost {:.1}% of closes/s (bound: 5%): {:.1} vs {:.1} closes/s",
+            overhead * 100.0,
+            sampled,
+            off
+        );
+
+        if let Some(doc) = &committed {
+            if let Some(base) = committed_s2a_p50(doc, cfg) {
+                assert!(
+                    s2a.p50_ms <= base * 1.10,
+                    "submit-to-apply median regressed: {:.0} ms vs committed {:.0} ms",
+                    s2a.p50_ms,
+                    base
+                );
+            }
+        }
+
+        let summary = trace_summary_json(&report.tx_traces, 0);
+        let flood_lag_p50 = summary
+            .get("flood")
+            .and_then(|f| f.get("lag_p50_ms"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        rows.push(vec![
+            format!("{}", cfg.nodes()),
+            format!("{:.1}", cfg.tx_rate),
+            format!("{}", report.ledgers.len()),
+            format!("{}", report.tx_traces.len()),
+            format!("{:.0}", s2a.p50_ms),
+            format!("{:.0}", s2a.p99_ms),
+            format!("{:.0}", flood_lag_p50),
+            format!("{:+.1}%", overhead * 100.0),
+        ]);
+        results.push(
+            Json::obj()
+                .set("n_orgs", u64::from(cfg.n_orgs))
+                .set("validators_per_org", u64::from(cfg.validators_per_org))
+                .set("n_watchers", u64::from(cfg.n_watchers))
+                .set("nodes", u64::from(cfg.nodes()))
+                .set("tx_rate", cfg.tx_rate)
+                .set("target_ledgers", cfg.target_ledgers)
+                .set("ledgers", report.ledgers.len() as u64)
+                .set("traced", report.tx_traces.len() as u64)
+                .set("applied", applied)
+                .set("submit_to_apply_p50_ms", s2a.p50_ms)
+                .set("submit_to_apply_p99_ms", s2a.p99_ms)
+                .set("trace", summary)
+                .set("closes_per_s_off", off)
+                .set("closes_per_s_sampled", sampled)
+                .set("overhead_frac", overhead)
+                .set("deterministic", true)
+                .set("flagship", cfg.flagship),
+        );
+    }
+    print_table(
+        &[
+            "nodes",
+            "tx/s",
+            "ledgers",
+            "traced",
+            "s→a p50",
+            "s→a p99",
+            "flood p50",
+            "overhead",
+        ],
+        &rows,
+    );
+    println!(
+        "\n(phase latencies are simulated-ms and fully deterministic; the \
+         overhead column is wall-clock, alternating best-of-{} each side; \
+         committed BENCH_trace.json gates schema + submit-to-apply \
+         regressions)",
+        if quick { 5 } else { 3 }
+    );
+
+    let doc = Json::obj()
+        .set("schema", "stellar-bench/v1")
+        .set("name", "trace")
+        .set("quick", quick)
+        .set("results", Json::Arr(results));
+    write_bench_json("trace", &doc).expect("write BENCH_trace.json");
+}

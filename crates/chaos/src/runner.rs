@@ -21,7 +21,7 @@ use crate::schedule::{FaultAction, FaultSchedule};
 use std::collections::BTreeSet;
 use stellar_scp::NodeId;
 use stellar_sim::simulation::{validator_keys, TraceEntry};
-use stellar_sim::{SimConfig, Simulation};
+use stellar_sim::{HealthAlert, SimConfig, Simulation};
 
 /// Configuration of a chaos experiment.
 pub struct ChaosConfig {
@@ -77,6 +77,18 @@ pub struct ChaosReport {
     /// the failure: which timers armed and fired, which envelopes
     /// arrived, how far balloting got on the stalled slot.
     pub flight_recording: String,
+    /// Health-watchdog alerts raised during the run — stuck slots, slow
+    /// closes — recorded whether or not any invariant broke. A chaos run
+    /// that stays *safe* but loses health shows up here, not in
+    /// `violations`.
+    pub health: Vec<HealthAlert>,
+    /// Merged cross-node causal traces of every sampled transaction that
+    /// touched a violated slot (nominated into, externalized by, or
+    /// applied in it), captured only when the run produced violations.
+    /// Where the flight recording tells the per-slot consensus story,
+    /// this tells the per-transaction story: each hop of the flood, each
+    /// demand round, and which nodes carried the transaction how far.
+    pub causal_traces: String,
 }
 
 impl ChaosReport {
@@ -158,6 +170,35 @@ impl ChaosRun {
         for slot in slots {
             out.push_str(&rec.timeline(slot));
             out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the causal traces of every transaction whose lifecycle
+    /// touched a slot named by a violation. A liveness stall names no
+    /// slot, so it attaches the traces of every transaction still in
+    /// flight instead — the pipeline state of exactly the load the
+    /// stalled slot was supposed to carry.
+    pub fn causal_traces_for_violations(&self, violations: &[Violation]) -> String {
+        let mut slots: BTreeSet<u64> = BTreeSet::new();
+        let mut pending = false;
+        for v in violations {
+            match v {
+                Violation::ValueDivergence { slot, .. } => {
+                    slots.insert(*slot);
+                }
+                Violation::HeaderDivergence { seq, .. } => {
+                    slots.insert(*seq);
+                }
+                Violation::LivenessStall { .. } => pending = true,
+            }
+        }
+        let mut out = String::new();
+        for slot in slots {
+            out.push_str(&self.sim.causal_traces_for_slot(slot));
+        }
+        if pending {
+            out.push_str(&self.sim.causal_traces_pending());
         }
         out
     }
@@ -248,10 +289,13 @@ impl ChaosRun {
         let intact = self.monitor.intact(&self.sim);
         let injections = self.adversaries.iter().map(Adversary::injected).sum();
         let violations = self.monitor.violations().to_vec();
-        let flight_recording = if violations.is_empty() {
-            String::new()
+        let (flight_recording, causal_traces) = if violations.is_empty() {
+            (String::new(), String::new())
         } else {
-            self.flight_recording()
+            (
+                self.flight_recording(),
+                self.causal_traces_for_violations(&violations),
+            )
         };
         ChaosReport {
             violations,
@@ -261,6 +305,8 @@ impl ChaosRun {
             injections,
             sim_time_ms: self.sim.now_ms(),
             flight_recording,
+            health: self.sim.watchdog().alerts().to_vec(),
+            causal_traces,
         }
     }
 }

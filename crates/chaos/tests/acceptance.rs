@@ -167,6 +167,8 @@ fn total_message_loss_is_reported_as_a_liveness_stall() {
     let report = ChaosRun::new(ChaosConfig {
         sim: SimConfig {
             scenario: Scenario::ControlledMesh { n_validators: 4 },
+            n_accounts: 50,
+            tx_rate: 2.0,
             target_ledgers: 8,
             seed: 3,
             max_sim_time_ms: 90_000,
@@ -208,6 +210,26 @@ fn total_message_loss_is_reported_as_a_liveness_stall() {
         "the stalled slot's timeline must show timer activity:\n{}",
         report.flight_recording
     );
+    // The stall also ships causal traces of the in-flight transactions:
+    // each one shows submission (and, before the faults landed, flood
+    // hops) with no apply — the per-transaction view of the stall.
+    assert!(
+        report.causal_traces.contains("trace "),
+        "a stall must attach in-flight transaction traces:\n{}",
+        report.causal_traces
+    );
+    assert!(
+        report.causal_traces.contains("submit"),
+        "in-flight traces start at submission:\n{}",
+        report.causal_traces
+    );
+    // And the health watchdog flags the stuck nodes independently of the
+    // invariant monitor.
+    assert!(
+        !report.health.is_empty(),
+        "nodes stuck for the whole back half of the run must raise \
+         stuck-slot alerts"
+    );
 }
 
 /// Clean runs stay lean: no violations, no flight recording attached.
@@ -220,6 +242,12 @@ fn clean_run_attaches_no_flight_recording() {
     .run();
     assert!(report.is_clean(), "{:?}", report.violations);
     assert!(report.flight_recording.is_empty());
+    assert!(report.causal_traces.is_empty());
+    assert!(
+        report.health.is_empty(),
+        "a healthy run raises no watchdog alerts: {:?}",
+        report.health
+    );
 }
 
 /// A partition into two non-quorum halves declared to the monitor makes

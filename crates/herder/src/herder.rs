@@ -27,7 +27,7 @@ use stellar_persist::DurableStore;
 use stellar_scp::driver::{Driver, ScpEvent, TimerKind, Validity};
 use stellar_scp::slot::SlotSnapshot;
 use stellar_scp::{Envelope, NodeId, SlotIndex, Value};
-use stellar_telemetry::{NodeTelemetry, TraceKind};
+use stellar_telemetry::{NodeTelemetry, SpanPhase, TraceKind};
 
 /// Durable-store key for the SCP slot snapshots (written write-ahead of
 /// every outbound envelope).
@@ -280,6 +280,16 @@ impl Herder {
                 .collect();
         }
         self.known_tx_sets.insert(set.hash(), set.clone());
+        // Tracing: every transaction in the proposal reached the
+        // nominated-in-txset milestone on this node.
+        if self.telemetry.spans.enabled() {
+            let slot = self.current_slot();
+            let t = self.clock_ms;
+            for tx in &set.txs {
+                self.telemetry
+                    .span(tx.hash().prefix_u64(), t, SpanPhase::Nominated { slot });
+            }
+        }
         (value, set)
     }
 
@@ -342,6 +352,14 @@ impl Herder {
             self.stalled_externalize.push((slot, value.clone()));
             return false;
         };
+        // Tracing: capture the member trace ids up front (the set is
+        // moved through the close path and reinserted below); the close
+        // milestones are stamped once the close is durable.
+        let traced: Vec<u64> = if self.telemetry.spans.enabled() {
+            set.txs.iter().map(|tx| tx.hash().prefix_u64()).collect()
+        } else {
+            Vec::new()
+        };
         let start = std::time::Instant::now();
         let mut params = self.header.params;
         for u in &value.upgrades {
@@ -396,6 +414,19 @@ impl Herder {
         // never vouches for state the data disk has not made durable.
         self.flush_store();
         self.persist_lcl();
+        // Per-transaction lifecycle milestones, in pipeline order. They
+        // share one simulated-ms timestamp (the close is atomic in sim
+        // time); wall-clock apply cost lives in `ledger.apply_us`.
+        let t = self.clock_ms;
+        for trace in traced {
+            self.telemetry
+                .span(trace, t, SpanPhase::Externalized { slot });
+            self.telemetry.span(trace, t, SpanPhase::Applied { slot });
+            self.telemetry.span(trace, t, SpanPhase::Archived { slot });
+            self.telemetry.span(trace, t, SpanPhase::Flushed { slot });
+            self.telemetry
+                .span(trace, t, SpanPhase::HorizonVisible { slot });
+        }
         self.try_apply_stalled();
         true
     }

@@ -24,6 +24,19 @@ use stellar_ledger::tx::TransactionEnvelope;
 use stellar_ledger::txset::TransactionSet;
 use stellar_scp::driver::TimerKind;
 use stellar_scp::{Envelope, NodeId, QuorumSet, ScpNode, SlotIndex};
+use stellar_telemetry::SpanPhase;
+
+/// Static reject label for the queue-reject span (no allocation on the
+/// submission hot path).
+fn queue_reject_reason(e: &QueueError) -> &'static str {
+    match e {
+        QueueError::FeeTooLow => "fee_too_low",
+        QueueError::UnknownSource => "unknown_source",
+        QueueError::StaleSequence => "stale_sequence",
+        QueueError::BadSignature => "bad_signature",
+        QueueError::Duplicate => "duplicate",
+    }
+}
 
 /// Everything a validator wants the network layer to do after a step.
 #[derive(Debug, Default)]
@@ -104,11 +117,30 @@ impl Validator {
         self.herder.clock_ms = now_ms;
     }
 
-    /// Submits a client transaction to the pending queue.
+    /// Submits a client transaction to the pending queue, recording the
+    /// admit/reject lifecycle span (every node runs admission — the
+    /// originating one at submit time, relaying ones on flood receipt).
     pub fn submit_transaction(&mut self, env: TransactionEnvelope) -> Result<(), QueueError> {
-        self.herder
+        let trace = if self.herder.telemetry.spans.enabled() {
+            Some(env.hash().prefix_u64())
+        } else {
+            None
+        };
+        let result = self
+            .herder
             .queue
-            .submit(&self.herder.store, env, &mut self.herder.sig_cache)
+            .submit(&self.herder.store, env, &mut self.herder.sig_cache);
+        if let Some(trace) = trace {
+            let t = self.herder.clock_ms;
+            let phase = match &result {
+                Ok(()) => SpanPhase::QueueAdmit,
+                Err(e) => SpanPhase::QueueReject {
+                    reason: queue_reject_reason(e),
+                },
+            };
+            self.herder.telemetry.span(trace, t, phase);
+        }
+        result
     }
 
     /// Kicks off consensus for the next ledger: assembles the proposal,

@@ -11,6 +11,7 @@ use stellar_ledger::asset::Asset;
 use stellar_ledger::entry::AccountId;
 use stellar_ledger::pathfind::{find_best_path, quote_path};
 use stellar_ledger::tx::TransactionEnvelope;
+use stellar_telemetry::SpanEvent;
 
 /// A client-facing account summary (balances across all assets).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,6 +56,23 @@ impl<T> Page<T> {
             limit,
         }
     }
+}
+
+/// An archive hit from [`Horizon::find_transaction`]: where the
+/// transaction landed, plus — when this node's span store still holds
+/// them — its per-phase lifecycle timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxRecord {
+    /// The ledger sequence that confirmed the transaction.
+    pub ledger_seq: u64,
+    /// The confirmed envelope.
+    pub envelope: TransactionEnvelope,
+    /// Node-local lifecycle spans (submit, queue admit, flood hops,
+    /// nomination, externalize, apply, archive, horizon-visible), in
+    /// causal order. `None` when the transaction was sampled out of
+    /// tracing or its spans have been evicted from the bounded buffer —
+    /// the archive answer is unaffected either way.
+    pub timeline: Option<Vec<SpanEvent>>,
 }
 
 /// The horizon query/submission facade over one validator.
@@ -156,23 +174,29 @@ impl Horizon {
     /// Finds the ledger a transaction hash was confirmed in (linear scan
     /// of the archive; production horizon indexes this in its DB). Each
     /// call scans at most `limit` ledgers starting at `cursor` (default:
-    /// the first post-genesis ledger). A hit yields one
-    /// `(ledger_seq, envelope)` record and ends the scan; an empty page
-    /// with a cursor means "not found yet, resume here".
+    /// the first post-genesis ledger). A hit yields one [`TxRecord`] —
+    /// including the node-local lifecycle timeline when the trace store
+    /// still holds it — and ends the scan; an empty page with a cursor
+    /// means "not found yet, resume here".
     pub fn find_transaction(
         herder: &Herder,
         tx_hash: stellar_crypto::Hash256,
         cursor: Option<u64>,
         limit: usize,
-    ) -> Page<(u64, TransactionEnvelope)> {
+    ) -> Page<TxRecord> {
         let start = cursor.unwrap_or(2);
         let last = herder.header.ledger_seq;
         let mut seq = start;
         while seq <= last && seq - start < limit as u64 {
             if let Some(set) = herder.archive.tx_set(seq) {
                 if let Some(env) = set.txs.iter().find(|env| env.hash() == tx_hash) {
+                    let timeline = Horizon::transaction_timeline(herder, tx_hash, None, usize::MAX);
                     return Page {
-                        records: vec![(seq, env.clone())],
+                        records: vec![TxRecord {
+                            ledger_seq: seq,
+                            envelope: env.clone(),
+                            timeline: (!timeline.records.is_empty()).then_some(timeline.records),
+                        }],
                         cursor: None,
                         limit,
                     };
@@ -187,12 +211,34 @@ impl Horizon {
         }
     }
 
+    /// The per-phase lifecycle timeline of one transaction, from this
+    /// node's span store: every span whose trace id matches the
+    /// transaction's content hash, in causal order. Cursor-paged like
+    /// every other listing; a transaction that was sampled out, evicted,
+    /// or never seen here yields an empty, exhausted page.
+    pub fn transaction_timeline(
+        herder: &Herder,
+        tx_hash: stellar_crypto::Hash256,
+        cursor: Option<u64>,
+        limit: usize,
+    ) -> Page<SpanEvent> {
+        let mut spans: Vec<SpanEvent> = herder
+            .telemetry
+            .spans
+            .for_trace(tx_hash.prefix_u64())
+            .into_iter()
+            .cloned()
+            .collect();
+        spans.sort_by_key(|s| (s.t_ms, s.phase.order()));
+        Page::slice(spans, cursor, limit)
+    }
+
     /// Drives `find_transaction` to completion — the convenience most
     /// tests and examples want when the archive is small.
     pub fn find_transaction_exhaustive(
         herder: &Herder,
         tx_hash: stellar_crypto::Hash256,
-    ) -> Option<(u64, TransactionEnvelope)> {
+    ) -> Option<TxRecord> {
         let mut cursor = None;
         loop {
             let mut page = Horizon::find_transaction(herder, tx_hash, cursor, 64);
@@ -454,9 +500,9 @@ mod tests {
         assert!(h.apply_externalized(2, &value));
         let hit = Horizon::find_transaction(&h, tx_hash, None, 64);
         assert_eq!(hit.records.len(), 1);
-        let (seq, found) = &hit.records[0];
-        assert_eq!(*seq, 2);
-        assert_eq!(found.hash(), tx_hash);
+        let rec = &hit.records[0];
+        assert_eq!(rec.ledger_seq, 2);
+        assert_eq!(rec.envelope.hash(), tx_hash);
         assert_eq!(hit.cursor, None);
         let miss = Horizon::find_transaction(&h, stellar_crypto::Hash256::ZERO, None, 64);
         assert!(miss.records.is_empty());
@@ -471,7 +517,9 @@ mod tests {
         let step = Horizon::find_transaction(&h, tx_hash, None, 1);
         assert!(step.records.len() == 1 || step.cursor.is_some());
         assert_eq!(
-            Horizon::find_transaction_exhaustive(&h, tx_hash).unwrap().0,
+            Horizon::find_transaction_exhaustive(&h, tx_hash)
+                .unwrap()
+                .ledger_seq,
             2
         );
 
@@ -481,5 +529,77 @@ mod tests {
         assert_eq!(txs.records[0].hash(), tx_hash);
         let unarchived = Horizon::transactions_in_ledger(&h, 99, None, 10);
         assert!(unarchived.records.is_empty() && unarchived.cursor.is_none());
+    }
+
+    #[test]
+    fn find_transaction_attaches_the_lifecycle_timeline() {
+        // Same consensus-free close as above; the herder records the
+        // close-milestone spans (externalize → apply → archive → flush →
+        // horizon-visible) for every applied transaction, and horizon
+        // surfaces them on the archive hit.
+        let mut h = herder();
+        let env = stellar_ledger::tx::TransactionEnvelope::sign(
+            Transaction {
+                source: acct(1),
+                seq_num: 1,
+                fee: BASE_FEE,
+                time_bounds: None,
+                memo: Memo::None,
+                operations: vec![SourcedOperation {
+                    source: None,
+                    op: Operation::Payment {
+                        destination: acct(0),
+                        asset: Asset::Native,
+                        amount: 1,
+                    },
+                }],
+            },
+            &[&keys(1)],
+        );
+        let tx_hash = env.hash();
+        let set = stellar_ledger::txset::TransactionSet::assemble(h.header.hash(), vec![env], 100);
+        h.learn_tx_set(set.clone());
+        let value = stellar_herder::StellarValue::new(set.hash(), 100);
+        assert!(h.apply_externalized(2, &value));
+
+        let rec = Horizon::find_transaction_exhaustive(&h, tx_hash).unwrap();
+        let timeline = rec.timeline.expect("applied tx must carry a timeline");
+        let tags: Vec<&str> = timeline.iter().map(|s| s.phase.tag()).collect();
+        assert_eq!(
+            tags,
+            [
+                "externalized",
+                "applied",
+                "archived",
+                "flushed",
+                "horizon_visible"
+            ],
+            "close milestones in pipeline order"
+        );
+        assert!(timeline.iter().all(|s| s.trace == tx_hash.prefix_u64()));
+
+        // The standalone endpoint pages the same spans.
+        let first = Horizon::transaction_timeline(&h, tx_hash, None, 2);
+        assert_eq!(first.records.len(), 2);
+        assert_eq!(first.cursor, Some(2));
+        let rest = Horizon::transaction_timeline(&h, tx_hash, first.cursor, 8);
+        assert_eq!(rest.records.len(), 3);
+        assert_eq!(rest.cursor, None);
+        let stitched: Vec<SpanEvent> = first.records.into_iter().chain(rest.records).collect();
+        assert_eq!(stitched, timeline);
+
+        // Sampled-out tracing: no timeline, unchanged archive answer.
+        let mut h2 = herder();
+        h2.telemetry.spans.configure(0, 64);
+        let env2 = Horizon::transactions_in_ledger(&h, 2, None, 1).records[0].clone();
+        let set2 =
+            stellar_ledger::txset::TransactionSet::assemble(h2.header.hash(), vec![env2], 100);
+        h2.learn_tx_set(set2.clone());
+        assert!(h2.apply_externalized(2, &stellar_herder::StellarValue::new(set2.hash(), 100)));
+        let rec2 = Horizon::find_transaction_exhaustive(&h2, tx_hash).unwrap();
+        assert_eq!(rec2.ledger_seq, 2);
+        assert!(rec2.timeline.is_none(), "sampled out ⇒ no timeline");
+        let empty = Horizon::transaction_timeline(&h2, tx_hash, None, 8);
+        assert!(empty.records.is_empty() && empty.cursor.is_none());
     }
 }

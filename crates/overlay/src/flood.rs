@@ -53,6 +53,17 @@ impl FloodState {
         self.seen.contains(&id)
     }
 
+    /// When this node first saw `id`, if it is still remembered — the
+    /// per-node half of the tracing layer's flood-lag attribution (first
+    /// network-wide sight vs first local sight). Linear in the retained
+    /// window; callers use it per sampled trace, not per delivery.
+    pub fn seen_at(&self, id: Hash256) -> Option<u64> {
+        self.order
+            .iter()
+            .find(|(_, seen)| *seen == id)
+            .map(|(t, _)| *t)
+    }
+
     /// Clockless convenience for [`FloodState::record_at`]: stamps `id`
     /// with the last known time. Only for contexts with no clock at all
     /// (e.g. topology propagation analyses); anything driven by a
@@ -117,6 +128,19 @@ mod tests {
         assert!(f.record(id(1)));
         assert!(!f.record(id(1)));
         assert!(f.record(id(2)));
+    }
+
+    #[test]
+    fn seen_at_reports_first_sight_until_eviction() {
+        let mut f = FloodState::new(2);
+        f.record_at(id(1), 100);
+        assert!(!f.record_at(id(1), 250), "duplicate");
+        assert_eq!(f.seen_at(id(1)), Some(100), "first sight, not the dup");
+        assert_eq!(f.seen_at(id(9)), None);
+        f.record_at(id(2), 300);
+        f.record_at(id(3), 400); // evicts 1
+        assert_eq!(f.seen_at(id(1)), None);
+        assert_eq!(f.seen_at(id(3)), Some(400));
     }
 
     #[test]

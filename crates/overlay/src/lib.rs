@@ -33,6 +33,6 @@ pub mod topology;
 pub use fault::{LinkFault, LinkFaultTable};
 pub use flood::FloodState;
 pub use message::FloodMessage;
-pub use pull::{DemandScheduler, FloodMode, PayloadCache};
+pub use pull::{DemandScheduler, FloodMode, PayloadCache, TickActions, MAX_DEMAND_ATTEMPTS};
 pub use stats::{MsgKind, TrafficStats};
 pub use topology::PeerGraph;

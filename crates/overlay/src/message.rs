@@ -61,6 +61,25 @@ impl FloodMessage {
     pub fn is_pull_control(&self) -> bool {
         matches!(self, FloodMessage::Advert(_) | FloodMessage::Demand(_))
     }
+
+    /// The transaction trace ids this payload propagates — the context
+    /// half of distributed tracing. Trace ids are content-derived (the
+    /// u64 prefix of a transaction's hash), so no wire format changes:
+    /// a `Tx` carries its own id, a `TxSet` carries every member's, and
+    /// pull-mode control messages carry the ids of the payload hashes
+    /// they announce (a tx payload's flood id *is* its tx hash). SCP
+    /// envelopes reference tx sets only by hash and propagate no
+    /// per-transaction context.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        match self {
+            FloodMessage::Scp(_) => Vec::new(),
+            FloodMessage::TxSet(s) => s.txs.iter().map(|t| t.hash().prefix_u64()).collect(),
+            FloodMessage::Tx(t) => vec![t.hash().prefix_u64()],
+            FloodMessage::Advert(ids) | FloodMessage::Demand(ids) => {
+                ids.iter().map(Hash256::prefix_u64).collect()
+            }
+        }
+    }
 }
 
 fn hash_id_list(tag: u8, ids: &[Hash256]) -> Hash256 {
@@ -114,6 +133,21 @@ mod tests {
     fn scp_detection() {
         assert!(FloodMessage::Scp(sample_envelope()).is_scp());
         assert!(!FloodMessage::TxSet(TransactionSet::empty(Hash256::ZERO)).is_scp());
+    }
+
+    #[test]
+    fn trace_ids_are_content_derived_and_consistent() {
+        // A Tx's trace id is its flood id's prefix — the propagation
+        // invariant the tracing layer leans on.
+        let scp = FloodMessage::Scp(sample_envelope());
+        assert!(scp.trace_ids().is_empty());
+        let h = Hash256([9u8; 32]);
+        let advert = FloodMessage::Advert(vec![h]);
+        let demand = FloodMessage::Demand(vec![h]);
+        assert_eq!(advert.trace_ids(), vec![h.prefix_u64()]);
+        assert_eq!(advert.trace_ids(), demand.trace_ids());
+        let empty_set = FloodMessage::TxSet(TransactionSet::empty(Hash256::ZERO));
+        assert!(empty_set.trace_ids().is_empty());
     }
 
     #[test]

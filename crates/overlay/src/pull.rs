@@ -61,6 +61,9 @@ pub struct TickActions {
     pub demands: Vec<(NodeId, Vec<Hash256>)>,
     /// Demands that expired this tick (telemetry: timeout counter).
     pub timeouts: u64,
+    /// The hashes whose demands expired this tick — retried or given
+    /// up — so the embedder can attribute the timeout to each trace.
+    pub expired: Vec<Hash256>,
 }
 
 /// Per-node pull-mode bookkeeping. All state transitions are driven by
@@ -135,6 +138,13 @@ impl DemandScheduler {
         self.wanted.contains_key(&id)
     }
 
+    /// Demand attempts made so far for a wanted hash (1 = the immediate
+    /// first ask). Lets the embedder stamp demand-round span events with
+    /// the attempt number.
+    pub fn attempt_of(&self, id: Hash256) -> Option<u32> {
+        self.wanted.get(&id).map(|w| w.attempts)
+    }
+
     /// One flood tick: drains the advert batch and re-demands every
     /// expired want from its next advertiser (round-robin). Wants that
     /// exhausted [`MAX_DEMAND_ATTEMPTS`] are dropped — a later advert
@@ -143,12 +153,14 @@ impl DemandScheduler {
         let adverts = std::mem::take(&mut self.pending_adverts);
         let mut demands: BTreeMap<NodeId, Vec<Hash256>> = BTreeMap::new();
         let mut timeouts = 0u64;
+        let mut expired = Vec::new();
         let mut give_up = Vec::new();
         for (id, w) in self.wanted.iter_mut() {
             if w.deadline_ms > now_ms {
                 continue;
             }
             timeouts += 1;
+            expired.push(*id);
             if w.attempts >= MAX_DEMAND_ATTEMPTS {
                 give_up.push(*id);
                 continue;
@@ -166,6 +178,7 @@ impl DemandScheduler {
             adverts,
             demands: demands.into_iter().collect(),
             timeouts,
+            expired,
         }
     }
 
@@ -269,7 +282,9 @@ mod tests {
         // After: retry goes to the *second* advertiser.
         let t = s.tick(1400);
         assert_eq!(t.timeouts, 1);
+        assert_eq!(t.expired, vec![id(1)]);
         assert_eq!(t.demands, vec![(NodeId(8), vec![id(1)])]);
+        assert_eq!(s.attempt_of(id(1)), Some(2), "retry bumped the attempt");
         // Next expiry wraps back to the first.
         let t2 = s.tick(1800);
         assert_eq!(t2.demands, vec![(NodeId(7), vec![id(1)])]);

@@ -19,7 +19,12 @@
 //!   accounting, percentile helpers;
 //! * [`scenario`] — canned topologies: the §7.3 controlled setups
 //!   (full-mesh majority quorums) and the Fig. 7-like tiered public
-//!   network.
+//!   network;
+//! * [`tracing`] — cross-node trace aggregation: merges per-node span
+//!   streams into per-transaction rows and the submit→apply phase-level
+//!   latency decomposition (p50/p99 per phase, Fig. 7-style CDF);
+//! * [`watchdog`] — the health watchdog: stuck-slot and slow-close
+//!   detection plus the ledger-lag gauge, feeding sim and chaos reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,8 +35,12 @@ pub mod loadgen;
 pub mod metrics;
 pub mod scenario;
 pub mod simulation;
+pub mod tracing;
+pub mod watchdog;
 
 pub use latency::LatencyModel;
 pub use metrics::{percentile, traffic_to_json, SimReport};
 pub use scenario::Scenario;
 pub use simulation::{SimConfig, Simulation};
+pub use tracing::{build_tx_traces, phase_stats, render_causal_trace, PhaseStats, TxTrace};
+pub use watchdog::{HealthAlert, HealthWatchdog, WatchdogConfig};

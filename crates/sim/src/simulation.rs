@@ -13,6 +13,8 @@ use crate::latency::LatencyModel;
 use crate::loadgen::{genesis_store, LoadGen};
 use crate::metrics::{build_ledger_metrics, SimReport};
 use crate::scenario::Scenario;
+use crate::tracing::{build_tx_traces, render_causal_trace, trace_summary_json};
+use crate::watchdog::{HealthWatchdog, WatchdogConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -22,11 +24,11 @@ use stellar_crypto::Hash256;
 use stellar_herder::validator::{Outputs, Validator};
 use stellar_overlay::{
     DemandScheduler, FloodMessage, FloodMode, FloodState, LinkFaultTable, MsgKind, PayloadCache,
-    PeerGraph, TrafficStats,
+    PeerGraph, TrafficStats, MAX_DEMAND_ATTEMPTS,
 };
 use stellar_scp::driver::ScpEvent;
 use stellar_scp::{NodeId, QuorumSet, SlotIndex, Value};
-use stellar_telemetry::{Json, NodeTelemetry};
+use stellar_telemetry::{Json, NodeTelemetry, SpanEvent, SpanPhase, TraceStore};
 
 /// Parameters of one simulation run.
 #[derive(Clone, Debug)]
@@ -67,6 +69,11 @@ pub struct SimConfig {
     /// from `STELLAR_STORE_BACKEND` so an entire test run can be flipped
     /// onto the disk backend without touching code.
     pub store_backend: stellar_store::BackendKind,
+    /// Transaction-lifecycle tracing sampling knob: `0` disables span
+    /// collection, `1` traces every transaction, `n` keeps traces whose
+    /// content-derived id satisfies `id % n == 0`. The rule is shared by
+    /// every node, so a sampled trace is causally complete network-wide.
+    pub trace_sample_every: u64,
 }
 
 /// Pull-mode flood tick cadence: adverts batch for up to this long, and
@@ -80,6 +87,11 @@ pub const DEMAND_TIMEOUT_MS: u64 = 400;
 
 /// Per-node bound on payloads kept for answering demands.
 const PAYLOAD_CACHE_CAPACITY: usize = 4096;
+
+/// Health-watchdog observation cadence (simulated ms). One round per
+/// simulated second keeps detection latency far under the stuck-slot
+/// bound at negligible cost.
+const WATCHDOG_INTERVAL_MS: u64 = 1000;
 
 /// Optional custom genesis state for scenario-driven examples/tests.
 #[derive(Default)]
@@ -103,6 +115,7 @@ impl Default for SimConfig {
             flood_mode: FloodMode::Push,
             persistence: true,
             store_backend: stellar_store::BackendKind::from_env(),
+            trace_sample_every: 1,
         }
     }
 }
@@ -242,6 +255,10 @@ pub struct Simulation {
     recovery_replayed: u64,
     /// Wall-clock time spent rebuilding restarted nodes (µs).
     recovery_us: u64,
+    /// Liveness health monitor (stuck slots, slow closes, ledger lag).
+    watchdog: HealthWatchdog,
+    /// Next simulated time the watchdog takes an observation round.
+    watchdog_next_ms: u64,
 }
 
 impl Simulation {
@@ -279,6 +296,10 @@ impl Simulation {
                 registry.clone(),
             );
             v.herder.header.params.max_tx_set_ops = cfg.max_tx_set_ops;
+            v.herder
+                .telemetry
+                .spans
+                .configure(cfg.trace_sample_every, TraceStore::DEFAULT_CAP);
             if !cfg.persistence {
                 v.herder.persist = stellar_persist::DurableStore::disabled();
             }
@@ -343,6 +364,8 @@ impl Simulation {
             restarts: 0,
             recovery_replayed: 0,
             recovery_us: 0,
+            watchdog: HealthWatchdog::new(WatchdogConfig::default()),
+            watchdog_next_ms: 0,
             cfg,
         };
         // Initial ledger triggers, slightly staggered like real restarts.
@@ -516,6 +539,12 @@ impl Simulation {
             ),
         };
         v.herder.header.params.max_tx_set_ops = self.cfg.max_tx_set_ops;
+        // A rebooted process keeps tracing at the configured sampling
+        // rate; its pre-crash span buffer is RAM and thus lost.
+        v.herder
+            .telemetry
+            .spans
+            .configure(self.cfg.trace_sample_every, TraceStore::DEFAULT_CAP);
         v.herder.persist = disk;
         if durable_recovery {
             v.herder.telemetry.registry.inc("recovery.durable_store");
@@ -790,6 +819,22 @@ impl Simulation {
         }
     }
 
+    /// Whether `node` collects lifecycle spans (a validator with tracing
+    /// configured on; watchers and puppets carry no telemetry).
+    fn spans_enabled(&self, node: NodeId) -> bool {
+        self.validators
+            .get(&node)
+            .is_some_and(|v| v.herder.telemetry.spans.enabled())
+    }
+
+    /// Records one lifecycle span on `node` at the current simulated time.
+    fn span(&mut self, node: NodeId, trace: u64, phase: SpanPhase) {
+        let t = self.now;
+        if let Some(v) = self.validators.get_mut(&node) {
+            v.herder.telemetry.span(trace, t, phase);
+        }
+    }
+
     /// Current simulated time (ms).
     pub fn now_ms(&self) -> u64 {
         self.now
@@ -930,7 +975,39 @@ impl Simulation {
             return false;
         }
         self.dispatch(event);
+        self.poll_watchdog();
         true
+    }
+
+    /// One health-watchdog observation round, throttled to the watchdog
+    /// cadence. Crashed nodes stay in the observation set — a crashed
+    /// node genuinely is stuck, which is exactly what the stuck-slot
+    /// detector should surface during chaos drills.
+    fn poll_watchdog(&mut self) {
+        if self.now < self.watchdog_next_ms {
+            return;
+        }
+        self.watchdog_next_ms = self.now + WATCHDOG_INTERVAL_MS;
+        let seqs: Vec<(NodeId, u64)> = self
+            .validators
+            .iter()
+            .filter(|(id, _)| !self.puppets.contains(id))
+            .map(|(id, v)| (*id, v.ledger_seq()))
+            .collect();
+        self.watchdog.observe(self.now, &seqs);
+        for (id, lag) in self.watchdog.ledger_lag() {
+            if let Some(v) = self.validators.get_mut(&id) {
+                v.herder
+                    .telemetry
+                    .registry
+                    .set_gauge("health.ledger_lag", lag as i64);
+            }
+        }
+    }
+
+    /// The health watchdog (alerts + lag gauges).
+    pub fn watchdog(&self) -> &HealthWatchdog {
+        &self.watchdog
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -978,6 +1055,12 @@ impl Simulation {
                     to,
                     tx_hash: tx.hash(),
                 });
+                // The trace root: the client handed the transaction to
+                // this node. (Relayed flood copies re-enter admission on
+                // other nodes but are not new submissions.)
+                if self.spans_enabled(to) {
+                    self.span(to, tx.hash().prefix_u64(), SpanPhase::Submit);
+                }
                 {
                     let v = self.validators.get_mut(&to).expect("known node");
                     v.set_time_ms(self.now);
@@ -1090,6 +1173,14 @@ impl Simulation {
             }
             return;
         }
+        // One hop of payload propagation: the first fresh arrival of a
+        // Tx/TxSet stamps a flood-receive span for every transaction the
+        // payload carries (trace ids are content-derived — no header).
+        if self.spans_enabled(to) {
+            for trace in msg.msg.trace_ids() {
+                self.span(to, trace, SpanPhase::FloodRecv { from: from.0 });
+            }
+        }
         if self.puppets.contains(&to) {
             // Puppets receive but run no validator logic; their driver
             // (the chaos adversary) reads the inbox between steps.
@@ -1166,12 +1257,31 @@ impl Simulation {
         if missing.is_empty() {
             return;
         }
+        if self.spans_enabled(to) {
+            for id in &missing {
+                self.span(to, id.prefix_u64(), SpanPhase::AdvertSeen { from: from.0 });
+            }
+        }
         let demand_now = self
             .pull
             .get_mut(&to)
             .map(|p| p.on_advert(from, &missing, self.now))
             .unwrap_or_default();
         if !demand_now.is_empty() {
+            // Fresh wants are demanded straight back from the advertiser
+            // (always the first attempt; retries go through the tick).
+            if self.spans_enabled(to) {
+                for id in &demand_now {
+                    self.span(
+                        to,
+                        id.prefix_u64(),
+                        SpanPhase::DemandSent {
+                            to: from.0,
+                            attempt: 1,
+                        },
+                    );
+                }
+            }
             self.enqueue_delivery(to, from, Flooded::new(FloodMessage::Demand(demand_now)));
         }
         // Arm the tick so the demand's timeout is checked even if no
@@ -1217,6 +1327,38 @@ impl Simulation {
         if actions.timeouts > 0 {
             if let Some(t) = self.traffic.get_mut(&node) {
                 t.record_pull_timeouts(actions.timeouts);
+            }
+        }
+        if !actions.expired.is_empty() && self.spans_enabled(node) {
+            // `attempt_of` reflects the post-retry counter; the timeout
+            // belongs to the attempt before it. A want that exhausted its
+            // retries was dropped — its final attempt is the one that
+            // timed out.
+            let sched = self.pull.get(&node).expect("scheduler ticked above");
+            let expired: Vec<(u64, u32)> = actions
+                .expired
+                .iter()
+                .map(|id| {
+                    let timed_out = sched
+                        .attempt_of(*id)
+                        .map_or(MAX_DEMAND_ATTEMPTS, |a| a.saturating_sub(1));
+                    (id.prefix_u64(), timed_out)
+                })
+                .collect();
+            let retries: Vec<(u64, u32, u32)> = actions
+                .demands
+                .iter()
+                .flat_map(|(peer, ids)| {
+                    ids.iter().filter_map(|id| {
+                        sched.attempt_of(*id).map(|a| (id.prefix_u64(), peer.0, a))
+                    })
+                })
+                .collect();
+            for (trace, attempt) in expired {
+                self.span(node, trace, SpanPhase::DemandTimeout { attempt });
+            }
+            for (trace, to, attempt) in retries {
+                self.span(node, trace, SpanPhase::DemandSent { to, attempt });
             }
         }
         if !actions.adverts.is_empty() {
@@ -1351,27 +1493,106 @@ impl Simulation {
         }
     }
 
+    /// Every node's retained lifecycle spans, merged and causally
+    /// ordered: `(t_ms, pipeline order, node, trace)`. Timestamps are
+    /// simulated ms only, so same-seed runs merge byte-identically.
+    pub fn span_events(&self) -> Vec<SpanEvent> {
+        let mut all: Vec<SpanEvent> = self
+            .validators
+            .values()
+            .flat_map(|v| v.herder.telemetry.spans.spans().cloned())
+            .collect();
+        all.sort_by(|a, b| {
+            (a.t_ms, a.phase.order(), a.node, a.trace).cmp(&(
+                b.t_ms,
+                b.phase.order(),
+                b.node,
+                b.trace,
+            ))
+        });
+        all
+    }
+
+    /// Spans evicted from per-node buffers network-wide (trace-coverage
+    /// health: non-zero means long runs should raise sampling).
+    pub fn spans_dropped(&self) -> u64 {
+        self.validators
+            .values()
+            .map(|v| v.herder.telemetry.spans.dropped())
+            .sum()
+    }
+
+    /// Renders the complete cross-node causal trace of every sampled
+    /// transaction that touched consensus `slot` (nominated into,
+    /// externalized by, or applied in it) — the attachment a chaos
+    /// violation carries so an invariant break comes with the full
+    /// history of the transactions in the affected slot.
+    pub fn causal_traces_for_slot(&self, slot: u64) -> String {
+        let spans = self.span_events();
+        let traces: BTreeSet<u64> = spans
+            .iter()
+            .filter(|s| s.phase.slot() == Some(slot))
+            .map(|s| s.trace)
+            .collect();
+        let mut out = String::new();
+        for t in traces {
+            out.push_str(&render_causal_trace(&spans, t));
+        }
+        out
+    }
+
+    /// Renders the causal trace of every sampled transaction still in
+    /// flight — submitted but never applied anywhere. During a liveness
+    /// stall these are the transactions the stalled slot was supposed to
+    /// carry: their last span shows exactly how far the pipeline got
+    /// before progress stopped.
+    pub fn causal_traces_pending(&self) -> String {
+        let spans = self.span_events();
+        let applied: BTreeSet<u64> = spans
+            .iter()
+            .filter(|s| matches!(s.phase, SpanPhase::Applied { .. }))
+            .map(|s| s.trace)
+            .collect();
+        let pending: BTreeSet<u64> = spans
+            .iter()
+            .map(|s| s.trace)
+            .filter(|t| !applied.contains(t))
+            .collect();
+        let mut out = String::new();
+        for t in pending {
+            out.push_str(&render_causal_trace(&spans, t));
+        }
+        out
+    }
+
     fn report(&self) -> SimReport {
         let observer = self.validators.get(&self.observer).expect("observer");
         let mut ledgers =
             build_ledger_metrics(&observer.herder.events, &observer.herder.close_stats);
         // Drop ledgers beyond the target (stragglers of shutdown).
         ledgers.retain(|l| l.slot <= 1 + self.cfg.target_ledgers);
+        let tx_traces = build_tx_traces(&self.span_events());
         SimReport {
-            telemetry: self.telemetry_snapshot(&ledgers),
+            telemetry: self.telemetry_snapshot(&ledgers, &tx_traces),
             ledgers,
             scp_msgs_originated: self.scp_originated,
             traffic: self.traffic.clone(),
             sim_duration_ms: self.now,
             txs_generated: self.loadgen.as_ref().map_or(0, |l| l.generated),
             n_validators: self.validators.len(),
+            tx_traces,
+            health: self.watchdog.alerts().to_vec(),
         }
     }
 
     /// The observer's registry snapshot, with the per-ledger latency
     /// decomposition folded in as histograms and the typed traffic split
     /// (observer view + network totals) attached.
-    fn telemetry_snapshot(&self, ledgers: &[crate::metrics::LedgerMetrics]) -> Json {
+    fn telemetry_snapshot(
+        &self,
+        ledgers: &[crate::metrics::LedgerMetrics],
+        tx_traces: &[crate::tracing::TxTrace],
+    ) -> Json {
         let observer = self.validators.get(&self.observer).expect("observer");
         let mut registry = observer.herder.telemetry.registry.clone();
         for l in ledgers {
@@ -1422,6 +1643,8 @@ impl Simulation {
                     .set("segments", stats.segments)
                     .set("compactions", stats.compactions)
             })
+            .set("trace", trace_summary_json(tx_traces, self.spans_dropped()))
+            .set("health", self.watchdog.to_json())
     }
 
     /// Crash-restarts performed this run (recovery telemetry).
@@ -1438,6 +1661,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::watchdog::HealthAlert;
 
     #[test]
     fn four_validators_close_empty_ledgers() {
@@ -1569,6 +1793,170 @@ mod tests {
         .run_to_completion();
         assert!(report.ledgers.len() >= 3);
         assert_eq!(report.n_validators, 12);
+    }
+
+    #[test]
+    fn lifecycle_spans_cover_the_whole_pipeline() {
+        let mut sim = Simulation::new(SimConfig {
+            target_ledgers: 5,
+            n_accounts: 100,
+            tx_rate: 10.0,
+            ..SimConfig::default()
+        });
+        let report = sim.run();
+        assert!(!report.tx_traces.is_empty(), "load must produce traces");
+        let r = report
+            .tx_traces
+            .iter()
+            .find(|r| r.applied_ms.is_some())
+            .expect("an applied transaction");
+        // Every phase point present, in pipeline order.
+        let admit = r.admit_ms.expect("admitted");
+        let nominated = r.nominated_ms.expect("nominated");
+        let externalized = r.externalized_ms.expect("externalized");
+        let applied = r.applied_ms.expect("applied");
+        let visible = r.visible_ms.expect("horizon-visible");
+        assert!(r.submit_ms <= admit && admit <= nominated);
+        assert!(nominated <= externalized && externalized <= applied);
+        assert!(applied <= visible);
+        assert!(r.apply_slot.is_some());
+        // The flood reached other nodes and was recorded per hop.
+        assert!(r.flood_hops >= 1, "full mesh floods the payload");
+        assert!(r.nodes_reached >= 2);
+        // Aggregated summary lives in the telemetry snapshot.
+        let trace = report.telemetry.get("trace").expect("trace section");
+        let phases = trace.get("phases").expect("phase decomposition");
+        let total = phases.get("submit_to_apply").expect("end-to-end phase");
+        assert!(total
+            .get("samples")
+            .and_then(Json::as_f64)
+            .is_some_and(|s| s >= 1.0));
+        assert!(report.telemetry.get("health").is_some());
+        // The causal render for the apply slot shows the full history.
+        let render = sim.causal_traces_for_slot(r.apply_slot.unwrap());
+        assert!(render.contains("submit"), "{render}");
+        assert!(render.contains("applied"), "{render}");
+        // A healthy run raises no alerts and no node lags the tip.
+        assert!(report.health.is_empty(), "{:?}", report.health);
+        assert_eq!(sim.watchdog().max_ledger_lag(), 0);
+    }
+
+    #[test]
+    fn trace_output_is_byte_identical_across_twin_runs() {
+        let cfg = SimConfig {
+            target_ledgers: 4,
+            n_accounts: 100,
+            tx_rate: 5.0,
+            ..SimConfig::default()
+        };
+        let mut a = Simulation::new(cfg.clone());
+        let ra = a.run();
+        let mut b = Simulation::new(cfg);
+        let rb = b.run();
+        assert_eq!(a.span_events(), b.span_events(), "span streams differ");
+        assert_eq!(
+            crate::tracing::rows_to_json(&ra.tx_traces).render(),
+            crate::tracing::rows_to_json(&rb.tx_traces).render(),
+            "trace rows must render byte-identically"
+        );
+    }
+
+    #[test]
+    fn sampling_knob_gates_span_collection() {
+        let base = SimConfig {
+            target_ledgers: 3,
+            n_accounts: 100,
+            tx_rate: 10.0,
+            ..SimConfig::default()
+        };
+        let off = Simulation::new(SimConfig {
+            trace_sample_every: 0,
+            ..base.clone()
+        })
+        .run_to_completion();
+        assert!(off.tx_traces.is_empty(), "0 disables tracing");
+        let full = Simulation::new(base.clone()).run_to_completion();
+        let sampled = Simulation::new(SimConfig {
+            trace_sample_every: 4,
+            ..base
+        })
+        .run_to_completion();
+        assert!(
+            sampled.tx_traces.len() < full.tx_traces.len(),
+            "sampling must keep fewer traces ({} vs {})",
+            sampled.tx_traces.len(),
+            full.tx_traces.len()
+        );
+        // Kept traces are still causally complete: the same rows appear
+        // in the full run with identical phase times.
+        for r in &sampled.tx_traces {
+            assert_eq!(r.trace % 4, 0, "keep rule is id % n == 0");
+            let twin = full
+                .tx_traces
+                .iter()
+                .find(|f| f.trace == r.trace)
+                .expect("sampled trace exists in the full run");
+            assert_eq!(twin, r, "sampling must not change a kept trace");
+        }
+    }
+
+    #[test]
+    fn pull_mode_traces_record_advert_demand_rounds() {
+        let mut sim = Simulation::new(SimConfig {
+            target_ledgers: 4,
+            n_accounts: 100,
+            tx_rate: 10.0,
+            flood_mode: FloodMode::Pull,
+            ..SimConfig::default()
+        });
+        let report = sim.run();
+        assert!(!report.tx_traces.is_empty());
+        let spans = sim.span_events();
+        assert!(
+            spans
+                .iter()
+                .any(|s| matches!(s.phase, SpanPhase::AdvertSeen { .. })),
+            "pull mode must stamp advert spans"
+        );
+        assert!(
+            spans
+                .iter()
+                .any(|s| matches!(s.phase, SpanPhase::DemandSent { attempt: 1, .. })),
+            "first demands are attempt 1"
+        );
+        // Transactions still complete the pipeline through pull gossip.
+        assert!(report.tx_traces.iter().any(|r| r.applied_ms.is_some()));
+    }
+
+    #[test]
+    fn watchdog_flags_a_crashed_node_as_stuck_and_lagging() {
+        let mut sim = Simulation::new(SimConfig {
+            target_ledgers: 7,
+            n_accounts: 10,
+            ..SimConfig::default()
+        });
+        let victim = sim.validator_ids()[2];
+        // Let the network close a couple of ledgers, then fail-stop one
+        // node; the 3/4 majority keeps closing without it.
+        while sim.now_ms() < 12_000 && sim.step() {}
+        sim.crash(victim);
+        let report = sim.run();
+        assert!(
+            report.health.iter().any(|a| matches!(
+                a,
+                HealthAlert::StuckSlot { node, .. } if *node == victim
+            )),
+            "stuck-slot alert for the crashed node: {:?}",
+            report.health
+        );
+        assert!(
+            sim.watchdog().ledger_lag()[&victim] > 0,
+            "crashed node must lag the tip"
+        );
+        // The health section carries the alert into the snapshot.
+        let health = report.telemetry.get("health").expect("health section");
+        let alerts = health.get("alerts").and_then(Json::as_arr).expect("alerts");
+        assert!(!alerts.is_empty());
     }
 }
 

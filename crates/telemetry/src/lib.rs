@@ -12,6 +12,11 @@
 //!   of structured [`TraceEvent`]s capturing the full consensus timeline
 //!   of the last N slots, with a human-readable per-slot renderer and a
 //!   JSONL dump (what chaos runs attach to invariant violations);
+//! * [`trace`] — distributed **transaction tracing**: content-derived
+//!   trace ids, causally-ordered lifecycle spans (submit → queue →
+//!   flood hops → nominate → externalize → apply → flush → archive →
+//!   horizon-visible), bounded per-node span buffers with a
+//!   deterministic sampling knob;
 //! * [`json`] — a hand-rolled JSON value (render + parse) backing
 //!   [`Registry::snapshot`] and the `BENCH_*.json` machine-readable
 //!   bench output (the workspace has no registry access, so no serde).
@@ -26,10 +31,12 @@
 pub mod json;
 pub mod recorder;
 pub mod registry;
+pub mod trace;
 
 pub use json::Json;
 pub use recorder::{FlightRecorder, TraceEvent, TraceKind};
 pub use registry::{Histogram, Registry};
+pub use trace::{SpanEvent, SpanPhase, TraceId, TraceStore};
 
 use std::collections::BTreeMap;
 
@@ -44,6 +51,8 @@ pub struct NodeTelemetry {
     pub registry: Registry,
     /// The flight recorder.
     pub recorder: FlightRecorder,
+    /// The transaction-lifecycle span buffer (distributed tracing).
+    pub spans: TraceStore,
     /// Per-slot start time of the nomination round in progress.
     round_started_ms: BTreeMap<u64, u64>,
 }
@@ -51,15 +60,23 @@ pub struct NodeTelemetry {
 impl NodeTelemetry {
     /// Telemetry for node `node`.
     pub fn new(node: u32) -> NodeTelemetry {
-        NodeTelemetry {
+        let mut t = NodeTelemetry {
             node,
             ..NodeTelemetry::default()
-        }
+        };
+        t.spans.set_node(node);
+        t
     }
 
     /// Records a flight-recorder event stamped with this node's id.
     pub fn trace(&mut self, t_ms: u64, slot: u64, kind: TraceKind) {
         self.recorder.record(t_ms, self.node, slot, kind);
+    }
+
+    /// Records a transaction-lifecycle span point (subject to the span
+    /// store's sampling rule).
+    pub fn span(&mut self, trace: TraceId, t_ms: u64, phase: SpanPhase) {
+        self.spans.record(trace, t_ms, phase);
     }
 
     /// Notes a nomination round starting: traces it, counts it, and — for
@@ -110,6 +127,15 @@ mod tests {
         assert_eq!(t.registry.counter("scp.externalized"), 1);
         // Events carry the node tag.
         assert!(t.recorder.events().all(|e| e.node == 3));
+    }
+
+    #[test]
+    fn span_helper_stamps_node_id() {
+        let mut t = NodeTelemetry::new(5);
+        t.span(42, 100, SpanPhase::Submit);
+        t.span(42, 110, SpanPhase::QueueAdmit);
+        assert_eq!(t.spans.len(), 2);
+        assert!(t.spans.spans().all(|s| s.node == 5));
     }
 
     #[test]

@@ -129,9 +129,13 @@ fn federation_compliance_submission_bridge_roundtrip() {
     assert_eq!(notes[0].amount, 777);
     assert_eq!(notes[0].memo, Memo::Id(42));
     // Horizon finds the transaction and the new balance.
-    let (ledger_seq, found) = Horizon::find_transaction_exhaustive(herder, tx_hash).unwrap();
-    assert_eq!(found.hash(), tx_hash);
-    assert_eq!(notes[0].ledger_seq, ledger_seq);
+    let rec = Horizon::find_transaction_exhaustive(herder, tx_hash).unwrap();
+    assert_eq!(rec.envelope.hash(), tx_hash);
+    assert_eq!(notes[0].ledger_seq, rec.ledger_seq);
+    // The archive hit carries the lifecycle timeline the tracing layer
+    // recorded on this node, ending at horizon visibility.
+    let timeline = rec.timeline.expect("traced run attaches a timeline");
+    assert_eq!(timeline.last().unwrap().phase.tag(), "horizon_visible");
     let info = Horizon::account(herder, benito).unwrap();
     assert_eq!(info.trustlines[0].1, 777);
 }
