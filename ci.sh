@@ -24,8 +24,14 @@ SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin telemetry_smoke
 
-echo "==> close-path perf smoke (exp_close_perf --quick -> schema-valid BENCH_close_perf.json)"
+echo "==> close-path perf smoke (exp_close_perf --quick; in-run gate: apply_threads=4 externalizes the same final header as sequential)"
 BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_close_perf -- --quick
+grep -q '"schema": "stellar-bench/v2"' "$SMOKE_DIR/BENCH_close_perf.json"
+grep -q '"schema": "stellar-bench/v2"' BENCH_close_perf.json  # committed full sweep
+
+echo "==> parallel apply determinism (twin-run threads 1 vs 2/4/8, escape re-run, path-payment fallback; both backends)"
+cargo test -q --test parallel_determinism
+STELLAR_STORE_BACKEND=disk cargo test -q --test parallel_determinism
 
 echo "==> cache determinism (caches on vs off externalize identical hashes)"
 cargo test -q --test cache_determinism
@@ -41,19 +47,19 @@ cargo test -q -p stellar-chaos --test recovery
 
 echo "==> recovery smoke (exp_recovery --quick -> schema-valid BENCH_recovery.json)"
 BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_recovery -- --quick
-grep -q '"schema": "stellar-bench/v1"' "$SMOKE_DIR/BENCH_recovery.json"
-grep -q '"schema": "stellar-bench/v1"' BENCH_recovery.json  # committed full sweep
+grep -q '"schema": "stellar-bench/v2"' "$SMOKE_DIR/BENCH_recovery.json"
+grep -q '"schema": "stellar-bench/v2"' BENCH_recovery.json  # committed full sweep
 
 echo "==> storage-engine smoke (exp_store --quick; RAM/disk twin hash gate + schema-valid BENCH_store.json)"
 BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_store -- --quick
-grep -q '"schema": "stellar-bench/v1"' "$SMOKE_DIR/BENCH_store.json"
-grep -q '"schema": "stellar-bench/v1"' BENCH_store_baseline.json  # committed full sweep
+grep -q '"schema": "stellar-bench/v2"' "$SMOKE_DIR/BENCH_store.json"
+grep -q '"schema": "stellar-bench/v2"' BENCH_store_baseline.json  # committed full sweep
 
 echo "==> lifecycle tracing smoke (exp_trace --quick on both store backends; in-run gates: twin-run byte-identical trace rows, pipeline coverage, sampled-tracing overhead ≤5% closes/s vs tracing-off)"
 BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_trace -- --quick
-grep -q '"schema": "stellar-bench/v1"' "$SMOKE_DIR/BENCH_trace.json"
+grep -q '"schema": "stellar-bench/v2"' "$SMOKE_DIR/BENCH_trace.json"
 BENCH_OUT_DIR="$SMOKE_DIR" STELLAR_STORE_BACKEND=disk cargo run --release -q -p stellar-bench --bin exp_trace -- --quick
-grep -q '"schema": "stellar-bench/v1"' "$SMOKE_DIR/BENCH_trace.json"
-grep -q '"schema": "stellar-bench/v1"' BENCH_trace.json  # committed full sweep
+grep -q '"schema": "stellar-bench/v2"' "$SMOKE_DIR/BENCH_trace.json"
+grep -q '"schema": "stellar-bench/v2"' BENCH_trace.json  # committed full sweep
 
 echo "CI green."

@@ -203,7 +203,7 @@ fn main() {
     );
 
     let doc = Json::obj()
-        .set("schema", "stellar-bench/v1")
+        .set("schema", "stellar-bench/v2")
         .set("name", "chaos")
         .set("points", points);
     write_bench_json("chaos", &doc).expect("write BENCH_chaos.json");

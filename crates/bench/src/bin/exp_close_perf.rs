@@ -1,10 +1,15 @@
-//! E14 — the ledger-close hot path: closes/sec under a mixed workload.
+//! E14/E19 — the ledger-close hot path: closes/sec under a mixed
+//! workload, swept across apply-thread counts.
 //!
 //! Exercises the full per-ledger pipeline a validator pays — submission
 //! (signature checks), nomination-style set validation, apply, bucket
-//! re-hash — over a sweep of accounts × resting offers × txs/ledger, and
-//! compares against the committed pre-optimization baseline
-//! (`BENCH_close_perf_baseline.json`).
+//! re-hash — over a sweep of accounts × resting offers × txs/ledger and
+//! apply threads 1/2/4/8, and compares against the committed
+//! pre-optimization baseline (`BENCH_close_perf_baseline.json`).
+//!
+//! Every parallel run doubles as a determinism check: its final header
+//! hash must equal the sequential run's for the same sweep point, or
+//! the bench aborts.
 //!
 //! ```sh
 //! cargo run --release -p stellar-bench --bin exp_close_perf [-- --quick]
@@ -13,6 +18,7 @@
 use std::time::Instant;
 use stellar_bench::{print_table, write_bench_json};
 use stellar_buckets::BucketList;
+use stellar_crypto::Hash256;
 use stellar_herder::queue::TxQueue;
 use stellar_ledger::amount::{xlm, Price, BASE_FEE};
 use stellar_ledger::apply::close_ledger;
@@ -44,6 +50,11 @@ struct Outcome {
     sig_cache_hits: u64,
     sig_cache_misses: u64,
     txs_applied: u64,
+    waves: u64,
+    conflict_reruns: u64,
+    footprint_fallbacks: u64,
+    /// Final externalized header hash — the determinism witness.
+    final_header: Hash256,
 }
 
 /// Number of dedicated market-maker accounts holding the resting book.
@@ -127,6 +138,7 @@ fn build_batch(
     next_seq: &mut std::collections::HashMap<u64, u64>,
 ) -> Vec<TransactionEnvelope> {
     let takers = taker_count(cfg.accounts);
+    let payers = cfg.accounts - takers;
     let mut out = Vec::with_capacity(cfg.txs_per_ledger as usize);
     for t in 0..cfg.txs_per_ledger {
         let n = ledger * cfg.txs_per_ledger + t;
@@ -136,7 +148,7 @@ fn build_batch(
         } else {
             // Payment senders drawn from the upper (trustline-free) range
             // so order takers and payers don't contend on sequences.
-            takers + (n % (cfg.accounts - takers))
+            takers + (n % payers)
         };
         let seq = {
             let s = next_seq.entry(src).or_insert(1);
@@ -156,8 +168,12 @@ fn build_batch(
                 passive: false,
             }
         } else {
+            // Destination half the payer range away: consecutive senders
+            // hit disjoint receivers, so a batch's payments are mutually
+            // independent (the realistic case — unrelated users paying
+            // unrelated users — and the one the wave scheduler exploits).
             Operation::Payment {
-                destination: user_account((src + 1) % cfg.accounts),
+                destination: user_account(takers + ((src - takers + payers / 2) % payers)),
                 asset: Asset::Native,
                 amount: 1 + (n % 100) as i64,
             }
@@ -177,17 +193,24 @@ fn build_batch(
 
 /// Runs one sweep point through the submission → nomination-check →
 /// close pipeline, timing each close end to end.
-fn run_config(cfg: Config) -> Outcome {
+fn run_config(cfg: Config, threads: u32) -> Outcome {
     let mut store = build_store(cfg.accounts, cfg.offers);
     let mut buckets = BucketList::seed(store.all_entries());
     let mut header = LedgerHeader::genesis(stellar_crypto::Hash256::ZERO);
     header.snapshot_hash = buckets.hash();
+    let params = LedgerParams {
+        apply_threads: threads,
+        ..LedgerParams::default()
+    };
     let mut queue = TxQueue::new();
     // Per-node signature-verify cache, sized as in `Herder::new`.
     let mut sig_cache = SigVerifyCache::new(1 << 16);
     let mut next_seq = std::collections::HashMap::new();
     let mut hist = Histogram::default();
     let mut txs_applied = 0u64;
+    let mut waves = 0u64;
+    let mut conflict_reruns = 0u64;
+    let mut footprint_fallbacks = 0u64;
     let t_all = Instant::now();
     for ledger in 0..cfg.ledgers {
         let batch = build_batch(&cfg, ledger, &mut next_seq);
@@ -222,12 +245,15 @@ fn run_config(cfg: Config) -> Outcome {
             &header,
             &set,
             close_time,
-            LedgerParams::default(),
+            params,
             &mut sig_cache,
         );
         for r in &result.results {
             assert!(r.is_success(), "bench tx failed: {r:?}");
         }
+        waves += result.stats.waves;
+        conflict_reruns += result.stats.conflict_reruns;
+        footprint_fallbacks += result.stats.footprint_fallbacks;
         buckets.add_batch(result.header.ledger_seq, &result.changes);
         header = result.header;
         header.snapshot_hash = buckets.hash();
@@ -244,6 +270,10 @@ fn run_config(cfg: Config) -> Outcome {
         sig_cache_hits: sig_cache.hits(),
         sig_cache_misses: sig_cache.misses(),
         txs_applied,
+        waves,
+        conflict_reruns,
+        footprint_fallbacks,
+        final_header: header.hash(),
     }
 }
 
@@ -308,70 +338,92 @@ fn main() {
             },
         ]
     };
+    let thread_sweep: Vec<u32> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
 
     let baseline = load_baseline();
-    println!("=== E14: ledger-close hot path (closes/sec) ===\n");
+    println!("=== E14/E19: ledger-close hot path (closes/sec × apply threads) ===\n");
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for cfg in &configs {
-        eprintln!(
-            "running {} accounts × {} offers × {} tx/ledger …",
-            cfg.accounts, cfg.offers, cfg.txs_per_ledger
-        );
-        let out = run_config(*cfg);
-        let base = baseline.as_ref().and_then(|b| baseline_rate(b, cfg));
-        let speedup = base.map(|b| out.closes_per_sec / b);
-        rows.push(vec![
-            format!("{}", cfg.accounts),
-            format!("{}", cfg.offers),
-            format!("{}", cfg.txs_per_ledger),
-            format!("{:.1}", out.closes_per_sec),
-            format!("{:.0}", out.mean_close_us),
-            format!("{}", out.p50_close_us),
-            format!("{}", out.p99_close_us),
-            format!(
-                "{:.0}%",
-                100.0 * out.sig_cache_hits as f64
-                    / (out.sig_cache_hits + out.sig_cache_misses).max(1) as f64
-            ),
-            speedup.map_or("-".into(), |s| format!("{s:.2}x")),
-        ]);
-        let mut r = Json::obj()
-            .set("accounts", cfg.accounts)
-            .set("offers", cfg.offers)
-            .set("txs_per_ledger", cfg.txs_per_ledger)
-            .set("ledgers", cfg.ledgers)
-            .set("txs_applied", out.txs_applied)
-            .set("closes_per_sec", out.closes_per_sec)
-            .set("mean_close_us", out.mean_close_us)
-            .set("p50_close_us", out.p50_close_us)
-            .set("p99_close_us", out.p99_close_us)
-            .set("sig_cache_hits", out.sig_cache_hits)
-            .set("sig_cache_misses", out.sig_cache_misses);
-        if let Some(b) = base {
-            r = r
-                .set("baseline_closes_per_sec", b)
-                .set("speedup_vs_baseline", out.closes_per_sec / b);
+        let mut seq: Option<Outcome> = None;
+        for &threads in &thread_sweep {
+            eprintln!(
+                "running {} accounts × {} offers × {} tx/ledger × {} thread(s) …",
+                cfg.accounts, cfg.offers, cfg.txs_per_ledger, threads
+            );
+            let out = run_config(*cfg, threads);
+            // Determinism gate: the parallel runs must externalize the
+            // exact ledger the sequential run does.
+            if let Some(s) = &seq {
+                assert_eq!(
+                    s.final_header, out.final_header,
+                    "parallel apply diverged from sequential at {threads} threads"
+                );
+            }
+            let base = baseline.as_ref().and_then(|b| baseline_rate(b, cfg));
+            let speedup_vs_seq = seq.as_ref().map(|s| out.closes_per_sec / s.closes_per_sec);
+            rows.push(vec![
+                format!("{}", cfg.accounts),
+                format!("{}", cfg.offers),
+                format!("{}", cfg.txs_per_ledger),
+                format!("{threads}"),
+                format!("{:.1}", out.closes_per_sec),
+                format!("{:.0}", out.mean_close_us),
+                format!("{}", out.p50_close_us),
+                format!("{}", out.p99_close_us),
+                format!("{}", out.conflict_reruns),
+                speedup_vs_seq.map_or("-".into(), |s| format!("{s:.2}x")),
+                base.map_or("-".into(), |b| format!("{:.2}x", out.closes_per_sec / b)),
+            ]);
+            let mut r = Json::obj()
+                .set("accounts", cfg.accounts)
+                .set("offers", cfg.offers)
+                .set("txs_per_ledger", cfg.txs_per_ledger)
+                .set("ledgers", cfg.ledgers)
+                .set("threads", threads as u64)
+                .set("txs_applied", out.txs_applied)
+                .set("closes_per_sec", out.closes_per_sec)
+                .set("mean_close_us", out.mean_close_us)
+                .set("p50_close_us", out.p50_close_us)
+                .set("p99_close_us", out.p99_close_us)
+                .set("sig_cache_hits", out.sig_cache_hits)
+                .set("sig_cache_misses", out.sig_cache_misses)
+                .set("waves", out.waves)
+                .set("conflict_reruns", out.conflict_reruns)
+                .set("footprint_fallbacks", out.footprint_fallbacks);
+            if let Some(s) = speedup_vs_seq {
+                r = r.set("speedup_vs_sequential", s);
+            }
+            if let Some(b) = base {
+                r = r
+                    .set("baseline_closes_per_sec", b)
+                    .set("speedup_vs_baseline", out.closes_per_sec / b);
+            }
+            if threads == 1 {
+                seq = Some(out);
+            }
+            results.push(r);
         }
-        results.push(r);
     }
     print_table(
         &[
             "accounts",
             "offers",
             "tx/ledger",
+            "thr",
             "closes/s",
             "mean(us)",
             "p50(us)",
             "p99(us)",
-            "sig-hit",
-            "speedup",
+            "rerun",
+            "vs-1thr",
+            "vs-base",
         ],
         &rows,
     );
 
     let mut doc = Json::obj()
-        .set("schema", "stellar-bench/v1")
+        .set("schema", "stellar-bench/v2")
         .set("name", "close_perf")
         .set("quick", quick)
         .set("results", Json::Arr(results));

@@ -59,7 +59,7 @@ fn main() {
     println!("\npaper shape: consensus latency grows slowly; ledger update grows with tx/ledger.");
 
     let doc = Json::obj()
-        .set("schema", "stellar-bench/v1")
+        .set("schema", "stellar-bench/v2")
         .set("name", "fig10_load")
         .set("points", points);
     write_bench_json("fig10_load", &doc).expect("write BENCH_fig10_load.json");

@@ -63,7 +63,7 @@ fn main() {
     );
 
     let doc = Json::obj()
-        .set("schema", "stellar-bench/v1")
+        .set("schema", "stellar-bench/v2")
         .set("name", "fig11_validators")
         .set("points", points);
     write_bench_json("fig11_validators", &doc).expect("write BENCH_fig11_validators.json");

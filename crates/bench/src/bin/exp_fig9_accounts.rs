@@ -68,7 +68,7 @@ fn main() {
     );
 
     let doc = Json::obj()
-        .set("schema", "stellar-bench/v1")
+        .set("schema", "stellar-bench/v2")
         .set("name", "fig9_accounts")
         .set("points", points);
     write_bench_json("fig9_accounts", &doc).expect("write BENCH_fig9_accounts.json");

@@ -101,7 +101,7 @@ fn main() {
     );
 
     let doc = Json::obj()
-        .set("schema", "stellar-bench/v1")
+        .set("schema", "stellar-bench/v2")
         .set("name", "leader_fairness")
         .set(
             "results",

@@ -106,7 +106,7 @@ fn main() {
     );
 
     let doc = Json::obj()
-        .set("schema", "stellar-bench/v1")
+        .set("schema", "stellar-bench/v2")
         .set("name", "quorum_check")
         .set("points", points);
     write_bench_json("quorum_check", &doc).expect("write BENCH_quorum_check.json");

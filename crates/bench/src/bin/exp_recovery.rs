@@ -208,7 +208,7 @@ fn main() {
     );
 
     let doc = Json::obj()
-        .set("schema", "stellar-bench/v1")
+        .set("schema", "stellar-bench/v2")
         .set("name", "recovery")
         .set("quick", quick)
         .set("results", Json::Arr(results));

@@ -267,7 +267,7 @@ fn main() {
     );
 
     let doc = Json::obj()
-        .set("schema", "stellar-bench/v1")
+        .set("schema", "stellar-bench/v2")
         .set("name", "store")
         .set("quick", quick)
         .set("results", Json::Arr(results));

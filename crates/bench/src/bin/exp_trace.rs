@@ -136,7 +136,7 @@ fn check_schema(doc: &Json) {
     let schema = doc.get("schema").and_then(Json::as_str);
     assert_eq!(
         schema,
-        Some("stellar-bench/v1"),
+        Some("stellar-bench/v2"),
         "committed BENCH_trace.json schema mismatch: {schema:?}"
     );
     let name = doc.get("name").and_then(Json::as_str);
@@ -321,7 +321,7 @@ fn main() {
     );
 
     let doc = Json::obj()
-        .set("schema", "stellar-bench/v1")
+        .set("schema", "stellar-bench/v2")
         .set("name", "trace")
         .set("quick", quick)
         .set("results", Json::Arr(results));

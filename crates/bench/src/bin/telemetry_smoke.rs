@@ -67,7 +67,7 @@ fn main() {
     let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| fail(&format!("read back: {e}")));
     let parsed = Json::parse(&raw).unwrap_or_else(|e| fail(&format!("re-parse: {e:?}")));
     require(
-        parsed.get("schema").and_then(Json::as_str) == Some("stellar-bench/v1"),
+        parsed.get("schema").and_then(Json::as_str) == Some("stellar-bench/v2"),
         "schema marker missing",
     );
     require(

@@ -102,7 +102,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Writes `doc` as `BENCH_<name>.json` next to the text output (schema
-/// `stellar-bench/v1`, see EXPERIMENTS.md). The target directory comes
+/// `stellar-bench/v2`, see EXPERIMENTS.md). The target directory comes
 /// from `BENCH_OUT_DIR` (default: the current directory). Returns the
 /// written path; rendering is validated by re-parsing before the write
 /// so a malformed document fails loudly instead of landing on disk.

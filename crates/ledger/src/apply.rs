@@ -15,11 +15,13 @@
 use crate::entry::{AccountId, LedgerEntry, LedgerKey, ThresholdLevel};
 use crate::header::{LedgerHeader, LedgerParams};
 use crate::ops::{apply_operation, ExecEnv};
+use crate::parallel::ApplyStats;
 use crate::sigcache::SigVerifyCache;
 use crate::store::{LedgerDelta, LedgerStore};
 use crate::tx::{Transaction, TransactionEnvelope, TxError, TxResult};
 use crate::txset::TransactionSet;
 use stellar_crypto::codec::Encode;
+use stellar_crypto::sign::PublicKey;
 use stellar_crypto::Hash256;
 
 /// Everything produced by closing one ledger.
@@ -34,6 +36,8 @@ pub struct CloseResult {
     pub changes: Vec<(LedgerKey, Option<LedgerEntry>)>,
     /// Fees collected.
     pub fees_collected: i64,
+    /// Parallel-apply counters (all zero for a sequential close).
+    pub stats: ApplyStats,
 }
 
 /// Validates a transaction against current state (no effects).
@@ -48,6 +52,21 @@ pub fn check_validity(
     close_time: u64,
     clearing_fee: i64,
     sig_cache: &mut SigVerifyCache,
+) -> Result<(), TxError> {
+    let signer_keys = env.valid_signer_keys_cached(sig_cache);
+    check_validity_with_keys(delta, env, close_time, clearing_fee, &signer_keys)
+}
+
+/// [`check_validity`] with the envelope's valid signer keys already
+/// resolved. The parallel apply path verifies signatures up front on the
+/// main thread (the verify cache is not shareable across workers) and
+/// threads the keys through; both paths share this one implementation.
+pub fn check_validity_with_keys(
+    delta: &LedgerDelta<'_>,
+    env: &TransactionEnvelope,
+    close_time: u64,
+    clearing_fee: i64,
+    signer_keys: &[PublicKey],
 ) -> Result<(), TxError> {
     let tx = &env.tx;
     if tx.operations.is_empty() {
@@ -71,7 +90,7 @@ pub fn check_validity(
     if source.balance < clearing_fee.min(tx.fee) {
         return Err(TxError::InsufficientBalance);
     }
-    check_signatures(delta, env, sig_cache)?;
+    check_signatures(delta, env, signer_keys)?;
     Ok(())
 }
 
@@ -81,12 +100,11 @@ pub fn check_validity(
 fn check_signatures(
     delta: &LedgerDelta<'_>,
     env: &TransactionEnvelope,
-    sig_cache: &mut SigVerifyCache,
+    signer_keys: &[PublicKey],
 ) -> Result<(), TxError> {
-    let signer_keys = env.valid_signer_keys_cached(sig_cache);
     for account_id in env.tx.signing_accounts() {
         let account = delta.account(account_id).ok_or(TxError::NoSourceAccount)?;
-        let weight = account.signing_weight_with_preimages(&signer_keys, &env.preimages);
+        let weight = account.signing_weight_with_preimages(signer_keys, &env.preimages);
         let required = required_threshold(&env.tx, account_id, &account);
         if weight < required {
             return Err(TxError::BadAuth);
@@ -121,6 +139,19 @@ fn threshold_rank(l: ThresholdLevel) -> u8 {
     }
 }
 
+/// Charges `fee` to the transaction's source and consumes its sequence
+/// number. The **one** place fee/failure-path store mutations happen:
+/// sequential and parallel apply both run it (via
+/// [`apply_transaction_with_keys`]) strictly *after* validity checking,
+/// so a failed transaction produces exactly the same mutations — fee
+/// deducted, sequence bumped, nothing else — on both paths.
+fn charge_fee(delta: &mut LedgerDelta<'_>, tx: &Transaction, fee: i64) {
+    let mut source = delta.account(tx.source).expect("validated before charging");
+    source.balance -= fee;
+    source.seq_num = tx.seq_num;
+    delta.put_account(source);
+}
+
 /// Applies one transaction to `delta`, returning its result.
 ///
 /// Fee and sequence effects land in `delta` even on operation failure;
@@ -134,17 +165,29 @@ pub fn apply_transaction(
     exec: &ExecEnv,
     sig_cache: &mut SigVerifyCache,
 ) -> TxResult {
-    if let Err(e) = check_validity(delta, env, close_time, clearing_fee, sig_cache) {
+    let signer_keys = env.valid_signer_keys_cached(sig_cache);
+    apply_transaction_with_keys(delta, env, close_time, clearing_fee, exec, &signer_keys)
+}
+
+/// [`apply_transaction`] with pre-resolved signer keys — the single
+/// implementation both the sequential and the parallel path execute, so
+/// their fee/validity/failure semantics cannot drift.
+pub fn apply_transaction_with_keys(
+    delta: &mut LedgerDelta<'_>,
+    env: &TransactionEnvelope,
+    close_time: u64,
+    clearing_fee: i64,
+    exec: &ExecEnv,
+    signer_keys: &[PublicKey],
+) -> TxResult {
+    if let Err(e) = check_validity_with_keys(delta, env, close_time, clearing_fee, signer_keys) {
         return TxResult::Invalid(e);
     }
     let tx = &env.tx;
     let fee = clearing_fee.min(tx.fee);
 
     // Charge the fee and consume the sequence number unconditionally.
-    let mut source = delta.account(tx.source).expect("validated above");
-    source.balance -= fee;
-    source.seq_num = tx.seq_num;
-    delta.put_account(source);
+    charge_fee(delta, tx, fee);
 
     // Operations execute on a fork; first failure discards it.
     let mut fork = delta.fork();
@@ -182,6 +225,10 @@ pub fn apply_transaction(
 /// verification entirely at apply. The cache never changes results — it
 /// memoizes a pure function — so cached and disabled-cache closes
 /// externalize identical headers (`tests/cache_determinism.rs`).
+///
+/// `params.apply_threads > 1` routes through the footprint-scheduled
+/// parallel path ([`crate::parallel`]), which externalizes byte-identical
+/// headers, results, and change feeds (`tests/parallel_determinism.rs`).
 pub fn close_ledger(
     store: &mut LedgerStore,
     prev: &LedgerHeader,
@@ -190,25 +237,30 @@ pub fn close_ledger(
     params: LedgerParams,
     sig_cache: &mut SigVerifyCache,
 ) -> CloseResult {
-    let exec = ExecEnv {
-        base_reserve: params.base_reserve,
-        close_time,
-    };
-    let mut delta = store.begin();
-    let mut results = Vec::with_capacity(tx_set.txs.len());
-    let mut fees = 0i64;
-    for env in &tx_set.txs {
-        let clearing = tx_set.base_fee_rate * env.tx.op_count().max(1) as i64;
-        let r = apply_transaction(&mut delta, env, close_time, clearing, &exec, sig_cache);
-        match &r {
-            TxResult::Success { fee_charged } | TxResult::Failed { fee_charged, .. } => {
-                fees += fee_charged;
+    let (results, changes, fees, stats) = if params.apply_threads > 1 && tx_set.txs.len() > 1 {
+        crate::parallel::close_parallel(store, tx_set, close_time, &params, sig_cache)
+    } else {
+        let exec = ExecEnv {
+            base_reserve: params.base_reserve,
+            close_time,
+        };
+        let mut delta = store.begin();
+        let mut results = Vec::with_capacity(tx_set.txs.len());
+        let mut fees = 0i64;
+        for env in &tx_set.txs {
+            let clearing = tx_set.base_fee_rate * env.tx.op_count().max(1) as i64;
+            let r = apply_transaction(&mut delta, env, close_time, clearing, &exec, sig_cache);
+            match &r {
+                TxResult::Success { fee_charged } | TxResult::Failed { fee_charged, .. } => {
+                    fees += fee_charged;
+                }
+                TxResult::Invalid(_) => {}
             }
-            TxResult::Invalid(_) => {}
+            results.push(r);
         }
-        results.push(r);
-    }
-    let changes = store.commit(delta.into_changes());
+        let changes = store.commit(delta.into_changes());
+        (results, changes, fees, ApplyStats::default())
+    };
 
     let header = LedgerHeader {
         ledger_seq: prev.ledger_seq + 1,
@@ -225,6 +277,7 @@ pub fn close_ledger(
         results,
         changes,
         fees_collected: fees,
+        stats,
     }
 }
 

@@ -26,7 +26,10 @@
 //! matching engine; [`tx`] transactions/operations; [`ops`] operation
 //! execution; [`pathfind`] path-payment routing; [`txset`] transaction-set
 //! assembly with surge pricing; [`header`] ledger headers; [`apply`] the
-//! ledger-close function tying it all together.
+//! ledger-close function tying it all together; [`footprint`] static
+//! read/write footprints and wave scheduling; [`parallel`] the
+//! footprint-scheduled multi-threaded apply path (byte-identical to
+//! sequential, gated on `LedgerParams::apply_threads`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,9 +39,11 @@ pub mod apply;
 pub mod asset;
 pub mod backend;
 pub mod entry;
+pub mod footprint;
 pub mod header;
 pub mod ops;
 pub mod orderbook;
+pub mod parallel;
 pub mod pathfind;
 pub mod sigcache;
 pub mod store;
@@ -50,6 +55,7 @@ pub use asset::{Asset, AssetCode};
 pub use backend::{LedgerBackend, MemBackend, StoreIoStats};
 pub use entry::{AccountEntry, AccountId, DataEntry, OfferEntry, TrustLineEntry};
 pub use header::LedgerHeader;
+pub use parallel::ApplyStats;
 pub use store::{LedgerDelta, LedgerStore};
 pub use tx::{Memo, OpResult, Operation, Transaction, TransactionEnvelope, TxResult};
 pub use txset::TransactionSet;

@@ -218,6 +218,12 @@ impl LedgerStore {
         self.backend.resident_bytes()
     }
 
+    /// The backend as a read surface (crate-internal: the parallel apply
+    /// path layers views and snapshots directly over it).
+    pub(crate) fn backend(&self) -> &dyn LedgerBackend {
+        self.backend.as_ref()
+    }
+
     /// Starts a delta (scratch overlay) over this store.
     pub fn begin(&self) -> LedgerDelta<'_> {
         LedgerDelta {
@@ -266,13 +272,17 @@ impl LedgerStore {
 }
 
 /// The owned changes extracted from a delta at commit time.
-#[derive(Debug)]
+///
+/// Fields are `pub(crate)` so the parallel apply path
+/// ([`crate::parallel`]) can renumber provisional offer ids and merge
+/// per-transaction change sets without round-tripping through a delta.
+#[derive(Debug, Default)]
 pub struct DeltaChanges {
-    accounts: BTreeMap<AccountId, Option<AccountEntry>>,
-    trustlines: BTreeMap<AccountId, BTreeMap<Asset, Option<TrustLineEntry>>>,
-    offers: BTreeMap<u64, Option<OfferEntry>>,
-    data: BTreeMap<AccountId, BTreeMap<String, Option<DataEntry>>>,
-    next_offer_id: u64,
+    pub(crate) accounts: BTreeMap<AccountId, Option<AccountEntry>>,
+    pub(crate) trustlines: BTreeMap<AccountId, BTreeMap<Asset, Option<TrustLineEntry>>>,
+    pub(crate) offers: BTreeMap<u64, Option<OfferEntry>>,
+    pub(crate) data: BTreeMap<AccountId, BTreeMap<String, Option<DataEntry>>>,
+    pub(crate) next_offer_id: u64,
 }
 
 /// A copy-on-write overlay over a [`LedgerStore`].
@@ -287,6 +297,23 @@ pub struct LedgerDelta<'a> {
     offers: BTreeMap<u64, Option<OfferEntry>>,
     data: BTreeMap<AccountId, BTreeMap<String, Option<DataEntry>>>,
     next_offer_id: u64,
+}
+
+impl<'a> LedgerDelta<'a> {
+    /// Starts an empty delta over an arbitrary backend with an explicit
+    /// offer-id allocator base. The parallel apply path uses this to run
+    /// transactions over wave snapshots (and over the accumulated master
+    /// state) with per-transaction provisional id ranges.
+    pub(crate) fn over(base: &'a dyn LedgerBackend, next_offer_id: u64) -> LedgerDelta<'a> {
+        LedgerDelta {
+            base,
+            accounts: BTreeMap::new(),
+            trustlines: BTreeMap::new(),
+            offers: BTreeMap::new(),
+            data: BTreeMap::new(),
+            next_offer_id,
+        }
+    }
 }
 
 impl LedgerDelta<'_> {

@@ -55,4 +55,5 @@ pub use stellar_persist as persist;
 pub use stellar_quorum as quorum;
 pub use stellar_scp as scp;
 pub use stellar_sim as sim;
+pub use stellar_store as store;
 pub use stellar_telemetry as telemetry;
