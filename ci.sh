@@ -62,4 +62,18 @@ BENCH_OUT_DIR="$SMOKE_DIR" STELLAR_STORE_BACKEND=disk cargo run --release -q -p 
 grep -q '"schema": "stellar-bench/v2"' "$SMOKE_DIR/BENCH_trace.json"
 grep -q '"schema": "stellar-bench/v2"' BENCH_trace.json  # committed full sweep
 
+echo "==> horizon indexer twin-run determinism (pipeline on/off externalize identical artifacts; both backends)"
+cargo test -q --test horizon_determinism
+STELLAR_STORE_BACKEND=disk cargo test -q --test horizon_determinism
+
+echo "==> horizon ingestion correctness (indexed history vs naive rescan, restart-mid-ingestion recovery)"
+cargo test -q --test horizon_ingest
+
+echo "==> horizon pipeline smoke (exp_horizon --quick; in-run gates: pipeline on/off twin headers, 10x burst shed without close stall, bounded admission table at 250k clients)"
+BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_horizon -- --quick
+grep -q '"schema": "stellar-bench/v2"' "$SMOKE_DIR/BENCH_horizon.json"
+BENCH_OUT_DIR="$SMOKE_DIR" STELLAR_STORE_BACKEND=disk cargo run --release -q -p stellar-bench --bin exp_horizon -- --quick
+grep -q '"schema": "stellar-bench/v2"' "$SMOKE_DIR/BENCH_horizon.json"
+grep -q '"schema": "stellar-bench/v2"' BENCH_horizon.json  # committed full sweep
+
 echo "CI green."

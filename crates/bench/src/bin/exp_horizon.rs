@@ -1,0 +1,508 @@
+//! E20 — the horizon production pipeline under sustained query+submit
+//! load: p99 query latency vs ingestion lag, admission-controlled burst
+//! shedding, and the indexer on/off determinism gate.
+//!
+//! §5 of the paper describes Horizon as the API tier that "ingests the
+//! ledger changes" and serves clients without sitting on the consensus
+//! path. This experiment measures that tier end to end on a closing
+//! tiered public network (flagship: 36 nodes):
+//!
+//! 1. **latency vs lag** — horizon clients continuously query account
+//!    summaries, indexed history pages, and fee stats against the
+//!    observer while payment load closes ledgers. Sweeping the
+//!    ingestion cadence (per-close, 2 s, 8 s) trades freshness for
+//!    batching: wall-clock query p50/p99 (µs) is reported against the
+//!    ingestion-lag distribution (ledgers behind head) sampled at each
+//!    query.
+//! 2. **determinism** — a same-seed twin with the whole pipeline
+//!    removed must externalize byte-identical headers (the header's
+//!    snapshot hash commits the bucket list), ledger by ledger: the
+//!    pipeline is provably off-consensus at bench scale.
+//! 3. **burst shedding** — a 10× submission burst against a strict
+//!    admission tuning must be shed at the front door (shed > 0)
+//!    while ledgers keep closing at a cadence within 1.6× of the
+//!    unburdened run: overload degrades service, never consensus.
+//! 4. **1M clients** — the admission front door itself is driven by
+//!    one million *distinct* client identities (the fan-in the 36-node
+//!    network's front door would see); the per-source bucket table must
+//!    stay within its configured bound via idle-bucket recycling, at
+//!    millions of decisions per second.
+//!
+//! The committed `BENCH_horizon.json` doubles as the regression
+//! baseline: reruns fail if the schema drifts, if the (deterministic,
+//! simulated) ingestion-lag curve grows more than 50% over the
+//! committed figure, or if the burst run stops shedding.
+//!
+//! ```sh
+//! cargo run --release -p stellar-bench --bin exp_horizon [-- --quick]
+//! ```
+
+use std::time::Instant;
+use stellar_bench::{print_table, write_bench_json};
+use stellar_crypto::sign::PublicKey;
+use stellar_horizon::{AdmissionConfig, AdmissionControl};
+use stellar_ledger::entry::AccountId;
+use stellar_sim::scenario::Scenario;
+use stellar_sim::{SimConfig, SimReport, Simulation};
+use stellar_telemetry::Json;
+
+/// One sweep point: a tiered public-network topology under payment and
+/// horizon query load.
+#[derive(Clone, Copy)]
+struct Config {
+    n_orgs: u32,
+    validators_per_org: u32,
+    n_watchers: u32,
+    tx_rate: f64,
+    query_rate: f64,
+    target_ledgers: u64,
+    /// The acceptance-gated flagship (36 nodes).
+    flagship: bool,
+}
+
+impl Config {
+    fn nodes(&self) -> u32 {
+        self.n_orgs * self.validators_per_org + self.n_watchers
+    }
+
+    fn sim(
+        &self,
+        admission: Option<AdmissionConfig>,
+        tx_rate: f64,
+        query_rate: f64,
+        ingest_interval_ms: u64,
+    ) -> SimConfig {
+        SimConfig {
+            scenario: Scenario::PublicNetwork {
+                n_orgs: self.n_orgs,
+                validators_per_org: self.validators_per_org,
+                n_watchers: self.n_watchers,
+            },
+            n_accounts: 2_000,
+            tx_rate,
+            target_ledgers: self.target_ledgers,
+            seed: 0xE20,
+            horizon: admission,
+            horizon_query_rate: query_rate,
+            horizon_ingest_interval_ms: ingest_interval_ms,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// A front door that never sheds: the admission code path runs on every
+/// submission, but consensus input matches the pipeline-free twin.
+fn permissive_admission() -> AdmissionConfig {
+    AdmissionConfig {
+        bucket_capacity: 1 << 20,
+        refill_per_sec: 1 << 20,
+        queue_capacity: 1 << 20,
+        max_pending: 1 << 20,
+        ..AdmissionConfig::default()
+    }
+}
+
+/// A production-strict tuning for the burst experiment: a small global
+/// pending limit so collapse-grade load is shed cheaply at the door.
+fn strict_admission() -> AdmissionConfig {
+    AdmissionConfig {
+        bucket_capacity: 4,
+        refill_per_sec: 1,
+        queue_capacity: 100,
+        max_pending: 60,
+        ..AdmissionConfig::default()
+    }
+}
+
+/// Mean observer-side inter-close interval (simulated ms).
+fn mean_close_interval_ms(report: &SimReport) -> f64 {
+    let times: Vec<u64> = report
+        .ledgers
+        .iter()
+        .map(|l| l.externalized_at_ms)
+        .collect();
+    if times.len() < 2 {
+        return 0.0;
+    }
+    times.windows(2).map(|w| (w[1] - w[0]) as f64).sum::<f64>() / (times.len() - 1) as f64
+}
+
+fn run_sim(cfg: SimConfig, target: u64) -> (Simulation, SimReport) {
+    let mut sim = Simulation::new(cfg);
+    let report = sim.run();
+    assert!(
+        report.ledgers.len() as u64 >= target,
+        "run closed only {} of {} ledgers",
+        report.ledgers.len(),
+        target
+    );
+    (sim, report)
+}
+
+/// The admission front door alone, under `clients` *distinct* client
+/// identities arriving at a sustained ~100 clients/ms. Returns the
+/// results object for the report.
+fn front_door_scale(clients: u64) -> Json {
+    let cfg = AdmissionConfig::default();
+    let mut ac = AdmissionControl::new(cfg);
+    let (mut admitted, mut shed) = (0u64, 0u64);
+    let t0 = Instant::now();
+    for i in 0..clients {
+        // A synthetic identity per client; the sustained clock advance
+        // (1 ms per 100 arrivals) is what lets idle-bucket recycling
+        // keep the table bounded.
+        let source = AccountId(PublicKey(0x5EED_0000 + i));
+        match ac.admit(source, i / 100, 0) {
+            Ok(()) => admitted += 1,
+            Err(_) => shed += 1,
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let tracked = ac.tracked_sources();
+    let recycles = ac.registry.counter("admission.table_recycles");
+    assert!(
+        tracked <= cfg.max_sources,
+        "bucket table exceeded its bound: {} > {}",
+        tracked,
+        cfg.max_sources
+    );
+    assert!(
+        recycles > 0,
+        "a {clients}-client run must exercise table recycling"
+    );
+    eprintln!(
+        "front door: {clients} distinct clients in {wall:.2} s \
+         ({:.2} M decisions/s), table peak ≤ {}, {} recycles",
+        clients as f64 / wall / 1e6,
+        cfg.max_sources,
+        recycles
+    );
+    Json::obj()
+        .set("clients", clients)
+        .set("admitted", admitted)
+        .set("shed", shed)
+        .set("wall_s", wall)
+        .set("decisions_per_s", clients as f64 / wall)
+        .set("tracked_sources_final", tracked as u64)
+        .set("max_sources", cfg.max_sources as u64)
+        .set("table_recycles", recycles)
+}
+
+/// Loads the committed previous results, if present (they double as the
+/// regression baseline).
+fn load_committed() -> Option<Json> {
+    let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    for candidate in [
+        std::path::Path::new(&dir).join("BENCH_horizon.json"),
+        std::path::PathBuf::from("BENCH_horizon.json"),
+    ] {
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            if let Ok(doc) = Json::parse(&text) {
+                return Some(doc);
+            }
+        }
+    }
+    None
+}
+
+/// Committed mean ingestion lag for a (nodes, cadence) point, if any.
+fn committed_lag_mean(doc: &Json, nodes: u32, cadence: u64) -> Option<f64> {
+    for r in doc.get("results")?.as_arr()? {
+        if r.get("nodes").and_then(Json::as_f64) == Some(nodes as f64)
+            && r.get("ingest_interval_ms").and_then(Json::as_f64) == Some(cadence as f64)
+        {
+            return r.get("lag_mean_ledgers").and_then(Json::as_f64);
+        }
+    }
+    None
+}
+
+/// Validates the committed document's shape before using it as a gate.
+fn check_schema(doc: &Json) {
+    let schema = doc.get("schema").and_then(Json::as_str);
+    assert_eq!(
+        schema,
+        Some("stellar-bench/v2"),
+        "committed BENCH_horizon.json schema mismatch: {schema:?}"
+    );
+    let name = doc.get("name").and_then(Json::as_str);
+    assert_eq!(
+        name,
+        Some("horizon"),
+        "committed BENCH_horizon.json is not the horizon document"
+    );
+    assert!(
+        doc.get("results").and_then(Json::as_arr).is_some(),
+        "committed BENCH_horizon.json has no results array"
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The quick config is the full sweep's smallest point, so the
+    // committed baseline covers it and CI gets a real regression gate.
+    let small = Config {
+        n_orgs: 3,
+        validators_per_org: 3,
+        n_watchers: 6,
+        tx_rate: 2.0,
+        query_rate: 20.0,
+        target_ledgers: 6,
+        flagship: false,
+    };
+    let configs: Vec<Config> = if quick {
+        vec![small]
+    } else {
+        vec![
+            small,
+            // Flagship: the 36-node tiered topology with sustained
+            // query+submit load — the acceptance setting.
+            Config {
+                n_orgs: 4,
+                validators_per_org: 3,
+                n_watchers: 24,
+                tx_rate: 20.0,
+                query_rate: 50.0,
+                target_ledgers: 8,
+                flagship: true,
+            },
+        ]
+    };
+    // Ingestion cadence sweep: per-close (lag pinned at 0), sub-interval
+    // batching, and super-interval batching (lag must appear). Quick
+    // runs keep the two endpoints the gates need.
+    let cadences: &[u64] = if quick {
+        &[0, 8_000]
+    } else {
+        &[0, 2_000, 8_000]
+    };
+
+    let committed = load_committed();
+    if let Some(doc) = &committed {
+        check_schema(doc);
+    }
+
+    println!("=== E20: horizon pipeline (query latency vs ingestion lag, burst shedding) ===\n");
+    let mut lat_rows = Vec::new();
+    let mut burst_rows = Vec::new();
+    let mut results = Vec::new();
+    let mut bursts = Vec::new();
+    for cfg in &configs {
+        eprintln!(
+            "running {} nodes ({} orgs × {} validators + {} watchers), {} tx/s + {} q/s …",
+            cfg.nodes(),
+            cfg.n_orgs,
+            cfg.validators_per_org,
+            cfg.n_watchers,
+            cfg.tx_rate,
+            cfg.query_rate
+        );
+
+        // -- latency vs ingestion lag, sweeping the cadence ------------
+        let mut baseline_interval = 0.0f64;
+        let mut per_close_sim = None;
+        for &cadence in cadences {
+            let (sim, report) = run_sim(
+                cfg.sim(
+                    Some(permissive_admission()),
+                    cfg.tx_rate,
+                    cfg.query_rate,
+                    cadence,
+                ),
+                cfg.target_ledgers,
+            );
+            let m = sim.horizon_metrics();
+            let queries = m.counter("horizon.queries");
+            assert!(queries > 0, "query load must have run");
+            let q = m.histogram("horizon.query_ns").expect("query histogram");
+            let lag = m.histogram("horizon.lag_at_query").expect("lag histogram");
+            let (q_p50, q_p99) = (q.quantile(0.5), q.quantile(0.99));
+            let (lag_mean, lag_max) = (lag.mean(), lag.max());
+            let p = sim.horizon().expect("pipeline attached");
+            let head = sim.validator(sim.observer_id()).herder.header.ledger_seq;
+            if cadence == 0 {
+                // Per-close ingestion: the indexer tracks the head
+                // exactly, so every query observes zero lag.
+                assert_eq!(p.indexer.ingested_seq(), head, "per-close indexer lags");
+                assert_eq!(lag_max, 0, "per-close ingestion must pin lag at 0");
+                baseline_interval = mean_close_interval_ms(&report);
+            } else {
+                assert!(
+                    p.registry().counter("ingest.ledgers") > 0,
+                    "indexer never ran"
+                );
+            }
+            if cadence > 5_000 {
+                // Batching slower than the close cadence must make lag
+                // visible to clients — that is the freshness trade-off
+                // this sweep quantifies.
+                assert!(lag_max > 0, "super-interval cadence showed no lag");
+            }
+            if let Some(doc) = &committed {
+                if let Some(base) = committed_lag_mean(doc, cfg.nodes(), cadence) {
+                    assert!(
+                        lag_mean <= base * 1.5 + 0.25,
+                        "ingestion lag regressed at cadence {cadence}: \
+                         mean {lag_mean:.2} vs committed {base:.2} ledgers"
+                    );
+                }
+            }
+
+            lat_rows.push(vec![
+                format!("{}", cfg.nodes()),
+                format!("{:.0}", cfg.query_rate),
+                if cadence == 0 {
+                    "close".into()
+                } else {
+                    format!("{cadence}")
+                },
+                format!("{}", report.ledgers.len()),
+                format!("{}", queries),
+                format!("{:.1}", q_p50 as f64 / 1000.0),
+                format!("{:.1}", q_p99 as f64 / 1000.0),
+                format!("{:.2}", lag_mean),
+                format!("{}", lag_max),
+            ]);
+            results.push(
+                Json::obj()
+                    .set("nodes", u64::from(cfg.nodes()))
+                    .set("n_orgs", u64::from(cfg.n_orgs))
+                    .set("validators_per_org", u64::from(cfg.validators_per_org))
+                    .set("n_watchers", u64::from(cfg.n_watchers))
+                    .set("tx_rate", cfg.tx_rate)
+                    .set("query_rate", cfg.query_rate)
+                    .set("ingest_interval_ms", cadence)
+                    .set("ledgers", report.ledgers.len() as u64)
+                    .set("queries", queries)
+                    .set("query_p50_ns", q_p50)
+                    .set("query_p99_ns", q_p99)
+                    .set("lag_mean_ledgers", lag_mean)
+                    .set("lag_max_ledgers", lag_max)
+                    .set("ingested_ledgers", p.registry().counter("ingest.ledgers"))
+                    .set("flagship", cfg.flagship),
+            );
+            if cadence == 0 {
+                per_close_sim = Some(sim);
+            }
+        }
+
+        // -- determinism: pipeline on vs off, same seed ----------------
+        let with = per_close_sim.expect("per-close run present");
+        let (without, _) = run_sim(cfg.sim(None, cfg.tx_rate, 0.0, 0), cfg.target_ledgers);
+        let obs = with.observer_id();
+        assert_eq!(obs, without.observer_id());
+        let (hw, ho) = (&with.validator(obs).herder, &without.validator(obs).herder);
+        assert_eq!(
+            hw.header.hash(),
+            ho.header.hash(),
+            "pipeline on/off twins diverged at the final header"
+        );
+        assert_eq!(
+            hw.header.snapshot_hash, ho.header.snapshot_hash,
+            "pipeline on/off twins diverged in the bucket list"
+        );
+        let latest = hw.archive.latest_seq().expect("closed ledgers");
+        for seq in 2..=latest {
+            assert_eq!(
+                hw.archive.header(seq).map(|h| h.hash()),
+                ho.archive.header(seq).map(|h| h.hash()),
+                "pipeline on/off twins diverged at archived header {seq}"
+            );
+        }
+        drop(with);
+
+        // -- 10× submission burst against the strict front door --------
+        let (burst_sim, burst_report) = run_sim(
+            cfg.sim(
+                Some(strict_admission()),
+                cfg.tx_rate * 10.0,
+                cfg.query_rate,
+                0,
+            ),
+            cfg.target_ledgers,
+        );
+        let bm = burst_sim.horizon_metrics();
+        let submitted = bm.counter("horizon.submitted");
+        let shed = bm.counter("horizon.shed");
+        assert!(shed > 0, "a 10× burst against a strict door must shed");
+        let attempts = submitted + shed;
+        let shed_frac = shed as f64 / attempts.max(1) as f64;
+        let burst_interval = mean_close_interval_ms(&burst_report);
+        // The acceptance property: overload is absorbed at the door and
+        // the close cadence stays within a small factor of the
+        // unburdened run (simulated time, so this is deterministic).
+        assert!(
+            burst_interval <= baseline_interval * 1.6 + 1.0,
+            "ledger close stalled under burst: {burst_interval:.0} ms \
+             vs baseline {baseline_interval:.0} ms"
+        );
+
+        burst_rows.push(vec![
+            format!("{}", cfg.nodes()),
+            format!("{:.0}", cfg.tx_rate * 10.0),
+            format!("{}", burst_report.ledgers.len()),
+            format!("{}", attempts),
+            format!("{}", shed),
+            format!("{:.0}%", shed_frac * 100.0),
+            format!("{:.0}", baseline_interval),
+            format!("{:.0}", burst_interval),
+        ]);
+        bursts.push(
+            Json::obj()
+                .set("nodes", u64::from(cfg.nodes()))
+                .set("burst_tx_rate", cfg.tx_rate * 10.0)
+                .set("ledgers", burst_report.ledgers.len() as u64)
+                .set("attempts", attempts)
+                .set("submitted", submitted)
+                .set("shed", shed)
+                .set("rejected", bm.counter("horizon.rejected"))
+                .set("shed_frac", shed_frac)
+                .set("baseline_close_interval_ms", baseline_interval)
+                .set("burst_close_interval_ms", burst_interval)
+                .set("flagship", cfg.flagship),
+        );
+    }
+
+    // -- the front door alone at 1M-client fan-in ----------------------
+    let clients = if quick { 250_000 } else { 1_000_000 };
+    let front_door = front_door_scale(clients);
+
+    println!("query latency vs ingestion lag (µs wall-clock; lag in ledgers):");
+    print_table(
+        &[
+            "nodes", "q/s", "cadence", "ledgers", "queries", "p50 µs", "p99 µs", "lag μ", "lag max",
+        ],
+        &lat_rows,
+    );
+    println!("\n10× submission burst vs strict admission (close intervals simulated-ms):");
+    print_table(
+        &[
+            "nodes",
+            "tx/s",
+            "ledgers",
+            "attempts",
+            "shed",
+            "shed %",
+            "base ivl",
+            "burst ivl",
+        ],
+        &burst_rows,
+    );
+    println!(
+        "\n(per-close cadence pins lag at 0; super-interval batching trades \
+         freshness for batching and the lag column shows it; pipeline \
+         on/off twins externalized byte-identical headers at every point; \
+         the front door absorbed {clients} distinct clients in a bounded \
+         bucket table)"
+    );
+
+    let doc = Json::obj()
+        .set("schema", "stellar-bench/v2")
+        .set("name", "horizon")
+        .set("quick", quick)
+        .set("deterministic", true)
+        .set("results", Json::Arr(results))
+        .set("burst", Json::Arr(bursts))
+        .set("front_door", front_door);
+    write_bench_json("horizon", &doc).expect("write BENCH_horizon.json");
+}

@@ -10,17 +10,18 @@
 use crate::queue::TxQueue;
 use crate::upgrade::{UpgradePolicy, UpgradeVerdict};
 use crate::value::StellarValue;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::time::Duration;
 use stellar_buckets::{BucketList, HistoryArchive};
 use stellar_crypto::codec::{Decode, Encode};
 use stellar_crypto::sign::PublicKey;
 use stellar_crypto::Hash256;
 use stellar_ledger::apply::close_ledger;
+use stellar_ledger::entry::{LedgerEntry, LedgerKey};
 use stellar_ledger::header::LedgerHeader;
 use stellar_ledger::sigcache::SigVerifyCache;
 use stellar_ledger::store::LedgerStore;
-use stellar_ledger::tx::TxResult;
+use stellar_ledger::tx::{TransactionEnvelope, TxResult};
 use stellar_ledger::txset::TransactionSet;
 use stellar_ledger::StoreIoStats;
 use stellar_persist::DurableStore;
@@ -53,6 +54,26 @@ stellar_crypto::impl_codec_struct!(LclRecord {
     header,
     bucket_hashes,
 });
+
+/// One ledger close as seen by an off-consensus consumer — the feed the
+/// Horizon ingestion indexer materializes its tables from. Produced only
+/// when a consumer opted in via [`Herder::enable_ingest`]; consensus
+/// never reads it, so enabling or disabling it cannot change what the
+/// node externalizes (the twin-run determinism gate in CI asserts this).
+#[derive(Clone, Debug)]
+pub struct CloseEvent {
+    /// Ledger sequence that closed.
+    pub ledger_seq: u64,
+    /// Consensus close time (seconds).
+    pub close_time: u64,
+    /// The applied transaction set, in apply order.
+    pub txs: Vec<TransactionEnvelope>,
+    /// Per-transaction results, parallel to `txs`.
+    pub results: Vec<TxResult>,
+    /// The ledger-entry change feed from this close: every created,
+    /// updated (`Some`), or deleted (`None`) entry.
+    pub changes: Vec<(LedgerKey, Option<LedgerEntry>)>,
+}
 
 /// Statistics from one ledger close (feeds the §7.3 metrics).
 #[derive(Clone, Debug)]
@@ -148,6 +169,16 @@ pub struct Herder {
     /// Data-disk I/O counters as of the previous close — the per-close
     /// telemetry deltas are computed against this.
     last_store_stats: StoreIoStats,
+    /// Close-event feed for the Horizon ingestion indexer. `None` (the
+    /// default) costs nothing on the close path; [`Herder::enable_ingest`]
+    /// turns it on with a bounded capacity.
+    ingest_buffer: Option<VecDeque<CloseEvent>>,
+    /// Capacity bound on `ingest_buffer`.
+    ingest_cap: usize,
+    /// Close events dropped because the consumer fell more than
+    /// `ingest_cap` ledgers behind (the indexer detects the gap via the
+    /// sequence numbers and catches up from the archive).
+    pub ingest_dropped: u64,
 
     // ---- buffered driver outputs ----
     /// Envelopes to flood.
@@ -188,6 +219,9 @@ impl Herder {
             archive: HistoryArchive::new(),
             header,
             last_store_stats,
+            ingest_buffer: None,
+            ingest_cap: 0,
+            ingest_dropped: 0,
             queue: TxQueue::new(),
             sig_cache: SigVerifyCache::new(1 << 16),
             upgrade_policy: UpgradePolicy::default(),
@@ -231,6 +265,9 @@ impl Herder {
             archive: HistoryArchive::new(),
             header,
             last_store_stats,
+            ingest_buffer: None,
+            ingest_cap: 0,
+            ingest_dropped: 0,
             queue: TxQueue::new(),
             sig_cache: SigVerifyCache::new(1 << 16),
             upgrade_policy: UpgradePolicy::default(),
@@ -275,6 +312,58 @@ impl Herder {
         for &w in &stats.wave_sizes {
             reg.observe("apply.wave_size", w as u64);
         }
+    }
+
+    /// Turns on the close-event feed for an ingestion consumer, keeping
+    /// at most `cap` pending events. Off-consensus: the feed is produced
+    /// after the close is already final, so enabling it cannot change
+    /// externalized headers or bucket hashes.
+    pub fn enable_ingest(&mut self, cap: usize) {
+        self.ingest_cap = cap.max(1);
+        if self.ingest_buffer.is_none() {
+            self.ingest_buffer = Some(VecDeque::new());
+        }
+    }
+
+    /// True when a close-event consumer is attached.
+    pub fn ingest_enabled(&self) -> bool {
+        self.ingest_buffer.is_some()
+    }
+
+    /// Drains pending close events (oldest first).
+    pub fn take_close_events(&mut self) -> Vec<CloseEvent> {
+        match self.ingest_buffer.as_mut() {
+            Some(buf) => buf.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Appends one close to the ingest feed (no-op when disabled). The
+    /// change vector is moved in — the close path is done with it either
+    /// way — while txs/results are cloned only when a consumer exists.
+    fn push_close_event(
+        &mut self,
+        ledger_seq: u64,
+        close_time: u64,
+        set: &TransactionSet,
+        results: &[TxResult],
+        changes: Vec<(LedgerKey, Option<LedgerEntry>)>,
+    ) {
+        let Some(buf) = self.ingest_buffer.as_mut() else {
+            return;
+        };
+        if buf.len() >= self.ingest_cap {
+            buf.pop_front();
+            self.ingest_dropped += 1;
+            self.telemetry.registry.inc("ingest.feed_dropped");
+        }
+        buf.push_back(CloseEvent {
+            ledger_seq,
+            close_time,
+            txs: set.txs.clone(),
+            results: results.to_vec(),
+            changes,
+        });
     }
 
     /// The slot index the network is currently deciding.
@@ -392,7 +481,7 @@ impl Herder {
         for u in &value.upgrades {
             u.apply(&mut params);
         }
-        let result = close_ledger(
+        let mut result = close_ledger(
             &mut self.store,
             &self.header,
             &set,
@@ -402,6 +491,13 @@ impl Herder {
         );
         self.buckets
             .add_batch(result.header.ledger_seq, &result.changes);
+        self.push_close_event(
+            result.header.ledger_seq,
+            value.close_time,
+            &set,
+            &result.results,
+            std::mem::take(&mut result.changes),
+        );
         let mut header = result.header;
         header.snapshot_hash = self.buckets.hash();
         let apply_time = start.elapsed();
@@ -485,7 +581,7 @@ impl Herder {
             // the replayed header hashes are unaffected.
             let mut params = expected.params;
             params.apply_threads = self.header.params.apply_threads;
-            let result = close_ledger(
+            let mut result = close_ledger(
                 &mut self.store,
                 &self.header,
                 set,
@@ -495,6 +591,7 @@ impl Herder {
             );
             self.buckets
                 .add_batch(result.header.ledger_seq, &result.changes);
+            let changes = std::mem::take(&mut result.changes);
             let mut header = result.header;
             header.snapshot_hash = self.buckets.hash();
             if header.hash() != expected.hash() {
@@ -503,6 +600,15 @@ impl Herder {
             }
             self.archive.publish(&header, set, &mut self.buckets);
             self.header = header;
+            // Replay re-emits the feed so a recovering node's indexer
+            // rebuilds the same tables it would have ingested live.
+            self.push_close_event(
+                self.header.ledger_seq,
+                expected.close_time,
+                set,
+                &result.results,
+                changes,
+            );
             let failed = result.results.iter().filter(|r| !r.is_success()).count();
             self.close_stats.push(CloseStats {
                 ledger_seq: self.header.ledger_seq,

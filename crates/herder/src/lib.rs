@@ -28,7 +28,7 @@ pub mod upgrade;
 pub mod validator;
 pub mod value;
 
-pub use herder::Herder;
+pub use herder::{CloseEvent, Herder};
 pub use queue::TxQueue;
 pub use upgrade::{Upgrade, UpgradePolicy};
 pub use validator::Validator;

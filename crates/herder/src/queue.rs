@@ -27,6 +27,8 @@ pub enum QueueError {
     BadSignature,
     /// Duplicate submission.
     Duplicate,
+    /// The queue is at capacity — backpressure; retry after a close.
+    QueueFull,
 }
 
 /// Pending transactions, per source account, ordered by sequence.
@@ -34,12 +36,29 @@ pub enum QueueError {
 pub struct TxQueue {
     by_account: BTreeMap<AccountId, BTreeMap<u64, TransactionEnvelope>>,
     seen: HashSet<Hash256>,
+    /// Admission cap on queued transactions (`None` = unbounded, the
+    /// historical behavior). Set by the Horizon admission layer so a
+    /// submit flood backs up at the front end instead of growing the
+    /// nomination candidate scan without bound.
+    capacity: Option<usize>,
 }
 
 impl TxQueue {
     /// An empty queue.
     pub fn new() -> TxQueue {
         TxQueue::default()
+    }
+
+    /// Bounds the queue at `capacity` pending transactions; submissions
+    /// beyond it are refused with [`QueueError::QueueFull`]. Already
+    /// queued transactions are kept even if over the new bound.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+    }
+
+    /// The configured admission cap, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Number of queued transactions.
@@ -67,6 +86,9 @@ impl TxQueue {
         let h = env.hash();
         if self.seen.contains(&h) {
             return Err(QueueError::Duplicate);
+        }
+        if self.capacity.is_some_and(|cap| self.seen.len() >= cap) {
+            return Err(QueueError::QueueFull);
         }
         if env.tx.fee < env.tx.min_fee() || env.tx.fee_rate() < BASE_FEE {
             return Err(QueueError::FeeTooLow);

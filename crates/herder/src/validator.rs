@@ -35,6 +35,7 @@ fn queue_reject_reason(e: &QueueError) -> &'static str {
         QueueError::StaleSequence => "stale_sequence",
         QueueError::BadSignature => "bad_signature",
         QueueError::Duplicate => "duplicate",
+        QueueError::QueueFull => "queue_full",
     }
 }
 

@@ -1,0 +1,226 @@
+//! Admission control: the submit front door.
+//!
+//! "Is Stellar As Secure As You Think?" documents congestion collapse
+//! when submission load reaches consensus unchecked. This module sheds
+//! load *before* it costs anything real: a token bucket per source
+//! account (burst-tolerant fairness), a global pending-transaction
+//! limit (backpressure from the herder's bounded queue), and typed
+//! [`HorizonError::RateLimited`] errors carrying a concrete
+//! `retry_after_ms`, so well-behaved clients back off instead of
+//! hammering. All arithmetic is integer and driven by the caller's
+//! clock — deterministic under the simulator.
+
+use crate::api::HorizonError;
+use std::collections::BTreeMap;
+use stellar_ledger::entry::AccountId;
+use stellar_telemetry::Registry;
+
+/// Tuning for [`AdmissionControl`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Token-bucket burst size per source account (transactions).
+    pub bucket_capacity: u32,
+    /// Steady-state refill per source (transactions per second).
+    pub refill_per_sec: u32,
+    /// Hard bound installed on the herder's tx queue (its
+    /// [`QueueFull`](stellar_herder::queue::QueueError::QueueFull)
+    /// refusal is the last-resort backpressure).
+    pub queue_capacity: usize,
+    /// Global admission limit: shed when the queue holds this many
+    /// pending transactions (set below `queue_capacity` so shedding
+    /// normally happens here, cheaply, before signature checks).
+    pub max_pending: usize,
+    /// Backoff suggested when the global limit sheds.
+    pub retry_after_ms: u64,
+    /// Bound on the per-source bucket table (millions of clients must
+    /// not grow memory without bound; idle full buckets are recycled).
+    pub max_sources: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            bucket_capacity: 8,
+            refill_per_sec: 2,
+            queue_capacity: 10_000,
+            max_pending: 8_000,
+            retry_after_ms: 1_000,
+            max_sources: 1 << 16,
+        }
+    }
+}
+
+/// Milli-token bucket: refill math stays exact in integers
+/// (`refill_per_sec` tokens/s ≡ `refill_per_sec` milli-tokens/ms).
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    milli_tokens: u64,
+    last_ms: u64,
+}
+
+/// Per-source token buckets + global pending limit.
+pub struct AdmissionControl {
+    cfg: AdmissionConfig,
+    buckets: BTreeMap<AccountId, Bucket>,
+    /// `admission.*` counters.
+    pub registry: Registry,
+}
+
+impl AdmissionControl {
+    /// A controller with the given tuning.
+    pub fn new(cfg: AdmissionConfig) -> AdmissionControl {
+        AdmissionControl {
+            cfg,
+            buckets: BTreeMap::new(),
+            registry: Registry::new(),
+        }
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Decides one submission. `queue_len` is the validator's current
+    /// pending-queue depth (the global congestion signal); `now_ms`
+    /// drives bucket refill. `Ok(())` means the transaction may proceed
+    /// to signature checks and the queue.
+    pub fn admit(
+        &mut self,
+        source: AccountId,
+        now_ms: u64,
+        queue_len: usize,
+    ) -> Result<(), HorizonError> {
+        // Global limiter first: under collapse-grade load, shed without
+        // touching per-source state at all.
+        if queue_len >= self.cfg.max_pending {
+            self.registry.inc("admission.shed_global");
+            return Err(HorizonError::RateLimited {
+                retry_after_ms: self.cfg.retry_after_ms,
+            });
+        }
+        let full = u64::from(self.cfg.bucket_capacity) * 1000;
+        let refill = u64::from(self.cfg.refill_per_sec.max(1));
+        if self.buckets.len() >= self.cfg.max_sources && !self.buckets.contains_key(&source) {
+            // Recycle buckets that have refilled to full — they carry no
+            // information a fresh bucket wouldn't. Deterministic: depends
+            // only on bucket state and the caller's clock.
+            self.buckets
+                .retain(|_, b| b.milli_tokens + now_ms.saturating_sub(b.last_ms) * refill < full);
+            self.registry.inc("admission.table_recycles");
+            if self.buckets.len() >= self.cfg.max_sources {
+                self.registry.inc("admission.shed_table_full");
+                return Err(HorizonError::RateLimited {
+                    retry_after_ms: self.cfg.retry_after_ms,
+                });
+            }
+        }
+        let b = self.buckets.entry(source).or_insert(Bucket {
+            milli_tokens: full,
+            last_ms: now_ms,
+        });
+        let elapsed = now_ms.saturating_sub(b.last_ms);
+        b.milli_tokens = (b.milli_tokens + elapsed * refill).min(full);
+        b.last_ms = now_ms;
+        if b.milli_tokens >= 1000 {
+            b.milli_tokens -= 1000;
+            self.registry.inc("admission.admitted");
+            Ok(())
+        } else {
+            // Exactly when the next whole token accrues.
+            let retry_after_ms = (1000 - b.milli_tokens).div_ceil(refill).max(1);
+            self.registry.inc("admission.shed_source");
+            Err(HorizonError::RateLimited { retry_after_ms })
+        }
+    }
+
+    /// Sources currently holding a bucket.
+    pub fn tracked_sources(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_crypto::sign::KeyPair;
+
+    fn acct(n: u64) -> AccountId {
+        AccountId(KeyPair::from_seed(700 + n).public())
+    }
+
+    #[test]
+    fn bucket_allows_burst_then_refills() {
+        let mut ac = AdmissionControl::new(AdmissionConfig {
+            bucket_capacity: 2,
+            refill_per_sec: 1,
+            ..AdmissionConfig::default()
+        });
+        assert!(ac.admit(acct(0), 0, 0).is_ok());
+        assert!(ac.admit(acct(0), 0, 0).is_ok());
+        let HorizonError::RateLimited { retry_after_ms } = ac.admit(acct(0), 0, 0).unwrap_err()
+        else {
+            panic!("expected RateLimited");
+        };
+        // Empty bucket at 1 token/s: exactly one second to the next token.
+        assert_eq!(retry_after_ms, 1000);
+        // Following the suggested backoff precisely is enough.
+        assert!(ac.admit(acct(0), retry_after_ms, 0).is_ok());
+        assert!(ac.admit(acct(0), retry_after_ms, 0).is_err());
+        // An unrelated source is unaffected.
+        assert!(ac.admit(acct(1), 0, 0).is_ok());
+    }
+
+    #[test]
+    fn retry_after_is_exact_for_sub_second_refills() {
+        let mut ac = AdmissionControl::new(AdmissionConfig {
+            bucket_capacity: 1,
+            refill_per_sec: 4, // 250ms per token
+            ..AdmissionConfig::default()
+        });
+        assert!(ac.admit(acct(0), 0, 0).is_ok());
+        let HorizonError::RateLimited { retry_after_ms } = ac.admit(acct(0), 0, 0).unwrap_err()
+        else {
+            panic!("expected RateLimited");
+        };
+        assert_eq!(retry_after_ms, 250);
+        assert!(ac.admit(acct(0), 249, 0).is_err());
+        assert!(ac.admit(acct(0), 250, 0).is_ok());
+    }
+
+    #[test]
+    fn global_limit_sheds_before_touching_buckets() {
+        let mut ac = AdmissionControl::new(AdmissionConfig {
+            max_pending: 10,
+            retry_after_ms: 77,
+            ..AdmissionConfig::default()
+        });
+        assert_eq!(
+            ac.admit(acct(1), 0, 10),
+            Err(HorizonError::RateLimited { retry_after_ms: 77 })
+        );
+        // Global shedding allocates no per-source state at all.
+        assert_eq!(ac.tracked_sources(), 0);
+        assert!(ac.admit(acct(1), 0, 9).is_ok());
+        assert_eq!(ac.tracked_sources(), 1);
+    }
+
+    #[test]
+    fn full_table_recycles_refilled_buckets() {
+        let mut ac = AdmissionControl::new(AdmissionConfig {
+            bucket_capacity: 1,
+            refill_per_sec: 1,
+            max_sources: 2,
+            ..AdmissionConfig::default()
+        });
+        assert!(ac.admit(acct(0), 0, 0).is_ok());
+        assert!(ac.admit(acct(1), 0, 0).is_ok());
+        assert_eq!(ac.tracked_sources(), 2);
+        // Table full, existing buckets still draining: newcomer is shed.
+        assert!(ac.admit(acct(2), 500, 0).is_err());
+        // Once the old buckets have refilled to full they carry no
+        // information a fresh bucket wouldn't, so they are recycled.
+        assert!(ac.admit(acct(2), 1000, 0).is_ok());
+        assert_eq!(ac.tracked_sources(), 1);
+    }
+}

@@ -4,14 +4,91 @@
 //! minimizing the risk of destabilizing stellar-core" — mirrored here by
 //! taking `&Herder` for every query and mutating only through the
 //! explicit submission path.
+//!
+//! Every endpoint shares one failure surface, [`HorizonError`]; list
+//! endpoints return `Result<Page<T>, HorizonError>` with cursor-based
+//! continuation. The previous ad-hoc shapes (`Option<AccountInfo>`, bare
+//! `(i64, i64)` fee stats) survive one release as `legacy_*` wrappers.
 
+use crate::admission::{AdmissionConfig, AdmissionControl};
+use crate::ingest::Indexer;
+use crate::stream::SubscriptionHub;
+use stellar_crypto::Hash256;
 use stellar_herder::queue::QueueError;
 use stellar_herder::Herder;
 use stellar_ledger::asset::Asset;
 use stellar_ledger::entry::AccountId;
 use stellar_ledger::pathfind::{find_best_path, quote_path};
 use stellar_ledger::tx::TransactionEnvelope;
-use stellar_telemetry::SpanEvent;
+use stellar_telemetry::{Registry, SpanEvent};
+
+/// Typed failure surface shared by every Horizon endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HorizonError {
+    /// The requested resource does not exist.
+    NotFound,
+    /// The request itself is invalid: bad paging parameters, or a
+    /// submission the queue refused outright.
+    Malformed {
+        /// Static reason label (no allocation on the reject path).
+        reason: &'static str,
+    },
+    /// Load was shed before reaching the validator; retry later.
+    RateLimited {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The data behind the requested cursor window is gone (evicted
+    /// stream buffer, indexer still catching up); resume from `resume`.
+    Staleness {
+        /// Cursor to resume from.
+        resume: u64,
+    },
+}
+
+impl std::fmt::Display for HorizonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HorizonError::NotFound => write!(f, "not found"),
+            HorizonError::Malformed { reason } => write!(f, "malformed request: {reason}"),
+            HorizonError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited; retry after {retry_after_ms}ms")
+            }
+            HorizonError::Staleness { resume } => {
+                write!(f, "cursor window gone; resume from {resume}")
+            }
+        }
+    }
+}
+
+/// Backoff suggested when the validator's pending queue is full: one
+/// ledger interval, after which a close will have drained it.
+pub(crate) const QUEUE_FULL_RETRY_MS: u64 = 5000;
+
+/// Static reject label for a queue refusal (no allocation on the
+/// submission hot path).
+fn submit_reject_reason(e: &QueueError) -> &'static str {
+    match e {
+        QueueError::FeeTooLow => "fee_too_low",
+        QueueError::UnknownSource => "unknown_source",
+        QueueError::StaleSequence => "stale_sequence",
+        QueueError::BadSignature => "bad_signature",
+        QueueError::Duplicate => "duplicate",
+        QueueError::QueueFull => "queue_full",
+    }
+}
+
+/// Rejects the degenerate page size before any endpoint does work: a
+/// zero-limit page can make no progress, so handing back a cursor would
+/// loop a paging client forever.
+pub(crate) fn check_limit(limit: usize) -> Result<(), HorizonError> {
+    if limit == 0 {
+        return Err(HorizonError::Malformed {
+            reason: "limit must be positive",
+        });
+    }
+    Ok(())
+}
 
 /// A client-facing account summary (balances across all assets).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,14 +122,21 @@ pub struct Page<T> {
 impl<T> Page<T> {
     /// Pages a fully-materialized listing: skips `cursor` records, takes
     /// `limit`, and sets the continuation cursor iff records remain.
-    fn slice(all: Vec<T>, cursor: Option<u64>, limit: usize) -> Page<T> {
-        let skip = cursor.unwrap_or(0) as usize;
+    ///
+    /// Edge cases are absorbed here so every endpoint inherits them: a
+    /// cursor at or past the end yields an empty terminal page (no wrap,
+    /// no panic), and a zero limit — which can never make progress — is
+    /// terminal rather than echoing the same cursor back forever.
+    pub(crate) fn slice(all: Vec<T>, cursor: Option<u64>, limit: usize) -> Page<T> {
         let total = all.len();
+        let skip = usize::try_from(cursor.unwrap_or(0))
+            .unwrap_or(usize::MAX)
+            .min(total);
         let records: Vec<T> = all.into_iter().skip(skip).take(limit).collect();
         let consumed = skip + records.len();
         Page {
             records,
-            cursor: (consumed < total).then_some(consumed as u64),
+            cursor: (limit > 0 && consumed < total).then_some(consumed as u64),
             limit,
         }
     }
@@ -75,13 +159,37 @@ pub struct TxRecord {
     pub timeline: Option<Vec<SpanEvent>>,
 }
 
+/// Current fee statistics, named instead of a bare tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FeeStats {
+    /// The protocol minimum fee per operation (stroops).
+    pub base_fee: i64,
+    /// The per-operation rate the last closed ledger actually cleared at
+    /// (equals `base_fee` when there was no fee auction).
+    pub last_clearing_fee: i64,
+    /// Transactions pending in this validator's queue — the congestion
+    /// signal a fee-bidding client reads.
+    pub queued_txs: usize,
+}
+
+/// A successful submission receipt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmitResult {
+    /// The accepted transaction's content hash — the key for
+    /// [`Horizon::find_transaction`] once it lands.
+    pub tx_hash: Hash256,
+    /// The lifecycle trace id (E18): the hash's u64 prefix, matching the
+    /// span timeline [`Horizon::transaction_timeline`] serves.
+    pub trace: u64,
+}
+
 /// The horizon query/submission facade over one validator.
 pub struct Horizon;
 
 impl Horizon {
-    /// Fetches an account summary, or `None` if it does not exist.
-    pub fn account(herder: &Herder, id: AccountId) -> Option<AccountInfo> {
-        let a = herder.store.account(id)?;
+    /// Fetches an account summary.
+    pub fn account(herder: &Herder, id: AccountId) -> Result<AccountInfo, HorizonError> {
+        let a = herder.store.account(id).ok_or(HorizonError::NotFound)?;
         // Indexed range scan over this account's trustlines — on the
         // disk backend a full entry dump would page in the whole store.
         let trustlines: Vec<(Asset, i64, i64, bool)> = herder
@@ -90,7 +198,7 @@ impl Horizon {
             .into_iter()
             .map(|t| (t.asset, t.balance, t.limit, t.authorized))
             .collect();
-        Some(AccountInfo {
+        Ok(AccountInfo {
             id,
             xlm_balance: a.balance,
             seq_num: a.seq_num,
@@ -99,12 +207,30 @@ impl Horizon {
         })
     }
 
-    /// Submits a transaction to the validator's pending queue.
-    pub fn submit(herder: &mut Herder, env: TransactionEnvelope) -> Result<(), QueueError> {
+    /// Submits a transaction to the validator's pending queue, returning
+    /// a receipt carrying the lifecycle trace id. A full queue surfaces
+    /// as [`HorizonError::RateLimited`] (backpressure); every other
+    /// refusal is [`HorizonError::Malformed`] with a static reason.
+    pub fn submit(
+        herder: &mut Herder,
+        env: TransactionEnvelope,
+    ) -> Result<SubmitResult, HorizonError> {
+        let tx_hash = env.hash();
         let store = &herder.store;
         // Split borrow: queue.submit needs &store, &mut queue, &mut cache.
         let q = &mut herder.queue;
-        q.submit(store, env, &mut herder.sig_cache)
+        match q.submit(store, env, &mut herder.sig_cache) {
+            Ok(()) => Ok(SubmitResult {
+                tx_hash,
+                trace: tx_hash.prefix_u64(),
+            }),
+            Err(QueueError::QueueFull) => Err(HorizonError::RateLimited {
+                retry_after_ms: QUEUE_FULL_RETRY_MS,
+            }),
+            Err(e) => Err(HorizonError::Malformed {
+                reason: submit_reject_reason(&e),
+            }),
+        }
     }
 
     /// The aggregated order book for a pair: `(price, total amount)`
@@ -116,7 +242,8 @@ impl Horizon {
         buying: &Asset,
         cursor: Option<u64>,
         limit: usize,
-    ) -> Page<(stellar_ledger::amount::Price, i64)> {
+    ) -> Result<Page<(stellar_ledger::amount::Price, i64)>, HorizonError> {
+        check_limit(limit)?;
         let mut levels: Vec<(stellar_ledger::amount::Price, i64)> = Vec::new();
         for offer in herder.store.offers_for_pair(selling, buying) {
             match levels.last_mut() {
@@ -124,7 +251,7 @@ impl Horizon {
                 _ => levels.push((offer.price, offer.amount)),
             }
         }
-        Page::slice(levels, cursor, limit)
+        Ok(Page::slice(levels, cursor, limit))
     }
 
     /// Finds the cheapest payment path delivering `dest_amount` (§5.4:
@@ -155,20 +282,25 @@ impl Horizon {
 
     /// Lists a historical ledger's transactions ("there needs to be some
     /// place one can look up a transaction from two years ago"). The
-    /// cursor is the transaction index within the set; an unarchived
-    /// ledger yields an empty, exhausted page.
+    /// cursor is the transaction index within the set. A ledger this
+    /// node has not closed yet is [`HorizonError::NotFound`]; a closed
+    /// but locally unarchived one yields an empty, exhausted page.
     pub fn transactions_in_ledger(
         herder: &Herder,
         ledger_seq: u64,
         cursor: Option<u64>,
         limit: usize,
-    ) -> Page<TransactionEnvelope> {
+    ) -> Result<Page<TransactionEnvelope>, HorizonError> {
+        check_limit(limit)?;
+        if ledger_seq > herder.header.ledger_seq {
+            return Err(HorizonError::NotFound);
+        }
         let txs: Vec<TransactionEnvelope> = herder
             .archive
             .tx_set(ledger_seq)
             .map(|set| set.txs.clone())
             .unwrap_or_default();
-        Page::slice(txs, cursor, limit)
+        Ok(Page::slice(txs, cursor, limit))
     }
 
     /// Finds the ledger a transaction hash was confirmed in (linear scan
@@ -183,15 +315,17 @@ impl Horizon {
         tx_hash: stellar_crypto::Hash256,
         cursor: Option<u64>,
         limit: usize,
-    ) -> Page<TxRecord> {
+    ) -> Result<Page<TxRecord>, HorizonError> {
+        check_limit(limit)?;
         let start = cursor.unwrap_or(2);
         let last = herder.header.ledger_seq;
         let mut seq = start;
         while seq <= last && seq - start < limit as u64 {
             if let Some(set) = herder.archive.tx_set(seq) {
                 if let Some(env) = set.txs.iter().find(|env| env.hash() == tx_hash) {
-                    let timeline = Horizon::transaction_timeline(herder, tx_hash, None, usize::MAX);
-                    return Page {
+                    let timeline =
+                        Horizon::transaction_timeline(herder, tx_hash, None, usize::MAX)?;
+                    return Ok(Page {
                         records: vec![TxRecord {
                             ledger_seq: seq,
                             envelope: env.clone(),
@@ -199,16 +333,26 @@ impl Horizon {
                         }],
                         cursor: None,
                         limit,
-                    };
+                    });
                 }
             }
-            seq += 1;
+            // A u64::MAX cursor must terminate the scan, not wrap.
+            match seq.checked_add(1) {
+                Some(next) => seq = next,
+                None => {
+                    return Ok(Page {
+                        records: Vec::new(),
+                        cursor: None,
+                        limit,
+                    })
+                }
+            }
         }
-        Page {
+        Ok(Page {
             records: Vec::new(),
             cursor: (seq <= last).then_some(seq),
             limit,
-        }
+        })
     }
 
     /// The per-phase lifecycle timeline of one transaction, from this
@@ -221,7 +365,8 @@ impl Horizon {
         tx_hash: stellar_crypto::Hash256,
         cursor: Option<u64>,
         limit: usize,
-    ) -> Page<SpanEvent> {
+    ) -> Result<Page<SpanEvent>, HorizonError> {
+        check_limit(limit)?;
         let mut spans: Vec<SpanEvent> = herder
             .telemetry
             .spans
@@ -230,7 +375,7 @@ impl Horizon {
             .cloned()
             .collect();
         spans.sort_by_key(|s| (s.t_ms, s.phase.order()));
-        Page::slice(spans, cursor, limit)
+        Ok(Page::slice(spans, cursor, limit))
     }
 
     /// Drives `find_transaction` to completion — the convenience most
@@ -241,7 +386,7 @@ impl Horizon {
     ) -> Option<TxRecord> {
         let mut cursor = None;
         loop {
-            let mut page = Horizon::find_transaction(herder, tx_hash, cursor, 64);
+            let mut page = Horizon::find_transaction(herder, tx_hash, cursor, 64).ok()?;
             if let Some(hit) = page.records.pop() {
                 return Some(hit);
             }
@@ -249,14 +394,144 @@ impl Horizon {
         }
     }
 
-    /// Current fee statistics: base fee and the last clearing rate.
-    pub fn fee_stats(herder: &Herder) -> (i64, i64) {
+    /// Current fee statistics: the protocol base fee, the last ledger's
+    /// clearing rate, and this validator's queue depth.
+    pub fn fee_stats(herder: &Herder) -> FeeStats {
         let base = herder.header.params.base_fee;
         let last_clearing = herder
             .archive
             .tx_set(herder.header.ledger_seq)
             .map_or(base, |s| s.base_fee_rate);
-        (base, last_clearing)
+        FeeStats {
+            base_fee: base,
+            last_clearing_fee: last_clearing,
+            queued_txs: herder.queue.len(),
+        }
+    }
+
+    // ---- deprecated pre-redesign surface (one release of grace) ----
+
+    /// Pre-redesign [`Horizon::account`] shape.
+    #[deprecated(note = "use Horizon::account, which returns Result<_, HorizonError>")]
+    pub fn legacy_account(herder: &Herder, id: AccountId) -> Option<AccountInfo> {
+        Horizon::account(herder, id).ok()
+    }
+
+    /// Pre-redesign [`Horizon::submit`] shape (raw queue error, no
+    /// receipt).
+    #[deprecated(note = "use Horizon::submit, which returns a SubmitResult receipt")]
+    pub fn legacy_submit(herder: &mut Herder, env: TransactionEnvelope) -> Result<(), QueueError> {
+        let store = &herder.store;
+        let q = &mut herder.queue;
+        q.submit(store, env, &mut herder.sig_cache)
+    }
+
+    /// Pre-redesign [`Horizon::order_book`] shape (bare page).
+    #[deprecated(note = "use Horizon::order_book, which returns Result<Page<_>, HorizonError>")]
+    pub fn legacy_order_book(
+        herder: &Herder,
+        selling: &Asset,
+        buying: &Asset,
+        cursor: Option<u64>,
+        limit: usize,
+    ) -> Page<(stellar_ledger::amount::Price, i64)> {
+        Horizon::order_book(herder, selling, buying, cursor, limit).unwrap_or(Page {
+            records: Vec::new(),
+            cursor: None,
+            limit,
+        })
+    }
+
+    /// Pre-redesign [`Horizon::transactions_in_ledger`] shape (bare
+    /// page; unknown ledgers were an empty page, not `NotFound`).
+    #[deprecated(
+        note = "use Horizon::transactions_in_ledger, which returns Result<Page<_>, HorizonError>"
+    )]
+    pub fn legacy_transactions_in_ledger(
+        herder: &Herder,
+        ledger_seq: u64,
+        cursor: Option<u64>,
+        limit: usize,
+    ) -> Page<TransactionEnvelope> {
+        Horizon::transactions_in_ledger(herder, ledger_seq, cursor, limit).unwrap_or(Page {
+            records: Vec::new(),
+            cursor: None,
+            limit,
+        })
+    }
+
+    /// Pre-redesign [`Horizon::fee_stats`] shape: a bare
+    /// `(base_fee, last_clearing_fee)` tuple.
+    #[deprecated(note = "use Horizon::fee_stats, which returns the named FeeStats struct")]
+    pub fn legacy_fee_stats(herder: &Herder) -> (i64, i64) {
+        let s = Horizon::fee_stats(herder);
+        (s.base_fee, s.last_clearing_fee)
+    }
+}
+
+/// The assembled Horizon production pipeline over one validator: the
+/// ingestion [`Indexer`], the [`SubscriptionHub`], and front-door
+/// [`AdmissionControl`] — the three layers of Fig. 5's client-facing
+/// tier. Everything here is off-consensus: the pipeline consumes the
+/// close-event feed *after* each close is final and gates what enters
+/// the queue, so running it (or not) cannot change externalized headers
+/// or bucket hashes.
+pub struct HorizonPipeline {
+    /// Materializes history/trades/effects at every close.
+    pub indexer: Indexer,
+    /// Fans out per-close deltas to cursor-anchored subscribers.
+    pub hub: SubscriptionHub,
+    /// Token-bucket + global-limit front door for `submit`.
+    pub admission: AdmissionControl,
+}
+
+impl HorizonPipeline {
+    /// Attaches the full pipeline to a validator: enables the herder's
+    /// close-event feed, seeds the indexer from current state, bounds
+    /// the tx queue (backpressure), and installs admission control.
+    pub fn attach(herder: &mut Herder, cfg: AdmissionConfig) -> HorizonPipeline {
+        herder.queue.set_capacity(Some(cfg.queue_capacity));
+        HorizonPipeline {
+            indexer: Indexer::attach(herder),
+            hub: SubscriptionHub::new(crate::stream::DEFAULT_BUFFER),
+            admission: AdmissionControl::new(cfg),
+        }
+    }
+
+    /// Drains and materializes any close events the validator produced
+    /// since the last call. Call after every ledger close (or batch of
+    /// closes — the feed is buffered).
+    pub fn on_close(&mut self, herder: &mut Herder) {
+        let events = herder.take_close_events();
+        for ev in &events {
+            self.indexer.apply_close(ev, &herder.archive);
+            self.hub.publish(ev);
+        }
+        self.indexer.note_head(herder.header.ledger_seq);
+    }
+
+    /// Admission-controlled submission: the per-source token bucket and
+    /// global queue limit run first; only admitted transactions reach
+    /// signature verification and the queue.
+    pub fn submit(
+        &mut self,
+        herder: &mut Herder,
+        env: TransactionEnvelope,
+        now_ms: u64,
+    ) -> Result<SubmitResult, HorizonError> {
+        self.admission
+            .admit(env.tx.source, now_ms, herder.queue.len())?;
+        Horizon::submit(herder, env)
+    }
+
+    /// One merged metrics registry over all three layers (`ingest.*`,
+    /// `stream.*`, `admission.*`).
+    pub fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.merge(&self.indexer.registry);
+        reg.merge(&self.hub.registry);
+        reg.merge(&self.admission.registry);
+        reg
     }
 }
 
@@ -338,7 +613,7 @@ mod tests {
         assert_eq!(info.trustlines.len(), 1);
         assert_eq!(info.trustlines[0].1, 200);
         assert_eq!(info.num_subentries, 2); // trustline + offer
-        assert!(Horizon::account(&h, acct(9)).is_none());
+        assert_eq!(Horizon::account(&h, acct(9)), Err(HorizonError::NotFound));
     }
 
     #[test]
@@ -359,8 +634,8 @@ mod tests {
                 Horizon::account(&disk, acct(a))
             );
         }
-        let ram_book = Horizon::order_book(&ram, &usd, &Asset::Native, None, 10);
-        let disk_book = Horizon::order_book(&disk, &usd, &Asset::Native, None, 10);
+        let ram_book = Horizon::order_book(&ram, &usd, &Asset::Native, None, 10).unwrap();
+        let disk_book = Horizon::order_book(&disk, &usd, &Asset::Native, None, 10).unwrap();
         assert_eq!(ram_book.records, disk_book.records);
         assert_eq!(
             Horizon::find_payment_path(&ram, &Asset::Native, &usd, 50, &[]),
@@ -372,11 +647,11 @@ mod tests {
     fn order_book_aggregates_levels() {
         let h = herder();
         let usd = Asset::issued(acct(2), "USD");
-        let book = Horizon::order_book(&h, &usd, &Asset::Native, None, 10);
+        let book = Horizon::order_book(&h, &usd, &Asset::Native, None, 10).unwrap();
         assert_eq!(book.records.len(), 1);
         assert_eq!(book.records[0], (Price::new(2, 1), 100));
         assert_eq!(book.cursor, None);
-        let empty = Horizon::order_book(&h, &Asset::Native, &usd, None, 10);
+        let empty = Horizon::order_book(&h, &Asset::Native, &usd, None, 10).unwrap();
         assert!(empty.records.is_empty());
         assert_eq!(empty.cursor, None);
     }
@@ -409,15 +684,15 @@ mod tests {
             let ch = d.into_changes();
             h.store.commit(ch);
         }
-        let first = Horizon::order_book(&h, &usd, &Asset::Native, None, 2);
+        let first = Horizon::order_book(&h, &usd, &Asset::Native, None, 2).unwrap();
         assert_eq!(first.records.len(), 2);
         assert_eq!(first.cursor, Some(2));
         assert_eq!(first.limit, 2);
-        let rest = Horizon::order_book(&h, &usd, &Asset::Native, first.cursor, 2);
+        let rest = Horizon::order_book(&h, &usd, &Asset::Native, first.cursor, 2).unwrap();
         assert_eq!(rest.records.len(), 1);
         assert_eq!(rest.cursor, None);
         // The two pages together are the whole book, best price first.
-        let all = Horizon::order_book(&h, &usd, &Asset::Native, None, 10);
+        let all = Horizon::order_book(&h, &usd, &Asset::Native, None, 10).unwrap();
         let stitched: Vec<_> = first.records.iter().chain(&rest.records).cloned().collect();
         assert_eq!(stitched, all.records);
     }
@@ -460,15 +735,29 @@ mod tests {
             },
             &[&keys(1)],
         );
-        Horizon::submit(&mut h, env.clone()).unwrap();
+        let receipt = Horizon::submit(&mut h, env.clone()).unwrap();
+        assert_eq!(receipt.tx_hash, env.hash());
+        assert_eq!(receipt.trace, env.hash().prefix_u64());
         assert_eq!(h.queue.len(), 1);
-        assert_eq!(Horizon::submit(&mut h, env), Err(QueueError::Duplicate));
+        assert_eq!(
+            Horizon::submit(&mut h, env),
+            Err(HorizonError::Malformed {
+                reason: "duplicate"
+            })
+        );
     }
 
     #[test]
     fn fee_stats_report_base_fee() {
         let h = herder();
-        assert_eq!(Horizon::fee_stats(&h), (BASE_FEE, BASE_FEE));
+        assert_eq!(
+            Horizon::fee_stats(&h),
+            FeeStats {
+                base_fee: BASE_FEE,
+                last_clearing_fee: BASE_FEE,
+                queued_txs: 0,
+            }
+        );
     }
 
     #[test]
@@ -498,13 +787,13 @@ mod tests {
         h.learn_tx_set(set.clone());
         let value = stellar_herder::StellarValue::new(set.hash(), 100);
         assert!(h.apply_externalized(2, &value));
-        let hit = Horizon::find_transaction(&h, tx_hash, None, 64);
+        let hit = Horizon::find_transaction(&h, tx_hash, None, 64).unwrap();
         assert_eq!(hit.records.len(), 1);
         let rec = &hit.records[0];
         assert_eq!(rec.ledger_seq, 2);
         assert_eq!(rec.envelope.hash(), tx_hash);
         assert_eq!(hit.cursor, None);
-        let miss = Horizon::find_transaction(&h, stellar_crypto::Hash256::ZERO, None, 64);
+        let miss = Horizon::find_transaction(&h, stellar_crypto::Hash256::ZERO, None, 64).unwrap();
         assert!(miss.records.is_empty());
         assert_eq!(miss.cursor, None);
         assert_eq!(
@@ -514,7 +803,7 @@ mod tests {
 
         // Scan continuation: limit 1 per call walks the archive one
         // ledger at a time until the hash turns up.
-        let step = Horizon::find_transaction(&h, tx_hash, None, 1);
+        let step = Horizon::find_transaction(&h, tx_hash, None, 1).unwrap();
         assert!(step.records.len() == 1 || step.cursor.is_some());
         assert_eq!(
             Horizon::find_transaction_exhaustive(&h, tx_hash)
@@ -524,11 +813,14 @@ mod tests {
         );
 
         // The archived ledger's transactions page out too.
-        let txs = Horizon::transactions_in_ledger(&h, 2, None, 10);
+        let txs = Horizon::transactions_in_ledger(&h, 2, None, 10).unwrap();
         assert_eq!(txs.records.len(), 1);
         assert_eq!(txs.records[0].hash(), tx_hash);
-        let unarchived = Horizon::transactions_in_ledger(&h, 99, None, 10);
-        assert!(unarchived.records.is_empty() && unarchived.cursor.is_none());
+        // A ledger this node has never closed is NotFound now.
+        assert_eq!(
+            Horizon::transactions_in_ledger(&h, 99, None, 10),
+            Err(HorizonError::NotFound)
+        );
     }
 
     #[test]
@@ -579,10 +871,10 @@ mod tests {
         assert!(timeline.iter().all(|s| s.trace == tx_hash.prefix_u64()));
 
         // The standalone endpoint pages the same spans.
-        let first = Horizon::transaction_timeline(&h, tx_hash, None, 2);
+        let first = Horizon::transaction_timeline(&h, tx_hash, None, 2).unwrap();
         assert_eq!(first.records.len(), 2);
         assert_eq!(first.cursor, Some(2));
-        let rest = Horizon::transaction_timeline(&h, tx_hash, first.cursor, 8);
+        let rest = Horizon::transaction_timeline(&h, tx_hash, first.cursor, 8).unwrap();
         assert_eq!(rest.records.len(), 3);
         assert_eq!(rest.cursor, None);
         let stitched: Vec<SpanEvent> = first.records.into_iter().chain(rest.records).collect();
@@ -591,7 +883,10 @@ mod tests {
         // Sampled-out tracing: no timeline, unchanged archive answer.
         let mut h2 = herder();
         h2.telemetry.spans.configure(0, 64);
-        let env2 = Horizon::transactions_in_ledger(&h, 2, None, 1).records[0].clone();
+        let env2 = Horizon::transactions_in_ledger(&h, 2, None, 1)
+            .unwrap()
+            .records[0]
+            .clone();
         let set2 =
             stellar_ledger::txset::TransactionSet::assemble(h2.header.hash(), vec![env2], 100);
         h2.learn_tx_set(set2.clone());
@@ -599,7 +894,145 @@ mod tests {
         let rec2 = Horizon::find_transaction_exhaustive(&h2, tx_hash).unwrap();
         assert_eq!(rec2.ledger_seq, 2);
         assert!(rec2.timeline.is_none(), "sampled out ⇒ no timeline");
-        let empty = Horizon::transaction_timeline(&h2, tx_hash, None, 8);
+        let empty = Horizon::transaction_timeline(&h2, tx_hash, None, 8).unwrap();
         assert!(empty.records.is_empty() && empty.cursor.is_none());
+    }
+
+    fn payment_env(from: u64, to: u64, seq: u64, amount: i64) -> TransactionEnvelope {
+        TransactionEnvelope::sign(
+            Transaction {
+                source: acct(from),
+                seq_num: seq,
+                fee: BASE_FEE,
+                time_bounds: None,
+                memo: Memo::None,
+                operations: vec![SourcedOperation {
+                    source: None,
+                    op: Operation::Payment {
+                        destination: acct(to),
+                        asset: Asset::Native,
+                        amount,
+                    },
+                }],
+            },
+            &[&keys(from)],
+        )
+    }
+
+    #[test]
+    fn paging_edge_cases_are_safe() {
+        let h = herder();
+        let usd = Asset::issued(acct(2), "USD");
+        // A zero limit can never make progress: reject it up front
+        // rather than hand back a cursor that loops forever.
+        assert_eq!(
+            Horizon::order_book(&h, &usd, &Asset::Native, None, 0),
+            Err(HorizonError::Malformed {
+                reason: "limit must be positive"
+            })
+        );
+        // A cursor at or past the end is an empty terminal page — no
+        // panic, no wraparound.
+        let past = Horizon::order_book(&h, &usd, &Asset::Native, Some(999), 10).unwrap();
+        assert!(past.records.is_empty() && past.cursor.is_none());
+        let huge = Horizon::order_book(&h, &usd, &Asset::Native, Some(u64::MAX), 10).unwrap();
+        assert!(huge.records.is_empty() && huge.cursor.is_none());
+        assert_eq!(
+            Horizon::transaction_timeline(&h, stellar_crypto::Hash256::ZERO, None, 0),
+            Err(HorizonError::Malformed {
+                reason: "limit must be positive"
+            })
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_preserve_the_old_shapes() {
+        let mut h = herder();
+        assert_eq!(Horizon::legacy_account(&h, acct(9)), None);
+        assert_eq!(
+            Horizon::legacy_account(&h, acct(0)).unwrap().xlm_balance,
+            xlm(100)
+        );
+        assert_eq!(Horizon::legacy_fee_stats(&h), (BASE_FEE, BASE_FEE));
+        let usd = Asset::issued(acct(2), "USD");
+        let book = Horizon::legacy_order_book(&h, &usd, &Asset::Native, None, 10);
+        assert_eq!(book.records.len(), 1);
+        // Unknown ledgers were an empty page before, not NotFound.
+        let txs = Horizon::legacy_transactions_in_ledger(&h, 99, None, 10);
+        assert!(txs.records.is_empty() && txs.cursor.is_none());
+        assert!(Horizon::legacy_submit(&mut h, payment_env(1, 0, 1, 5)).is_ok());
+        assert_eq!(h.queue.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_wires_the_three_layers_together() {
+        let mut h = herder();
+        let mut p = HorizonPipeline::attach(
+            &mut h,
+            crate::admission::AdmissionConfig {
+                max_pending: 2,
+                retry_after_ms: 321,
+                ..Default::default()
+            },
+        );
+        let sub = p.hub.subscribe(crate::stream::Topic::Account(acct(1)));
+
+        // Admitted submissions flow through to the queue.
+        let env = payment_env(1, 0, 1, 5);
+        p.submit(&mut h, env.clone(), 0).unwrap();
+        p.submit(&mut h, payment_env(0, 1, 1, 7), 0).unwrap();
+        assert_eq!(h.queue.len(), 2);
+        // The global pending limit sheds the third before any queue work.
+        assert_eq!(
+            p.submit(&mut h, payment_env(2, 0, 1, 1), 0),
+            Err(HorizonError::RateLimited {
+                retry_after_ms: 321
+            })
+        );
+
+        // A close flows through the feed into indexer and hub.
+        let set = stellar_ledger::txset::TransactionSet::assemble(h.header.hash(), vec![env], 100);
+        h.learn_tx_set(set.clone());
+        assert!(h.apply_externalized(2, &stellar_herder::StellarValue::new(set.hash(), 100)));
+        p.on_close(&mut h);
+        assert_eq!(p.indexer.ingested_seq(), 2);
+        assert_eq!(
+            p.indexer
+                .account_history(acct(1), None, 10)
+                .unwrap()
+                .records
+                .len(),
+            1
+        );
+        assert!(!p.hub.poll(sub, None, 10).unwrap().records.is_empty());
+
+        // The merged registry sees all three layers.
+        let reg = p.registry();
+        assert_eq!(reg.counter("ingest.ledgers"), 1);
+        assert_eq!(reg.counter("admission.shed_global"), 1);
+        assert!(reg.counter("stream.events") > 0);
+    }
+
+    #[test]
+    fn queue_full_backpressure_maps_to_rate_limited() {
+        let mut h = herder();
+        let mut p = HorizonPipeline::attach(
+            &mut h,
+            crate::admission::AdmissionConfig {
+                queue_capacity: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(h.queue.capacity(), Some(1));
+        p.submit(&mut h, payment_env(1, 0, 1, 5), 0).unwrap();
+        // Admission passes (max_pending is high) but the bounded queue
+        // itself refuses: last-resort backpressure, typed for clients.
+        assert_eq!(
+            p.submit(&mut h, payment_env(0, 1, 1, 7), 0),
+            Err(HorizonError::RateLimited {
+                retry_after_ms: QUEUE_FULL_RETRY_MS
+            })
+        );
     }
 }

@@ -2,10 +2,14 @@
 //!
 //! "A bridge server facilitates integration of Stellar with existing
 //! systems, e.g., posting notifications of all payments received by a
-//! specific account." This implementation scans each closed ledger's
-//! archived transaction set for successful payments (and path payments)
-//! to watched accounts and queues structured notifications.
+//! specific account." This implementation is a Horizon API client: it
+//! pages each closed ledger's transactions through
+//! [`Horizon::transactions_in_ledger`], picks out successful payments
+//! (and path payments) to watched accounts, and queues structured
+//! notifications — the same cursor-paged surface external integrators
+//! consume.
 
+use crate::api::Horizon;
 use std::collections::BTreeSet;
 use stellar_herder::Herder;
 use stellar_ledger::asset::Asset;
@@ -64,10 +68,23 @@ impl BridgeServer {
         let head = herder.header.ledger_seq;
         while self.cursor < head {
             self.cursor += 1;
-            let Some(set) = herder.archive.tx_set(self.cursor) else {
-                continue;
-            };
-            for env in &set.txs {
+            // Page through the Horizon API rather than reaching into the
+            // archive: the bridge consumes the same surface external
+            // clients get.
+            let mut txs = Vec::new();
+            let mut cursor = None;
+            loop {
+                let Ok(page) = Horizon::transactions_in_ledger(herder, self.cursor, cursor, 64)
+                else {
+                    break;
+                };
+                txs.extend(page.records);
+                match page.cursor {
+                    Some(c) => cursor = Some(c),
+                    None => break,
+                }
+            }
+            for env in &txs {
                 for so in &env.tx.operations {
                     let source = so.source.unwrap_or(env.tx.source);
                     match &so.op {

@@ -12,6 +12,14 @@
 //!   are implemented entirely in horizon"), transaction submission and
 //!   history lookup — all read-only against the herder's state, never
 //!   destabilizing the core.
+//! * [`ingest`] — the ingestion indexer: materializes per-account
+//!   history, trades, and effects at every ledger close, so queries are
+//!   index walks instead of state scans.
+//! * [`stream`] — cursor-anchored streaming subscriptions (account
+//!   balances, order-book deltas, transaction status per ledger) with
+//!   bounded buffers and slow-consumer eviction.
+//! * [`admission`] — the submit front door: per-source token buckets, a
+//!   global pending limit, and typed retry-after load shedding.
 //! * [`bridge`] — the bridge server: "posting notifications of all
 //!   payments received by a specific account."
 //! * [`compliance`] — the compliance server: "hooks for financial
@@ -23,12 +31,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod api;
 pub mod bridge;
 pub mod compliance;
 pub mod federation;
+pub mod ingest;
+pub mod stream;
 
-pub use api::{AccountInfo, Horizon, Page};
+pub use admission::{AdmissionConfig, AdmissionControl};
+pub use api::{
+    AccountInfo, FeeStats, Horizon, HorizonError, HorizonPipeline, Page, SubmitResult, TxRecord,
+};
 pub use bridge::{BridgeServer, PaymentNotification};
 pub use compliance::{ComplianceDecision, ComplianceServer};
 pub use federation::FederationServer;
+pub use ingest::{EffectRow, HistoryRow, Indexer, TradeRow};
+pub use stream::{StreamEvent, SubscriptionHub, Topic};

@@ -81,6 +81,12 @@ pub enum Event {
         /// The ticking node.
         node: NodeId,
     },
+    /// A horizon client runs a query batch against the observer's
+    /// pipeline (wall-clock timed; read-only, never perturbs consensus).
+    HorizonQuery,
+    /// The observer's horizon pipeline drains its close-event feed (only
+    /// scheduled when ingestion runs on a cadence instead of per close).
+    HorizonIngest,
 }
 
 #[derive(Debug)]

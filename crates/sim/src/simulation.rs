@@ -22,13 +22,14 @@ use stellar_crypto::codec::Decode;
 use stellar_crypto::sign::KeyPair;
 use stellar_crypto::Hash256;
 use stellar_herder::validator::{Outputs, Validator};
+use stellar_horizon::{AdmissionConfig, Horizon, HorizonError, HorizonPipeline};
 use stellar_overlay::{
     DemandScheduler, FloodMessage, FloodMode, FloodState, LinkFaultTable, MsgKind, PayloadCache,
     PeerGraph, TrafficStats, MAX_DEMAND_ATTEMPTS,
 };
 use stellar_scp::driver::ScpEvent;
 use stellar_scp::{NodeId, QuorumSet, SlotIndex, Value};
-use stellar_telemetry::{Json, NodeTelemetry, SpanEvent, SpanPhase, TraceStore};
+use stellar_telemetry::{Json, NodeTelemetry, Registry, SpanEvent, SpanPhase, TraceStore};
 
 /// Parameters of one simulation run.
 #[derive(Clone, Debug)]
@@ -79,6 +80,20 @@ pub struct SimConfig {
     /// content-derived id satisfies `id % n == 0`. The rule is shared by
     /// every node, so a sampled trace is causally complete network-wide.
     pub trace_sample_every: u64,
+    /// Attach the full horizon pipeline (ingestion indexer, subscription
+    /// hub, admission control) to the observer node with this tuning.
+    /// `None` (the default) runs no pipeline — the pipeline is
+    /// off-consensus, so externalized headers are identical either way.
+    pub horizon: Option<AdmissionConfig>,
+    /// Horizon query load against the observer's pipeline, in queries
+    /// per second; `0` disables. Query batches are timed in wall-clock
+    /// nanoseconds (`horizon.query_ns`), the E20 latency measurement.
+    pub horizon_query_rate: f64,
+    /// Ingestion cadence: `0` drains the close-event feed at every close
+    /// (no lag); otherwise the indexer only drains every this-many
+    /// simulated milliseconds, so the `ingest.lag` gauge and the E20
+    /// latency-vs-lag curve have something to show.
+    pub horizon_ingest_interval_ms: u64,
 }
 
 /// Pull-mode flood tick cadence: adverts batch for up to this long, and
@@ -122,6 +137,9 @@ impl Default for SimConfig {
             persistence: true,
             store_backend: stellar_store::BackendKind::from_env(),
             trace_sample_every: 1,
+            horizon: None,
+            horizon_query_rate: 0.0,
+            horizon_ingest_interval_ms: 0,
         }
     }
 }
@@ -265,6 +283,11 @@ pub struct Simulation {
     watchdog: HealthWatchdog,
     /// Next simulated time the watchdog takes an observation round.
     watchdog_next_ms: u64,
+    /// The observer's horizon pipeline, when enabled.
+    horizon: Option<HorizonPipeline>,
+    /// Sim-side horizon load accounting (`horizon.*`: submissions
+    /// admitted/shed, query latency histogram, lag at query time).
+    horizon_metrics: Registry,
 }
 
 impl Simulation {
@@ -373,8 +396,23 @@ impl Simulation {
             recovery_us: 0,
             watchdog: HealthWatchdog::new(WatchdogConfig::default()),
             watchdog_next_ms: 0,
+            horizon: None,
+            horizon_metrics: Registry::new(),
             cfg,
         };
+        if let Some(hcfg) = sim.cfg.horizon {
+            let v = sim.validators.get_mut(&sim.observer).expect("observer");
+            sim.horizon = Some(HorizonPipeline::attach(&mut v.herder, hcfg));
+            if sim.cfg.horizon_ingest_interval_ms > 0 {
+                sim.queue.push(
+                    1000 + sim.cfg.horizon_ingest_interval_ms,
+                    Event::HorizonIngest,
+                );
+            }
+            if sim.cfg.horizon_query_rate > 0.0 {
+                sim.queue.push(1000, Event::HorizonQuery);
+            }
+        }
         // Initial ledger triggers, slightly staggered like real restarts.
         let ids: Vec<NodeId> = sim.validators.keys().copied().collect();
         for (i, id) in ids.iter().enumerate() {
@@ -592,6 +630,18 @@ impl Simulation {
         self.tick_armed.remove(&id);
         self.busy_until_us.remove(&id);
         self.queue.purge_deliveries_to(id);
+        // A horizon pipeline is RAM: if its host rebooted, re-attach a
+        // fresh one and backfill history from the archive (restart-
+        // mid-ingestion recovery). Live closes resume from the feed.
+        if id == self.observer {
+            if let Some(hcfg) = self.cfg.horizon {
+                let v = self.validators.get_mut(&id).expect("known node");
+                let mut p = HorizonPipeline::attach(&mut v.herder, hcfg);
+                p.indexer.backfill_history(&v.herder.archive);
+                self.horizon = Some(p);
+                self.horizon_metrics.inc("horizon.reattached");
+            }
+        }
         // The node will re-trigger its current slot, but on the normal
         // 5-second pacing — not the instant the process boots. (The
         // pacing base survives the reboot: production derives it from
@@ -1018,6 +1068,16 @@ impl Simulation {
         &self.watchdog
     }
 
+    /// The observer's horizon pipeline, when one is attached.
+    pub fn horizon(&self) -> Option<&HorizonPipeline> {
+        self.horizon.as_ref()
+    }
+
+    /// The sim-side horizon load metrics (`horizon.*`).
+    pub fn horizon_metrics(&self) -> &Registry {
+        &self.horizon_metrics
+    }
+
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::Deliver { to, from, msg } => {
@@ -1069,14 +1129,45 @@ impl Simulation {
                 if self.spans_enabled(to) {
                     self.span(to, tx.hash().prefix_u64(), SpanPhase::Submit);
                 }
-                {
+                let shed = {
                     let v = self.validators.get_mut(&to).expect("known node");
                     v.set_time_ms(self.now);
-                    let _ = v.submit_transaction((*tx).clone());
-                }
+                    // The observer's submissions pass through the horizon
+                    // front door: admission control sheds before the
+                    // transaction costs signature checks or flooding.
+                    let admitted = match (to == self.observer, self.horizon.as_mut()) {
+                        (true, Some(p)) => {
+                            match p
+                                .admission
+                                .admit(tx.tx.source, self.now, v.herder.queue.len())
+                            {
+                                Ok(()) => {
+                                    self.horizon_metrics.inc("horizon.submitted");
+                                    true
+                                }
+                                Err(HorizonError::RateLimited { .. }) => {
+                                    self.horizon_metrics.inc("horizon.shed");
+                                    false
+                                }
+                                Err(_) => {
+                                    self.horizon_metrics.inc("horizon.rejected");
+                                    false
+                                }
+                            }
+                        }
+                        _ => true,
+                    };
+                    if admitted {
+                        let _ = v.submit_transaction((*tx).clone());
+                    }
+                    !admitted
+                };
                 // The receiving node floods the transaction onward (in
-                // pull mode: adverts it; peers demand the payload).
-                self.publish_payload(to, Flooded::new(FloodMessage::Tx(*tx)));
+                // pull mode: adverts it; peers demand the payload). A
+                // shed submission never floods — that is the point.
+                if !shed {
+                    self.publish_payload(to, Flooded::new(FloodMessage::Tx(*tx)));
+                }
                 let dt = self
                     .loadgen
                     .as_mut()
@@ -1088,6 +1179,57 @@ impl Simulation {
                 }
             }
             Event::PullTick { node } => self.handle_pull_tick(node),
+            Event::HorizonQuery => self.handle_horizon_query(),
+            Event::HorizonIngest => self.handle_horizon_ingest(),
+        }
+    }
+
+    /// How long load-producing events keep rescheduling themselves: a
+    /// few intervals past the target, matching the submit-load horizon.
+    fn load_horizon_ms(&self) -> u64 {
+        (1 + self.cfg.target_ledgers + 4) * self.cfg.ledger_interval_ms
+    }
+
+    /// One horizon client query batch against the observer: an account
+    /// summary, an indexed history walk, and fee stats — the three staple
+    /// reads — timed together in wall-clock nanoseconds.
+    fn handle_horizon_query(&mut self) {
+        let Some(p) = self.horizon.as_mut() else {
+            return;
+        };
+        let v = self.validators.get(&self.observer).expect("observer");
+        let n = self.cfg.n_accounts.max(1);
+        // Deterministic client choice without touching the sim RNG
+        // streams: walk the account space with a large odd stride.
+        let q = self.horizon_metrics.counter("horizon.queries");
+        let id = crate::loadgen::user_account(q.wrapping_mul(2654435761) % n);
+        let head = v.herder.header.ledger_seq;
+        let started = std::time::Instant::now();
+        let _ = Horizon::account(&v.herder, id);
+        let _ = p.indexer.account_history(id, None, 32);
+        let _ = p.indexer.account_effects(id, None, 32);
+        let _ = Horizon::fee_stats(&v.herder);
+        let ns = started.elapsed().as_nanos() as u64;
+        self.horizon_metrics.observe("horizon.query_ns", ns);
+        self.horizon_metrics
+            .observe("horizon.lag_at_query", p.indexer.lag(head));
+        self.horizon_metrics.inc("horizon.queries");
+        let dt = ((1000.0 / self.cfg.horizon_query_rate).max(1.0)) as u64;
+        if self.now + dt < self.load_horizon_ms() {
+            self.queue.push(self.now + dt, Event::HorizonQuery);
+        }
+    }
+
+    /// One cadence-driven ingestion drain (only scheduled when
+    /// `horizon_ingest_interval_ms > 0`).
+    fn handle_horizon_ingest(&mut self) {
+        if let Some(p) = self.horizon.as_mut() {
+            let v = self.validators.get_mut(&self.observer).expect("observer");
+            p.on_close(&mut v.herder);
+        }
+        let dt = self.cfg.horizon_ingest_interval_ms;
+        if dt > 0 && self.now + dt < self.load_horizon_ms() + dt {
+            self.queue.push(self.now + dt, Event::HorizonIngest);
         }
     }
 
@@ -1482,6 +1624,12 @@ impl Simulation {
         let last = self.last_closed.get(&node).copied().unwrap_or(1);
         if seq > last {
             self.last_closed.insert(node, seq);
+            if node == self.observer && self.cfg.horizon_ingest_interval_ms == 0 {
+                if let Some(p) = self.horizon.as_mut() {
+                    let v = self.validators.get_mut(&node).expect("known node");
+                    p.on_close(&mut v.herder);
+                }
+            }
             if self.trace.is_some() {
                 let header_hash = self.validators[&node].herder.header.hash();
                 self.record_trace(TraceEntry::Close {
@@ -1653,6 +1801,26 @@ impl Simulation {
             })
             .set("trace", trace_summary_json(tx_traces, self.spans_dropped()))
             .set("health", self.watchdog.to_json())
+            .set("horizon", self.horizon_json())
+    }
+
+    /// The horizon pipeline section of the report: the merged pipeline
+    /// registry (`ingest.*`, `stream.*`, `admission.*`) plus the
+    /// sim-side load accounting (`horizon.*`), or `enabled: false`.
+    fn horizon_json(&self) -> Json {
+        let Some(p) = &self.horizon else {
+            return Json::obj().set("enabled", false);
+        };
+        let head = self.validators[&self.observer].herder.header.ledger_seq;
+        let mut reg = p.registry();
+        reg.merge(&self.horizon_metrics);
+        Json::obj()
+            .set("enabled", true)
+            .set("ingested_seq", p.indexer.ingested_seq())
+            .set("ingest_lag", p.indexer.lag(head))
+            .set("subscribers", p.hub.len() as u64)
+            .set("tracked_sources", p.admission.tracked_sources() as u64)
+            .set("registry", reg.snapshot())
     }
 
     /// Crash-restarts performed this run (recovery telemetry).
