@@ -76,4 +76,15 @@ BENCH_OUT_DIR="$SMOKE_DIR" STELLAR_STORE_BACKEND=disk cargo run --release -q -p 
 grep -q '"schema": "stellar-bench/v2"' "$SMOKE_DIR/BENCH_horizon.json"
 grep -q '"schema": "stellar-bench/v2"' BENCH_horizon.json  # committed full sweep
 
+echo "==> cascade campaigns (survival frontier, halt-and-reconfigure healing, 25-seed storm; both backends)"
+cargo test -q -p stellar-chaos --test cascade
+STELLAR_STORE_BACKEND=disk cargo test -q -p stellar-chaos --test cascade
+cargo test -q --test cascade_storm
+STELLAR_STORE_BACKEND=disk cargo test -q --test cascade_storm
+
+echo "==> cascade smoke (exp_cascade --quick; in-run gates: twin-regenerated frontier curves byte-identical, below/past-frontier empirical cross-check)"
+BENCH_OUT_DIR="$SMOKE_DIR" cargo run --release -q -p stellar-bench --bin exp_cascade -- --quick
+grep -q '"schema": "stellar-bench/v2"' "$SMOKE_DIR/BENCH_cascade.json"
+grep -q '"schema": "stellar-bench/v2"' BENCH_cascade.json  # committed full sweep
+
 echo "CI green."

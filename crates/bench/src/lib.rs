@@ -15,6 +15,7 @@
 //! | §7.4 validator cost (E9) | `exp_validator_cost` | — |
 //! | §6.2 quorum checks (E10, E11) | `exp_quorum_check` | `quorum_intersection` |
 //! | §3/§5.4 crash-restart recovery vs. ledger gap (E16) | `exp_recovery` | — |
+//! | §6.2 at 500 orgs + cascade survival frontier (E21) | `exp_cascade` | — |
 //! | micro: where the time goes (§7.2 "bottlenecks") | — | `sha256`, `scp_round`, `ledger_apply`, `bucket_merge`, `orderbook` |
 
 #![forbid(unsafe_code)]

@@ -17,6 +17,10 @@
 //! - [`monitor`] — an invariant monitor computing the *intact* set the
 //!   FBA way and checking, every tick, that no two intact nodes diverge
 //!   and that connected intact quorums keep closing ledgers.
+//! - [`cascade`] — staged org-failure campaigns over generated FBAS
+//!   topologies: compiles cascade plans into fault schedules (stage
+//!   marks, crashes, halt-and-reconfigure healing) and computes the
+//!   *survival frontier* analytically from the quorum structure.
 //! - [`recovery`] — crash-restart recovery scenarios: the amnesia
 //!   equivocation demonstration (reboot a mid-ballot quorum with and
 //!   without durable persistence), randomized restart storms, and
@@ -57,13 +61,17 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod cascade;
 pub mod monitor;
 pub mod recovery;
 pub mod runner;
 pub mod schedule;
 
 pub use adversary::{Adversary, Injection, Strategy};
-pub use monitor::{intact_nodes, InvariantMonitor, Violation};
+pub use cascade::{analyze_cascade, CascadeAnalysis, CascadeOrder, CascadePlan, CascadeStage};
+pub use monitor::{
+    intact_nodes, CollapseKind, FrontierReport, InvariantMonitor, StageMark, Violation,
+};
 pub use recovery::{
     amnesia_restart_scenario, persistence_twin_run, restart_storm, AmnesiaOutcome, TwinOutcome,
 };

@@ -118,6 +118,43 @@ pub fn intact_nodes(
     available
 }
 
+/// A cascade-campaign stage the monitor has been told about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageMark {
+    /// 1-based stage number.
+    pub stage: usize,
+    /// The failing org (or other stage label).
+    pub label: String,
+    /// Simulated time the stage began (ms).
+    pub at_ms: u64,
+}
+
+/// How a cascade campaign first broke through the survival frontier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollapseKind {
+    /// A safety or liveness violation was recorded.
+    Violation,
+    /// The intact set became empty: SCP promises nothing beyond this
+    /// point — the Kim/Kwon/Kim cascade outcome (liveness loss, and
+    /// divergence is no longer excluded).
+    IntactCollapse,
+}
+
+/// The survival frontier as observed by the monitor: how many staged
+/// failures the network absorbed before anything broke.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontierReport {
+    /// Largest stage prefix under which every invariant held and the
+    /// intact set stayed non-empty. Equal to the number of marked stages
+    /// when nothing ever broke.
+    pub frontier: usize,
+    /// The stage whose failures first broke through (stage number and
+    /// org label), when anything did.
+    pub triggering_stage: Option<StageMark>,
+    /// What broke at the triggering stage.
+    pub collapse: Option<CollapseKind>,
+}
+
 /// Watches a simulation for safety and liveness violations. Drive it
 /// with [`InvariantMonitor::on_tick`] between simulation steps.
 pub struct InvariantMonitor {
@@ -135,6 +172,10 @@ pub struct InvariantMonitor {
     eligible_since: Option<u64>,
     stall_reported: bool,
     ticks: u64,
+    /// Cascade-campaign bookkeeping (see [`InvariantMonitor::mark_stage`]).
+    stage_marks: Vec<StageMark>,
+    first_violation_stage: Option<StageMark>,
+    first_collapse_stage: Option<StageMark>,
 }
 
 impl InvariantMonitor {
@@ -153,6 +194,55 @@ impl InvariantMonitor {
             eligible_since: None,
             stall_reported: false,
             ticks: 0,
+            stage_marks: Vec::new(),
+            first_violation_stage: None,
+            first_collapse_stage: None,
+        }
+    }
+
+    /// Records entry into cascade stage `stage` (`label` names the org
+    /// being failed) at simulated time `at_ms`. Violations and intactness
+    /// collapse observed from this point — until the next mark — are
+    /// attributed to this stage in the [`FrontierReport`].
+    pub fn mark_stage(&mut self, stage: usize, label: &str, at_ms: u64) {
+        self.stage_marks.push(StageMark {
+            stage,
+            label: label.to_string(),
+            at_ms,
+        });
+    }
+
+    /// Stages marked so far, in order.
+    pub fn stage_marks(&self) -> &[StageMark] {
+        &self.stage_marks
+    }
+
+    /// The survival frontier observed so far (see [`FrontierReport`]).
+    /// The intact-collapse signal only engages once stages are marked, so
+    /// non-cascade chaos runs always report a frontier of zero stages and
+    /// no trigger.
+    pub fn frontier_report(&self) -> FrontierReport {
+        // Whichever attribution happened in the earlier stage wins; on a
+        // tie, a recorded violation is the stronger finding.
+        let trigger = match (&self.first_violation_stage, &self.first_collapse_stage) {
+            (Some(v), Some(c)) if c.stage < v.stage => {
+                Some((c.clone(), CollapseKind::IntactCollapse))
+            }
+            (Some(v), _) => Some((v.clone(), CollapseKind::Violation)),
+            (None, Some(c)) => Some((c.clone(), CollapseKind::IntactCollapse)),
+            (None, None) => None,
+        };
+        match trigger {
+            Some((mark, kind)) => FrontierReport {
+                frontier: mark.stage.saturating_sub(1),
+                triggering_stage: Some(mark),
+                collapse: Some(kind),
+            },
+            None => FrontierReport {
+                frontier: self.stage_marks.last().map_or(0, |m| m.stage),
+                triggering_stage: None,
+                collapse: None,
+            },
         }
     }
 
@@ -176,9 +266,22 @@ impl InvariantMonitor {
     pub fn on_tick(&mut self, sim: &Simulation) {
         self.ticks += 1;
         let intact = self.intact(sim);
+        let violations_before = self.violations.len();
         self.check_safety(sim, &intact);
         if self.liveness_bound_ms > 0 {
             self.check_liveness(sim, &intact);
+        }
+        // Cascade attribution: the current stage owns whatever broke on
+        // this tick. An empty intact set is itself a frontier event —
+        // past that point SCP promises nothing, which is exactly the
+        // cascade outcome even when no divergence materializes in-run.
+        if let Some(current) = self.stage_marks.last().cloned() {
+            if self.violations.len() > violations_before && self.first_violation_stage.is_none() {
+                self.first_violation_stage = Some(current.clone());
+            }
+            if intact.is_empty() && self.first_collapse_stage.is_none() {
+                self.first_collapse_stage = Some(current);
+            }
         }
     }
 
@@ -307,6 +410,33 @@ mod tests {
             (0..3).map(NodeId).collect::<BTreeSet<_>>(),
             "deleting one of four from majority(4) leaves an intact quorum"
         );
+    }
+
+    #[test]
+    fn frontier_report_attributes_to_the_marked_stage() {
+        let mut m = InvariantMonitor::new(BTreeSet::new(), 0);
+        m.mark_stage(1, "org-a", 10_000);
+        m.mark_stage(2, "org-b", 20_000);
+        assert_eq!(
+            m.frontier_report(),
+            FrontierReport {
+                frontier: 2,
+                triggering_stage: None,
+                collapse: None,
+            },
+            "clean campaign survives every marked stage"
+        );
+        // Simulate stage 3 collapsing intactness.
+        m.mark_stage(3, "org-c", 30_000);
+        m.first_collapse_stage = Some(StageMark {
+            stage: 3,
+            label: "org-c".into(),
+            at_ms: 30_500,
+        });
+        let r = m.frontier_report();
+        assert_eq!(r.frontier, 2);
+        assert_eq!(r.collapse, Some(CollapseKind::IntactCollapse));
+        assert_eq!(r.triggering_stage.unwrap().label, "org-c");
     }
 
     #[test]

@@ -16,9 +16,9 @@
 //! become replayable.
 
 use crate::adversary::{Adversary, Injection, Strategy};
-use crate::monitor::{InvariantMonitor, Violation};
+use crate::monitor::{FrontierReport, InvariantMonitor, StageMark, Violation};
 use crate::schedule::{FaultAction, FaultSchedule};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use stellar_scp::NodeId;
 use stellar_sim::simulation::{validator_keys, TraceEntry};
 use stellar_sim::{HealthAlert, SimConfig, Simulation};
@@ -89,6 +89,17 @@ pub struct ChaosReport {
     /// this tells the per-transaction story: each hop of the flood, each
     /// demand round, and which nodes carried the transaction how far.
     pub causal_traces: String,
+    /// Cascade-stage marks the schedule scripted, in time order (empty
+    /// for non-cascade runs).
+    pub stage_marks: Vec<StageMark>,
+    /// The survival-frontier attribution: the deepest stage the run
+    /// survived and, past it, which org failure triggered the collapse.
+    pub frontier: FrontierReport,
+    /// Health alerts that fell inside a scheduled downtime window — the
+    /// watchdog noticed, but the schedule predicted it. Kept apart from
+    /// `health` so a cascade campaign's own crashes don't read as
+    /// unexplained stalls.
+    pub expected_health: Vec<HealthAlert>,
 }
 
 impl ChaosReport {
@@ -140,6 +151,28 @@ impl ChaosRun {
         }
         // Deterministic turn order regardless of construction order.
         adversaries.sort_by_key(Adversary::id);
+        // Pre-register every scripted crash as an expected-downtime
+        // window so the health watchdog annotates (rather than alerts
+        // on) the stalls the schedule itself causes. A crash's window
+        // runs until the node's next scripted revive/restart, or
+        // open-ended when the script never brings it back.
+        let mut open: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for e in cfg.schedule.entries() {
+            match e.action {
+                FaultAction::Crash(id) => {
+                    open.entry(id).or_insert(e.at_ms);
+                }
+                FaultAction::Revive(id) | FaultAction::Restart(id) => {
+                    if let Some(from) = open.remove(&id) {
+                        sim.expect_downtime(id, from, e.at_ms);
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (id, from) in open {
+            sim.expect_downtime(id, from, u64::MAX);
+        }
         ChaosRun {
             sim,
             schedule: cfg.schedule,
@@ -228,6 +261,10 @@ impl ChaosRun {
                     self.sim.link_faults_mut().set_default(fault)
                 }
                 FaultAction::ClearLinkFaults => self.sim.link_faults_mut().clear(),
+                FaultAction::Reconfigure { node, qset } => self.sim.reconfigure_quorum(node, qset),
+                FaultAction::StageMark { stage, label } => {
+                    self.monitor.mark_stage(stage, &label, self.sim.now_ms())
+                }
             }
         }
     }
@@ -307,6 +344,9 @@ impl ChaosRun {
             flight_recording,
             health: self.sim.watchdog().alerts().to_vec(),
             causal_traces,
+            stage_marks: self.monitor.stage_marks().to_vec(),
+            frontier: self.monitor.frontier_report(),
+            expected_health: self.sim.watchdog().expected_alerts().to_vec(),
         }
     }
 }

@@ -27,7 +27,7 @@
 //! ```
 
 use stellar_overlay::LinkFault;
-use stellar_scp::NodeId;
+use stellar_scp::{NodeId, QuorumSet};
 
 /// One scripted fault action.
 #[derive(Clone, Debug)]
@@ -75,6 +75,24 @@ pub enum FaultAction {
     DefaultLinkFault(LinkFault),
     /// Remove all link-fault models (partitions are unaffected).
     ClearLinkFaults,
+    /// Replace a node's quorum set at runtime — the halt-and-reconfigure
+    /// self-healing action: after a staged org failure, survivors receive
+    /// a freshly synthesized configuration that excludes the dead orgs.
+    Reconfigure {
+        /// The node receiving the new configuration.
+        node: NodeId,
+        /// Its new quorum set.
+        qset: QuorumSet,
+    },
+    /// Marks the start of a cascade-campaign stage; routed to the
+    /// invariant monitor so violations and intactness collapse are
+    /// attributed to the org failure that triggered them.
+    StageMark {
+        /// 1-based stage number.
+        stage: usize,
+        /// Human-readable label (the failing org).
+        label: String,
+    },
 }
 
 /// A timestamped [`FaultAction`].
@@ -127,6 +145,12 @@ impl FaultSchedule {
     /// Time of the next unapplied action, if any.
     pub fn peek_time(&self) -> Option<u64> {
         self.entries.get(self.next).map(|e| e.at_ms)
+    }
+
+    /// Every scripted action in time order, applied or not (the runner
+    /// scans this up front to pre-register expected downtime windows).
+    pub fn entries(&self) -> &[ScheduledFault] {
+        &self.entries
     }
 
     /// Pops the next action if it is due at or before `now_ms`. Call in a
@@ -211,6 +235,24 @@ impl FaultScheduleBuilder {
     /// Remove every link-fault model at `at_ms`.
     pub fn clear_link_faults_at(self, at_ms: u64) -> Self {
         self.push(at_ms, FaultAction::ClearLinkFaults)
+    }
+
+    /// Replace `node`'s quorum set at `at_ms` (halt-and-reconfigure).
+    pub fn reconfigure_at(self, at_ms: u64, node: NodeId, qset: QuorumSet) -> Self {
+        self.push(at_ms, FaultAction::Reconfigure { node, qset })
+    }
+
+    /// Mark cascade stage `stage` (`label` names the failing org) at
+    /// `at_ms`. Place the mark at or before the stage's first crash so
+    /// everything that follows is attributed to it.
+    pub fn stage_mark_at(self, at_ms: u64, stage: usize, label: &str) -> Self {
+        self.push(
+            at_ms,
+            FaultAction::StageMark {
+                stage,
+                label: label.to_string(),
+            },
+        )
     }
 
     /// Finalizes the schedule (stable sort by timestamp).

@@ -155,6 +155,19 @@ impl Validator {
         out
     }
 
+    /// Replaces this node's quorum slices at runtime and re-evaluates
+    /// the slot in flight (§3.1.1 allows unilateral retuning at any
+    /// time). A node stalled on an unsatisfiable configuration emits no
+    /// envelopes and arms no timers, so the re-step here is what lets a
+    /// halt-and-reconfigure heal actually resume consensus.
+    pub fn reconfigure_quorum_set(&mut self, qset: QuorumSet) -> Outputs {
+        let slot = self.herder.current_slot();
+        self.scp
+            .set_quorum_set_and_reevaluate(&mut self.herder, qset, slot);
+        self.process_externalized();
+        self.drain()
+    }
+
     /// Handles an incoming SCP envelope.
     pub fn receive_envelope(&mut self, env: &Envelope) -> Outputs {
         self.scp.receive(&mut self.herder, env);

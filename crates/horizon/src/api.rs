@@ -7,8 +7,8 @@
 //!
 //! Every endpoint shares one failure surface, [`HorizonError`]; list
 //! endpoints return `Result<Page<T>, HorizonError>` with cursor-based
-//! continuation. The previous ad-hoc shapes (`Option<AccountInfo>`, bare
-//! `(i64, i64)` fee stats) survive one release as `legacy_*` wrappers.
+//! continuation. (The pre-redesign ad-hoc shapes lived on as
+//! `legacy_*` wrappers for one release of grace and are now gone.)
 
 use crate::admission::{AdmissionConfig, AdmissionControl};
 use crate::ingest::Indexer;
@@ -407,65 +407,6 @@ impl Horizon {
             last_clearing_fee: last_clearing,
             queued_txs: herder.queue.len(),
         }
-    }
-
-    // ---- deprecated pre-redesign surface (one release of grace) ----
-
-    /// Pre-redesign [`Horizon::account`] shape.
-    #[deprecated(note = "use Horizon::account, which returns Result<_, HorizonError>")]
-    pub fn legacy_account(herder: &Herder, id: AccountId) -> Option<AccountInfo> {
-        Horizon::account(herder, id).ok()
-    }
-
-    /// Pre-redesign [`Horizon::submit`] shape (raw queue error, no
-    /// receipt).
-    #[deprecated(note = "use Horizon::submit, which returns a SubmitResult receipt")]
-    pub fn legacy_submit(herder: &mut Herder, env: TransactionEnvelope) -> Result<(), QueueError> {
-        let store = &herder.store;
-        let q = &mut herder.queue;
-        q.submit(store, env, &mut herder.sig_cache)
-    }
-
-    /// Pre-redesign [`Horizon::order_book`] shape (bare page).
-    #[deprecated(note = "use Horizon::order_book, which returns Result<Page<_>, HorizonError>")]
-    pub fn legacy_order_book(
-        herder: &Herder,
-        selling: &Asset,
-        buying: &Asset,
-        cursor: Option<u64>,
-        limit: usize,
-    ) -> Page<(stellar_ledger::amount::Price, i64)> {
-        Horizon::order_book(herder, selling, buying, cursor, limit).unwrap_or(Page {
-            records: Vec::new(),
-            cursor: None,
-            limit,
-        })
-    }
-
-    /// Pre-redesign [`Horizon::transactions_in_ledger`] shape (bare
-    /// page; unknown ledgers were an empty page, not `NotFound`).
-    #[deprecated(
-        note = "use Horizon::transactions_in_ledger, which returns Result<Page<_>, HorizonError>"
-    )]
-    pub fn legacy_transactions_in_ledger(
-        herder: &Herder,
-        ledger_seq: u64,
-        cursor: Option<u64>,
-        limit: usize,
-    ) -> Page<TransactionEnvelope> {
-        Horizon::transactions_in_ledger(herder, ledger_seq, cursor, limit).unwrap_or(Page {
-            records: Vec::new(),
-            cursor: None,
-            limit,
-        })
-    }
-
-    /// Pre-redesign [`Horizon::fee_stats`] shape: a bare
-    /// `(base_fee, last_clearing_fee)` tuple.
-    #[deprecated(note = "use Horizon::fee_stats, which returns the named FeeStats struct")]
-    pub fn legacy_fee_stats(herder: &Herder) -> (i64, i64) {
-        let s = Horizon::fee_stats(herder);
-        (s.base_fee, s.last_clearing_fee)
     }
 }
 
@@ -943,26 +884,6 @@ mod tests {
                 reason: "limit must be positive"
             })
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_wrappers_preserve_the_old_shapes() {
-        let mut h = herder();
-        assert_eq!(Horizon::legacy_account(&h, acct(9)), None);
-        assert_eq!(
-            Horizon::legacy_account(&h, acct(0)).unwrap().xlm_balance,
-            xlm(100)
-        );
-        assert_eq!(Horizon::legacy_fee_stats(&h), (BASE_FEE, BASE_FEE));
-        let usd = Asset::issued(acct(2), "USD");
-        let book = Horizon::legacy_order_book(&h, &usd, &Asset::Native, None, 10);
-        assert_eq!(book.records.len(), 1);
-        // Unknown ledgers were an empty page before, not NotFound.
-        let txs = Horizon::legacy_transactions_in_ledger(&h, 99, None, 10);
-        assert!(txs.records.is_empty() && txs.cursor.is_none());
-        assert!(Horizon::legacy_submit(&mut h, payment_env(1, 0, 1, 5)).is_ok());
-        assert_eq!(h.queue.len(), 1);
     }
 
     #[test]

@@ -44,6 +44,13 @@ impl CriticalityReport {
 /// removing it from every slice and lowering the threshold accordingly.
 /// An inner set whose threshold drops to zero is unconditionally satisfied
 /// and likewise lowers its parent's threshold.
+///
+/// For well-formed inputs the residual threshold never exceeds the
+/// remaining entry count. Malformed inputs (hand-written or cascade-
+/// mangled sets whose threshold already exceeded their entries) would
+/// leave an unsatisfiable residue that poisons every analysis downstream;
+/// the threshold is deterministically clamped to the surviving entry
+/// count instead, making deletion idempotent and total.
 pub fn delete_nodes(q: &QuorumSet, bad: &std::collections::BTreeSet<NodeId>) -> QuorumSet {
     let mut threshold = i64::from(q.threshold);
     let mut validators = Vec::new();
@@ -63,8 +70,9 @@ pub fn delete_nodes(q: &QuorumSet, bad: &std::collections::BTreeSet<NodeId>) -> 
             inner.push(di);
         }
     }
+    let remaining = (validators.len() + inner.len()) as i64;
     QuorumSet {
-        threshold: threshold.max(0) as u32,
+        threshold: threshold.clamp(0, remaining) as u32,
         validators,
         inner,
     }
@@ -167,6 +175,42 @@ mod tests {
         let sys = FbaSystem::new((0..4).map(|n| (NodeId(n), half.clone())));
         let report = check_criticality(&sys, &OrgMap::new());
         assert!(report.already_split);
+    }
+
+    #[test]
+    fn delete_clamps_overweight_thresholds() {
+        use std::collections::BTreeSet;
+        // Malformed set: threshold 4 over 3 validators. Deleting one node
+        // must not leave threshold 3 over 2 entries (unsatisfiable); the
+        // clamp caps it at the surviving entry count.
+        let q = QuorumSet {
+            threshold: 4,
+            validators: ids(0..3),
+            inner: vec![],
+        };
+        let bad: BTreeSet<NodeId> = [NodeId(0)].into();
+        let d = delete_nodes(&q, &bad);
+        assert_eq!(d.validators.len(), 2);
+        assert_eq!(d.threshold, 2, "clamped to remaining entries: {d:?}");
+        // Idempotent: re-deleting the same node changes nothing.
+        assert_eq!(delete_nodes(&d, &bad), d);
+        // Nested malformed inner sets clamp too (and a clamped-to-zero
+        // inner collapses into its parent like any satisfied entry).
+        let nested = QuorumSet {
+            threshold: 2,
+            validators: ids(10..11),
+            inner: vec![QuorumSet {
+                threshold: 3,
+                validators: ids(0..2),
+                inner: vec![],
+            }],
+        };
+        let d = delete_nodes(&nested, &bad);
+        let inner = &d.inner[0];
+        assert!(
+            inner.threshold as usize <= inner.validators.len() + inner.inner.len(),
+            "inner set left unsatisfiable: {d:?}"
+        );
     }
 
     #[test]

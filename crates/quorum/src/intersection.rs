@@ -1,4 +1,4 @@
-//! Quorum-intersection checking (paper §6.2.1).
+//! Quorum-intersection checking (paper §6.2.1), at internet scale.
 //!
 //! "While gathering quorum slices is easy, finding disjoint quorums among
 //! them is co-NP-hard. However, we adopted a set of algorithmic heuristics
@@ -6,21 +6,30 @@
 //! instances of the problem several orders of magnitude faster than the
 //! worst-case cost."
 //!
-//! The checker here follows the same playbook:
+//! The checker here follows the same playbook, extended with the FBAS
+//! analysis techniques of Gaul/Khoffi/Liesen/Stüber so it scales from the
+//! production closure (20–30 nodes) to synthetic 500-org topologies:
 //!
-//! 1. restrict to nodes that can appear in *some* quorum (prune nodes whose
-//!    slices cannot be satisfied at all);
+//! 1. restrict to nodes that can appear in *some* quorum: the maximal
+//!    quorum (`core`) is the union of all quorums;
 //! 2. compute strongly connected components of the trust digraph
-//!    (`u → v` iff `v` appears in `u`'s quorum set) — every quorum is
-//!    contained in the downward closure of one SCC, and any two quorums in
-//!    *different* sink-reachable SCCs are disjoint, giving an immediate
-//!    counterexample;
-//! 3. inside the single candidate SCC, branch-and-bound over a two-way
-//!    partition with quorum-embedding pruning: a branch `(A, B, undecided)`
-//!    survives only while both `A ∪ undecided` and `B ∪ undecided` still
-//!    contain quorums.
+//!    (`u → v` iff `v` appears in `u`'s quorum set). Two SCCs each
+//!    containing a quorum yield disjoint quorums immediately. Otherwise
+//!    **every minimal quorum is strongly connected** (its sink SCC is
+//!    itself a quorum), so all minimal quorums live inside the unique
+//!    quorum-bearing SCC — the branch-and-bound domain shrinks from the
+//!    whole core to that SCC, which for sparse tier-weighted topologies
+//!    is the small top tier;
+//! 3. *symmetric* configurations (every core node declaring the identical
+//!    quorum set — the shape `tiers::synthesize_all` produces) are decided
+//!    in closed form on the quorum-set tree, without any search;
+//! 4. the remaining two-way partition search runs on bitsets with
+//!    quorum-embedding pruning, optional memoization of embedding checks,
+//!    and an optional deterministic parallel split of the search tree.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use stellar_scp::quorum::{find_quorum, QuorumSetMap};
 use stellar_scp::{NodeId, QuorumSet};
 
@@ -72,91 +81,686 @@ pub enum IntersectionResult {
     NoQuorum,
 }
 
+/// How the disjoint-quorum search runs. All modes return identical
+/// results for identical inputs; they differ only in speed.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckerOptions {
+    /// Cache quorum-embedding prune checks keyed by candidate bitset.
+    pub memoize: bool,
+    /// Worker threads for the partition search (≤ 1 = sequential). The
+    /// parallel path is deterministic: the witness reported is always
+    /// the one the lowest-indexed subtree would find.
+    pub threads: usize,
+    /// Skip the closed-form symmetric-configuration decision (forces the
+    /// search path; used for cross-mode validation in tests).
+    pub disable_symmetric_fast_path: bool,
+}
+
+impl Default for CheckerOptions {
+    fn default() -> Self {
+        CheckerOptions {
+            memoize: true,
+            threads: 1,
+            disable_symmetric_fast_path: false,
+        }
+    }
+}
+
+impl CheckerOptions {
+    /// SCC-restricted bitset branch-and-bound, no memoization.
+    pub fn pruned() -> CheckerOptions {
+        CheckerOptions {
+            memoize: false,
+            threads: 1,
+            disable_symmetric_fast_path: false,
+        }
+    }
+
+    /// Adds embedding-check memoization (the default).
+    pub fn memoized() -> CheckerOptions {
+        CheckerOptions::default()
+    }
+
+    /// Adds a deterministic parallel split of the search tree.
+    pub fn parallel(threads: usize) -> CheckerOptions {
+        CheckerOptions {
+            memoize: true,
+            threads: threads.max(1),
+            disable_symmetric_fast_path: false,
+        }
+    }
+}
+
+/// Where the time went during one check (bench/report attachment).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Nodes in the system.
+    pub nodes: usize,
+    /// Nodes in the maximal quorum (the union of all quorums).
+    pub core_nodes: usize,
+    /// SCC count within the core.
+    pub scc_count: usize,
+    /// Nodes in the final branch-and-bound domain (0 when a case rule or
+    /// the symmetric fast path decided without searching).
+    pub domain_nodes: usize,
+    /// Branch-and-bound tree nodes visited.
+    pub branches: u64,
+    /// Quorum-embedding prune evaluations (cache misses included).
+    pub prune_checks: u64,
+    /// Embedding checks answered from the memo table.
+    pub memo_hits: u64,
+    /// Whether the symmetric closed-form decision applied.
+    pub symmetric: bool,
+}
+
 /// Checks whether the system enjoys quorum intersection.
 pub fn enjoys_quorum_intersection(sys: &FbaSystem) -> bool {
     matches!(find_disjoint_quorums(sys), IntersectionResult::Intersecting)
 }
 
-/// Searches for two disjoint quorums, returning them if found.
+/// Searches for two disjoint quorums with default options.
 pub fn find_disjoint_quorums(sys: &FbaSystem) -> IntersectionResult {
-    let all = sys.ids();
-    let core = sys.max_quorum_in(&all);
+    find_disjoint_quorums_with(sys, &CheckerOptions::default()).0
+}
+
+/// Searches for two disjoint quorums, returning them if found, plus
+/// search statistics.
+pub fn find_disjoint_quorums_with(
+    sys: &FbaSystem,
+    opts: &CheckerOptions,
+) -> (IntersectionResult, CheckStats) {
+    let mut stats = CheckStats {
+        nodes: sys.nodes.len(),
+        ..CheckStats::default()
+    };
+    let idx = IndexedFba::build(sys);
+    let all = Bits::full(idx.n);
+    let core = idx.max_quorum(&all);
+    stats.core_nodes = core.count();
     if core.is_empty() {
-        return IntersectionResult::NoQuorum;
+        return (IntersectionResult::NoQuorum, stats);
+    }
+
+    // Closed-form decision for symmetric configurations: every core node
+    // declares the identical quorum set (the `synthesize_all` shape).
+    if !opts.disable_symmetric_fast_path {
+        if let Some(result) = idx.symmetric_decision(&core, sys) {
+            stats.symmetric = true;
+            return (result, stats);
+        }
     }
 
     // SCC case elimination: two different SCCs each containing a quorum
     // yield disjoint quorums directly.
-    let sccs = trust_sccs(sys, &core);
-    let mut quorum_sccs: Vec<BTreeSet<NodeId>> = Vec::new();
+    let core_ids = idx.to_node_set(&core);
+    let sccs = trust_sccs(sys, &core_ids);
+    stats.scc_count = sccs.len();
+    let mut quorum_sccs: Vec<(BTreeSet<NodeId>, Bits)> = Vec::new();
     for scc in &sccs {
-        let q = sys.max_quorum_in(scc);
+        let bits = idx.bits_of_set(scc);
+        let q = idx.max_quorum(&bits);
         if !q.is_empty() {
-            quorum_sccs.push(q);
+            quorum_sccs.push((idx.to_node_set(&q), bits));
         }
     }
     if quorum_sccs.len() >= 2 {
-        return IntersectionResult::Disjoint(quorum_sccs[0].clone(), quorum_sccs[1].clone());
+        return (
+            IntersectionResult::Disjoint(quorum_sccs[0].0.clone(), quorum_sccs[1].0.clone()),
+            stats,
+        );
     }
+    // `core` is itself a quorum, and its sink SCC (within the core) is a
+    // quorum too, so exactly one quorum-bearing SCC remains here.
+    let (_, scc_bits) = quorum_sccs
+        .pop()
+        .expect("non-empty core implies a quorum-bearing SCC");
 
-    // Branch and bound within the candidate node set. Quorums can span
-    // SCC boundaries only downward, and `core` (the maximal quorum) is the
-    // union of all quorums, so the search space is `core`.
-    let nodes: Vec<NodeId> = core.iter().copied().collect();
-    let mut a = BTreeSet::new();
-    let mut b = BTreeSet::new();
-    match split_search(sys, &nodes, 0, &mut a, &mut b) {
-        Some((qa, qb)) => IntersectionResult::Disjoint(qa, qb),
-        None => IntersectionResult::Intersecting,
+    // Every minimal quorum is strongly connected (its sink SCC under the
+    // trust relation is itself a quorum), so any two disjoint quorums
+    // shrink to minimal ones inside this single SCC: the partition search
+    // only needs to label the SCC's nodes.
+    let mut domain: Vec<usize> = scc_bits.iter_ones().collect();
+    stats.domain_nodes = domain.len();
+
+    // The restricted domain is often itself symmetric even when the whole
+    // system is not — e.g. a tier-weighted top tier or a scale-free seed
+    // clique whose members all declare the same quorum set. Since every
+    // minimal quorum lives inside this SCC, the closed-form decision on
+    // the shared set (entries restricted to SCC members) settles the
+    // whole system without any search.
+    if !opts.disable_symmetric_fast_path {
+        if let Some(result) = idx.symmetric_decision(&scc_bits, sys) {
+            stats.symmetric = true;
+            return (result, stats);
+        }
+    }
+    // Branching order: most-trusted first (descending in-degree within
+    // the domain), index tie-break. Highly referenced nodes constrain
+    // both sides early, so pruning binds near the root of the tree.
+    let indeg = idx.in_degrees(&scc_bits);
+    domain.sort_by_key(|&i| (std::cmp::Reverse(indeg[i]), i));
+
+    let mut search = SplitSearch {
+        idx: &idx,
+        domain: &domain,
+        memo: opts.memoize.then(HashMap::new),
+        branches: 0,
+        prune_checks: 0,
+        memo_hits: 0,
+    };
+    let hit = if opts.threads > 1 && domain.len() > 8 {
+        parallel_split(&idx, &domain, opts, &mut stats)
+    } else {
+        let a = Bits::empty(idx.n);
+        let b = Bits::empty(idx.n);
+        let hit = search.run(0, a, b);
+        stats.branches = search.branches;
+        stats.prune_checks = search.prune_checks;
+        stats.memo_hits = search.memo_hits;
+        hit
+    };
+    match hit {
+        Some((qa, qb)) => (
+            IntersectionResult::Disjoint(idx.to_node_set(&qa), idx.to_node_set(&qb)),
+            stats,
+        ),
+        None => (IntersectionResult::Intersecting, stats),
     }
 }
 
-/// Recursive two-way partition search with embedding pruning.
-fn split_search(
-    sys: &FbaSystem,
-    nodes: &[NodeId],
-    idx: usize,
-    a: &mut BTreeSet<NodeId>,
-    b: &mut BTreeSet<NodeId>,
-) -> Option<(BTreeSet<NodeId>, BTreeSet<NodeId>)> {
-    // Success test on committed sets: both sides already contain quorums.
-    let qa = sys.max_quorum_in(a);
-    if !qa.is_empty() {
-        let qb = sys.max_quorum_in(b);
-        if !qb.is_empty() {
-            return Some((qa, qb));
+// ---------------------------------------------------------------------------
+// Bitset machinery
+// ---------------------------------------------------------------------------
+
+/// A fixed-width bitset over node indices.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Bits {
+    words: Vec<u64>,
+}
+
+impl Bits {
+    fn empty(n: usize) -> Bits {
+        Bits {
+            words: vec![0; n.div_ceil(64).max(1)],
         }
-    }
-    if idx == nodes.len() {
-        return None;
-    }
-    // Pruning: each side plus all undecided nodes must still embed a
-    // quorum, otherwise this branch can never succeed.
-    let undecided: BTreeSet<NodeId> = nodes[idx..].iter().copied().collect();
-    let a_potential: BTreeSet<NodeId> = a.union(&undecided).copied().collect();
-    if !sys.contains_quorum(&a_potential) {
-        return None;
-    }
-    let b_potential: BTreeSet<NodeId> = b.union(&undecided).copied().collect();
-    if !sys.contains_quorum(&b_potential) {
-        return None;
     }
 
-    let n = nodes[idx];
-    // Symmetry breaking: the first node always goes to side A.
-    a.insert(n);
-    if let Some(hit) = split_search(sys, nodes, idx + 1, a, b) {
-        return Some(hit);
+    fn full(n: usize) -> Bits {
+        let mut b = Bits::empty(n);
+        for i in 0..n {
+            b.insert(i);
+        }
+        b
     }
-    a.remove(&n);
-    if idx > 0 || !b.is_empty() {
-        b.insert(n);
-        if let Some(hit) = split_search(sys, nodes, idx + 1, a, b) {
+
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn union(&self, other: &Bits) -> Bits {
+        Bits {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+}
+
+/// A quorum set compiled onto node indices; validators outside the known
+/// node set are dropped (an unknown node has no known slices, so it can
+/// never participate in a quorum — dropping the entry while keeping the
+/// threshold preserves semantics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct IdxQSet {
+    threshold: u32,
+    validators: Vec<u32>,
+    inner: Vec<IdxQSet>,
+}
+
+impl IdxQSet {
+    fn satisfied_by(&self, set: &Bits) -> bool {
+        let mut hit = 0u32;
+        if hit >= self.threshold {
+            return true;
+        }
+        for v in &self.validators {
+            if set.contains(*v as usize) {
+                hit += 1;
+                if hit >= self.threshold {
+                    return true;
+                }
+            }
+        }
+        for q in &self.inner {
+            if q.satisfied_by(set) {
+                hit += 1;
+                if hit >= self.threshold {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Greedily collects one satisfying subset of `within`, if any.
+    fn satisfying_subset(&self, within: &Bits, out: &mut Bits) -> bool {
+        let mut hit = 0u32;
+        if hit >= self.threshold {
+            return true;
+        }
+        for v in &self.validators {
+            if within.contains(*v as usize) {
+                out.insert(*v as usize);
+                hit += 1;
+                if hit >= self.threshold {
+                    return true;
+                }
+            }
+        }
+        for q in &self.inner {
+            let mut sub = Bits::empty(out.words.len() * 64);
+            if q.satisfying_subset(within, &mut sub) {
+                *out = out.union(&sub);
+                hit += 1;
+                if hit >= self.threshold {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The system reindexed onto `0..n` with bitset-friendly quorum sets.
+struct IndexedFba {
+    n: usize,
+    ids: Vec<NodeId>,
+    qsets: Vec<IdxQSet>,
+}
+
+impl IndexedFba {
+    fn build(sys: &FbaSystem) -> IndexedFba {
+        let ids: Vec<NodeId> = sys.nodes.keys().copied().collect();
+        let index_of: BTreeMap<NodeId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (*n, i as u32))
+            .collect();
+        fn compile(q: &QuorumSet, index_of: &BTreeMap<NodeId, u32>) -> IdxQSet {
+            IdxQSet {
+                threshold: q.threshold,
+                validators: q
+                    .validators
+                    .iter()
+                    .filter_map(|v| index_of.get(v).copied())
+                    .collect(),
+                inner: q.inner.iter().map(|i| compile(i, index_of)).collect(),
+            }
+        }
+        let qsets = sys.nodes.values().map(|q| compile(q, &index_of)).collect();
+        IndexedFba {
+            n: ids.len(),
+            ids,
+            qsets,
+        }
+    }
+
+    fn to_node_set(&self, bits: &Bits) -> BTreeSet<NodeId> {
+        bits.iter_ones().map(|i| self.ids[i]).collect()
+    }
+
+    fn bits_of_set(&self, set: &BTreeSet<NodeId>) -> Bits {
+        let mut b = Bits::empty(self.n);
+        for (i, id) in self.ids.iter().enumerate() {
+            if set.contains(id) {
+                b.insert(i);
+            }
+        }
+        b
+    }
+
+    /// The maximal quorum inside `candidates` (greatest fixpoint of slice
+    /// pruning), on bitsets.
+    fn max_quorum(&self, candidates: &Bits) -> Bits {
+        let mut cur = candidates.clone();
+        loop {
+            let mut next = cur.clone();
+            let mut changed = false;
+            for i in cur.iter_ones() {
+                if !self.qsets[i].satisfied_by(&cur) {
+                    next.remove(i);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return cur;
+            }
+            cur = next;
+        }
+    }
+
+    fn contains_quorum(&self, candidates: &Bits) -> bool {
+        !self.max_quorum(candidates).is_empty()
+    }
+
+    /// Per-node count of domain quorum sets referencing it (any nesting
+    /// depth), restricted to `within`.
+    fn in_degrees(&self, within: &Bits) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n];
+        fn walk(q: &IdxQSet, within: &Bits, deg: &mut [u32]) {
+            for v in &q.validators {
+                if within.contains(*v as usize) {
+                    deg[*v as usize] += 1;
+                }
+            }
+            for i in &q.inner {
+                walk(i, within, deg);
+            }
+        }
+        for i in within.iter_ones() {
+            walk(&self.qsets[i], within, &mut deg);
+        }
+        deg
+    }
+
+    /// Closed-form decision for symmetric cores. Returns `None` when the
+    /// core is not symmetric (callers fall through to the search).
+    ///
+    /// When every core node declares the identical quorum set, a set `S`
+    /// is a quorum iff `S` satisfies that shared set, so two disjoint
+    /// quorums exist iff the quorum-set tree can be *2-split*: a
+    /// `t`-of-`m` set with `s` splittable inner entries splits iff
+    /// `2·max(0, t − s) ≤ m − s` (splittable entries serve both sides,
+    /// the rest at most one). Validator leaves never split; an inner set
+    /// splits by the same rule recursively.
+    fn symmetric_decision(&self, core: &Bits, sys: &FbaSystem) -> Option<IntersectionResult> {
+        let mut ones = core.iter_ones();
+        let first = ones.next()?;
+        let reference = &sys.nodes[&self.ids[first]];
+        for i in ones {
+            if sys.nodes[&self.ids[i]] != *reference {
+                return None;
+            }
+        }
+        let shared = &self.qsets[first];
+        // Entries only count when they can be satisfied inside the core.
+        match split_symmetric(shared, core, self.n) {
+            Some((a, b)) => {
+                // The constructed sides satisfy the shared set; their
+                // maximal quorums are the reported witnesses (non-empty
+                // by construction of the split).
+                let qa = self.max_quorum(&a);
+                let qb = self.max_quorum(&b);
+                if qa.is_empty() || qb.is_empty() {
+                    // Degenerate tree (threshold-0 entries): fall back to
+                    // the search rather than report an unsound witness.
+                    return None;
+                }
+                Some(IntersectionResult::Disjoint(
+                    self.to_node_set(&qa),
+                    self.to_node_set(&qb),
+                ))
+            }
+            None => Some(IntersectionResult::Intersecting),
+        }
+    }
+}
+
+/// Attempts to split `q` into two disjoint node sets within `core`, each
+/// satisfying `q`. Returns the sides if the tree admits a split.
+fn split_symmetric(q: &IdxQSet, core: &Bits, n: usize) -> Option<(Bits, Bits)> {
+    // Classify entries: usable validators serve exactly one side; inner
+    // sets either split (serve both), satisfy one side, or are dead.
+    enum Entry {
+        Validator(usize),
+        Both(Bits, Bits),
+        One(Bits),
+    }
+    let mut entries: Vec<Entry> = Vec::new();
+    for v in &q.validators {
+        if core.contains(*v as usize) {
+            entries.push(Entry::Validator(*v as usize));
+        }
+    }
+    for i in &q.inner {
+        if let Some((a, b)) = split_symmetric(i, core, n) {
+            entries.push(Entry::Both(a, b));
+        } else {
+            let mut sub = Bits::empty(n);
+            if i.satisfying_subset(core, &mut sub) {
+                entries.push(Entry::One(sub));
+            }
+        }
+    }
+    let t = q.threshold as usize;
+    let s = entries
+        .iter()
+        .filter(|e| matches!(e, Entry::Both(_, _)))
+        .count();
+    let m = entries.len();
+    let need_each = t.saturating_sub(s);
+    if 2 * need_each > m - s {
+        return None;
+    }
+    // Construct: all splittable entries serve both sides; then assign
+    // `need_each` single-side entries to A, then to B (deterministic
+    // entry order).
+    let mut a = Bits::empty(n);
+    let mut b = Bits::empty(n);
+    let mut a_taken = 0usize;
+    let mut b_taken = 0usize;
+    for e in &entries {
+        match e {
+            Entry::Both(ea, eb) => {
+                a = a.union(ea);
+                b = b.union(eb);
+            }
+            Entry::Validator(v) => {
+                if a_taken < need_each {
+                    a.insert(*v);
+                    a_taken += 1;
+                } else if b_taken < need_each {
+                    b.insert(*v);
+                    b_taken += 1;
+                }
+            }
+            Entry::One(sub) => {
+                if a_taken < need_each {
+                    a = a.union(sub);
+                    a_taken += 1;
+                } else if b_taken < need_each {
+                    b = b.union(sub);
+                    b_taken += 1;
+                }
+            }
+        }
+    }
+    Some((a, b))
+}
+
+// ---------------------------------------------------------------------------
+// Branch-and-bound partition search
+// ---------------------------------------------------------------------------
+
+struct SplitSearch<'a> {
+    idx: &'a IndexedFba,
+    domain: &'a [usize],
+    memo: Option<HashMap<Bits, bool>>,
+    branches: u64,
+    prune_checks: u64,
+    memo_hits: u64,
+}
+
+impl SplitSearch<'_> {
+    fn embeds_quorum(&mut self, candidate: Bits) -> bool {
+        if let Some(memo) = &mut self.memo {
+            if let Some(hit) = memo.get(&candidate) {
+                self.memo_hits += 1;
+                return *hit;
+            }
+            self.prune_checks += 1;
+            let v = self.idx.contains_quorum(&candidate);
+            memo.insert(candidate, v);
+            v
+        } else {
+            self.prune_checks += 1;
+            self.idx.contains_quorum(&candidate)
+        }
+    }
+
+    /// Recursive two-way partition search with embedding pruning. Every
+    /// domain node is labeled A or B ("neither" is unnecessary: padding a
+    /// disjoint pair with extra nodes keeps both maximal quorums
+    /// non-empty). The first labeled node always goes to side A
+    /// (symmetry breaking).
+    fn run(&mut self, at: usize, a: Bits, b: Bits) -> Option<(Bits, Bits)> {
+        self.branches += 1;
+        // Success test on committed sets.
+        if !a.is_empty() && !b.is_empty() {
+            let qa = self.idx.max_quorum(&a);
+            if !qa.is_empty() {
+                let qb = self.idx.max_quorum(&b);
+                if !qb.is_empty() {
+                    return Some((qa, qb));
+                }
+            }
+        }
+        if at == self.domain.len() {
+            return None;
+        }
+        // Pruning: each side plus all undecided nodes must still embed a
+        // quorum, otherwise this branch can never succeed.
+        let mut undecided = Bits::empty(self.idx.n);
+        for &i in &self.domain[at..] {
+            undecided.insert(i);
+        }
+        if !self.embeds_quorum(a.union(&undecided)) {
+            return None;
+        }
+        if !self.embeds_quorum(b.union(&undecided)) {
+            return None;
+        }
+
+        let node = self.domain[at];
+        let mut a2 = a.clone();
+        a2.insert(node);
+        if let Some(hit) = self.run(at + 1, a2, b.clone()) {
             return Some(hit);
         }
-        b.remove(&n);
+        if at > 0 || !b.is_empty() {
+            let mut b2 = b;
+            b2.insert(node);
+            if let Some(hit) = self.run(at + 1, a, b2) {
+                return Some(hit);
+            }
+        }
+        None
     }
-    None
+}
+
+/// Deterministic parallel variant: the first `depth` levels of the
+/// partition tree are expanded into independent prefix tasks, distributed
+/// over worker threads. A found witness cancels only *higher-indexed*
+/// tasks, so the reported witness is always the one the lowest-indexed
+/// successful subtree finds — identical to a sequential left-to-right
+/// traversal's choice.
+fn parallel_split(
+    idx: &IndexedFba,
+    domain: &[usize],
+    opts: &CheckerOptions,
+    stats: &mut CheckStats,
+) -> Option<(Bits, Bits)> {
+    let depth = (opts.threads.next_power_of_two().trailing_zeros() as usize + 2)
+        .min(domain.len().saturating_sub(1))
+        .min(10);
+    // Node 0 is pinned to side A (symmetry breaking); enumerate the
+    // remaining `depth` labels in canonical order (A before B).
+    let tasks: Vec<u64> = (0..(1u64 << depth)).collect();
+    let found_at = AtomicUsize::new(usize::MAX);
+    let next_task = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<(Bits, Bits)>>> = Mutex::new(vec![None; tasks.len()]);
+    let branches = AtomicU64::new(0);
+    let prune_checks = AtomicU64::new(0);
+    let memo_hits = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..opts.threads {
+            scope.spawn(|| loop {
+                let ti = next_task.fetch_add(1, Ordering::Relaxed);
+                if ti >= tasks.len() {
+                    return;
+                }
+                if found_at.load(Ordering::Relaxed) < ti {
+                    continue;
+                }
+                let mask = tasks[ti];
+                let mut a = Bits::empty(idx.n);
+                let mut b = Bits::empty(idx.n);
+                a.insert(domain[0]);
+                for level in 0..depth {
+                    let node = domain[level + 1];
+                    if mask >> level & 1 == 0 {
+                        a.insert(node);
+                    } else {
+                        b.insert(node);
+                    }
+                }
+                let mut search = SplitSearch {
+                    idx,
+                    domain,
+                    memo: opts.memoize.then(HashMap::new),
+                    branches: 0,
+                    prune_checks: 0,
+                    memo_hits: 0,
+                };
+                let hit = search.run(depth + 1, a, b);
+                branches.fetch_add(search.branches, Ordering::Relaxed);
+                prune_checks.fetch_add(search.prune_checks, Ordering::Relaxed);
+                memo_hits.fetch_add(search.memo_hits, Ordering::Relaxed);
+                if let Some(hit) = hit {
+                    results.lock().unwrap()[ti] = Some(hit);
+                    found_at.fetch_min(ti, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    stats.branches = branches.load(Ordering::Relaxed);
+    stats.prune_checks = prune_checks.load(Ordering::Relaxed);
+    stats.memo_hits = memo_hits.load(Ordering::Relaxed);
+    results.into_inner().unwrap().into_iter().find_map(|r| r)
 }
 
 /// Strongly connected components of the trust digraph restricted to
@@ -250,10 +854,25 @@ mod tests {
         FbaSystem::new(nodes.iter().map(|&n| (NodeId(n), qset.clone())))
     }
 
+    fn all_modes() -> Vec<CheckerOptions> {
+        vec![
+            CheckerOptions::pruned(),
+            CheckerOptions::memoized(),
+            CheckerOptions::parallel(4),
+            CheckerOptions {
+                disable_symmetric_fast_path: true,
+                ..CheckerOptions::default()
+            },
+        ]
+    }
+
     #[test]
     fn majority_of_four_intersects() {
         let sys = uniform(QuorumSet::majority(ids(&[0, 1, 2, 3])), &[0, 1, 2, 3]);
-        assert!(enjoys_quorum_intersection(&sys));
+        for opts in all_modes() {
+            let (res, _) = find_disjoint_quorums_with(&sys, &opts);
+            assert_eq!(res, IntersectionResult::Intersecting, "{opts:?}");
+        }
     }
 
     #[test]
@@ -263,13 +882,15 @@ mod tests {
             QuorumSet::threshold_of(2, ids(&[0, 1, 2, 3])),
             &[0, 1, 2, 3],
         );
-        match find_disjoint_quorums(&sys) {
-            IntersectionResult::Disjoint(a, b) => {
-                assert!(a.is_disjoint(&b));
-                assert!(sys.contains_quorum(&a));
-                assert!(sys.contains_quorum(&b));
+        for opts in all_modes() {
+            match find_disjoint_quorums_with(&sys, &opts).0 {
+                IntersectionResult::Disjoint(a, b) => {
+                    assert!(a.is_disjoint(&b));
+                    assert!(sys.contains_quorum(&a));
+                    assert!(sys.contains_quorum(&b));
+                }
+                other => panic!("expected disjoint quorums, got {other:?} ({opts:?})"),
             }
-            other => panic!("expected disjoint quorums, got {other:?}"),
         }
     }
 
@@ -317,7 +938,10 @@ mod tests {
         };
         let all: Vec<u32> = (0..9).collect();
         let sys = uniform(top, &all);
-        assert!(enjoys_quorum_intersection(&sys));
+        for opts in all_modes() {
+            let (res, _) = find_disjoint_quorums_with(&sys, &opts);
+            assert_eq!(res, IntersectionResult::Intersecting, "{opts:?}");
+        }
     }
 
     #[test]
@@ -383,6 +1007,98 @@ mod tests {
             start.elapsed()
         );
     }
+
+    #[test]
+    fn symmetric_fast_path_engages_on_synthesized_shapes() {
+        let org_sets: Vec<QuorumSet> = (0..6)
+            .map(|o| QuorumSet::majority(ids(&[o * 3, o * 3 + 1, o * 3 + 2])))
+            .collect();
+        let top = QuorumSet {
+            threshold: 4,
+            validators: vec![],
+            inner: org_sets,
+        };
+        let all: Vec<u32> = (0..18).collect();
+        let sys = uniform(top, &all);
+        let (res, stats) = find_disjoint_quorums_with(&sys, &CheckerOptions::default());
+        assert_eq!(res, IntersectionResult::Intersecting);
+        assert!(stats.symmetric, "{stats:?}");
+        assert_eq!(stats.branches, 0);
+        // The search path agrees.
+        let (res2, stats2) = find_disjoint_quorums_with(
+            &sys,
+            &CheckerOptions {
+                disable_symmetric_fast_path: true,
+                ..CheckerOptions::default()
+            },
+        );
+        assert_eq!(res2, IntersectionResult::Intersecting);
+        assert!(!stats2.symmetric);
+    }
+
+    #[test]
+    fn symmetric_fast_path_finds_splits() {
+        // 3-of-6 orgs (below the 2/3 bar): org triples split cleanly.
+        let org_sets: Vec<QuorumSet> = (0..6)
+            .map(|o| QuorumSet::majority(ids(&[o * 3, o * 3 + 1, o * 3 + 2])))
+            .collect();
+        let top = QuorumSet {
+            threshold: 3,
+            validators: vec![],
+            inner: org_sets,
+        };
+        let all: Vec<u32> = (0..18).collect();
+        let sys = uniform(top, &all);
+        for opts in all_modes() {
+            match find_disjoint_quorums_with(&sys, &opts).0 {
+                IntersectionResult::Disjoint(a, b) => {
+                    assert!(a.is_disjoint(&b), "{opts:?}");
+                    assert!(sys.contains_quorum(&a), "{opts:?}");
+                    assert!(sys.contains_quorum(&b), "{opts:?}");
+                }
+                other => panic!("expected split, got {other:?} ({opts:?})"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_witnesses() {
+        // Heterogeneous splittable system: all modes must agree on the
+        // result kind, and parallel must report the same witness as
+        // sequential (lowest-subtree determinism).
+        let sys = uniform(
+            QuorumSet::threshold_of(3, ids(&[0, 1, 2, 3, 4, 5, 6])),
+            &[0, 1, 2, 3, 4, 5, 6],
+        );
+        let seq = find_disjoint_quorums_with(
+            &sys,
+            &CheckerOptions {
+                disable_symmetric_fast_path: true,
+                ..CheckerOptions::default()
+            },
+        )
+        .0;
+        let par = find_disjoint_quorums_with(
+            &sys,
+            &CheckerOptions {
+                disable_symmetric_fast_path: true,
+                ..CheckerOptions::parallel(4)
+            },
+        )
+        .0;
+        assert_eq!(seq, par);
+        for _ in 0..3 {
+            let again = find_disjoint_quorums_with(
+                &sys,
+                &CheckerOptions {
+                    disable_symmetric_fast_path: true,
+                    ..CheckerOptions::parallel(4)
+                },
+            )
+            .0;
+            assert_eq!(par, again, "parallel witness must be stable");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +1108,58 @@ mod proptests {
 
     fn ids_vec(n: u32) -> Vec<NodeId> {
         (0..n).map(NodeId).collect()
+    }
+
+    /// Brute force: enumerate every subset, collect all quorums, and
+    /// test every pair for disjointness. Only viable for n ≤ ~12.
+    fn brute_force_has_disjoint(sys: &FbaSystem) -> Option<bool> {
+        let ids: Vec<NodeId> = sys.nodes.keys().copied().collect();
+        let n = ids.len();
+        assert!(n <= 12, "brute force capped at 12 nodes");
+        let mut quorums: Vec<u32> = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let set: BTreeSet<NodeId> = (0..n)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| ids[i])
+                .collect();
+            let is_quorum = set
+                .iter()
+                .all(|m| sys.nodes.get(m).is_some_and(|q| q.is_quorum_slice(&set)));
+            if is_quorum {
+                quorums.push(mask);
+            }
+        }
+        if quorums.is_empty() {
+            return None; // NoQuorum
+        }
+        Some(quorums.iter().any(|a| quorums.iter().any(|b| a & b == 0)))
+    }
+
+    fn check_against_brute_force(sys: &FbaSystem) {
+        let expected = brute_force_has_disjoint(sys);
+        for opts in [
+            CheckerOptions::pruned(),
+            CheckerOptions::memoized(),
+            CheckerOptions::parallel(3),
+            CheckerOptions {
+                disable_symmetric_fast_path: true,
+                ..CheckerOptions::default()
+            },
+        ] {
+            let (res, _) = find_disjoint_quorums_with(sys, &opts);
+            match (expected, &res) {
+                (None, IntersectionResult::NoQuorum) => {}
+                (Some(true), IntersectionResult::Disjoint(a, b)) => {
+                    prop_assert!(a.is_disjoint(b), "{opts:?}");
+                    prop_assert!(sys.contains_quorum(a), "{opts:?}");
+                    prop_assert!(sys.contains_quorum(b), "{opts:?}");
+                }
+                (Some(false), IntersectionResult::Intersecting) => {}
+                (want, got) => panic!(
+                    "checker disagrees with brute force: want {want:?}, got {got:?} ({opts:?})"
+                ),
+            }
+        }
     }
 
     proptest! {
@@ -420,6 +1188,44 @@ mod proptests {
                 }
                 other => prop_assert!(false, "expected split, got {:?}", other),
             }
+        }
+
+        /// All checker modes (pruned / memoized / parallel / forced
+        /// search) agree with brute-force quorum enumeration on random
+        /// heterogeneous flat systems.
+        #[test]
+        fn all_modes_match_brute_force_flat(
+            thresholds in proptest::collection::vec(1u32..6, 4..10),
+        ) {
+            let n = thresholds.len() as u32;
+            let all = ids_vec(n);
+            let sys = FbaSystem::new(thresholds.iter().enumerate().map(|(i, t)| {
+                (NodeId(i as u32), QuorumSet::threshold_of((*t).min(n), all.clone()))
+            }));
+            check_against_brute_force(&sys);
+        }
+
+        /// Same cross-check on random *nested* two-org systems, where
+        /// each node's qset is a threshold over two org-majority inner
+        /// sets plus direct validators.
+        #[test]
+        fn all_modes_match_brute_force_nested(
+            split in 2usize..5,
+            n in 6u32..10,
+            top in 1u32..3,
+        ) {
+            let all = ids_vec(n);
+            let (left, right) = all.split_at(split.min(all.len() - 2));
+            let q = QuorumSet {
+                threshold: top.min(2),
+                validators: vec![],
+                inner: vec![
+                    QuorumSet::majority(left.to_vec()),
+                    QuorumSet::majority(right.to_vec()),
+                ],
+            };
+            let sys = FbaSystem::new((0..n).map(|i| (NodeId(i), q.clone())));
+            check_against_brute_force(&sys);
         }
 
         /// Whatever the checker reports as disjoint quorums really are

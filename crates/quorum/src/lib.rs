@@ -26,7 +26,12 @@
 pub mod criticality;
 pub mod intersection;
 pub mod tiers;
+pub mod topology;
 
 pub use criticality::{check_criticality, CriticalityReport};
-pub use intersection::{enjoys_quorum_intersection, find_disjoint_quorums, FbaSystem};
+pub use intersection::{
+    enjoys_quorum_intersection, find_disjoint_quorums, find_disjoint_quorums_with, CheckStats,
+    CheckerOptions, FbaSystem, IntersectionResult,
+};
 pub use tiers::{synthesize_quorum_set, OrgConfig, Quality};
+pub use topology::{generate, GeneratedTopology, TopologyFamily, TopologySpec};

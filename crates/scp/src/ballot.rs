@@ -266,7 +266,16 @@ impl BallotProtocol {
     pub fn process<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>, st: &Statement) {
         debug_assert!(!st.kind.is_nomination());
         match self.latest.get(&st.node) {
-            Some(old) if !st.kind.is_newer_than(&old.kind) => return,
+            // An identical kind with a *different* quorum set is a slice
+            // retune (§3.1.1) — the sender halted-and-reconfigured — and
+            // must replace what we hold, or quorum discovery keeps using
+            // the sender's abandoned slices forever.
+            Some(old)
+                if !st.kind.is_newer_than(&old.kind)
+                    && (old.kind != st.kind || old.quorum_set == st.quorum_set) =>
+            {
+                return;
+            }
             _ => {}
         }
         self.latest.insert(st.node, st.clone());
@@ -871,6 +880,28 @@ impl BallotProtocol {
             quorum_set: qset.clone(),
             kind,
         })
+    }
+
+    /// Re-broadcasts our latest statement under the node's *current*
+    /// quorum set, even though the statement kind is unchanged. Quorum
+    /// evaluation reads slices out of latest statements, so after a
+    /// runtime reconfiguration the new slices are inert until a statement
+    /// carrying them circulates — and `emit_if_changed` alone never
+    /// resends an unchanged kind.
+    pub fn refresh_qset<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>) {
+        let Some(st) = self.build_statement(ctx.node, ctx.slot, ctx.qset) else {
+            return;
+        };
+        if self
+            .latest
+            .get(&ctx.node)
+            .is_some_and(|old| old.quorum_set == st.quorum_set)
+        {
+            return;
+        }
+        self.latest.insert(ctx.node, st.clone());
+        let env = Envelope::sign(st, ctx.keys);
+        ctx.driver.emit_envelope(&env);
     }
 
     /// Signs and broadcasts our statement when it changed, recording it in

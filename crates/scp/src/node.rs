@@ -150,6 +150,30 @@ impl ScpNode {
         envelopes
     }
 
+    /// Replaces this node's quorum slices and re-evaluates the given
+    /// slot against them. A slot stalled for want of a satisfiable slice
+    /// produces no further envelopes or timeouts, so without this
+    /// explicit re-step a runtime reconfiguration (the halt-and-
+    /// reconfigure healing path) would never be acted upon.
+    pub fn set_quorum_set_and_reevaluate<D: Driver>(
+        &mut self,
+        driver: &mut D,
+        qset: QuorumSet,
+        index: SlotIndex,
+    ) {
+        self.set_quorum_set(qset);
+        if let Some(slot) = self.slots.get_mut(&index) {
+            let mut ctx = Ctx {
+                node: self.id,
+                slot: index,
+                qset: &self.qset,
+                keys: &self.keys,
+                driver,
+            };
+            slot.reevaluate(&mut ctx);
+        }
+    }
+
     /// Re-runs nomination for `index` after the application learned state
     /// that may unblock value validation (e.g. a tx set arrived).
     pub fn retry_nomination<D: Driver>(&mut self, driver: &mut D, index: SlotIndex) {

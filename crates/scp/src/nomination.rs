@@ -252,7 +252,15 @@ impl NominationProtocol {
     pub fn process<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>, st: &Statement) -> bool {
         debug_assert!(st.kind.is_nomination());
         match self.latest.get(&st.node) {
-            Some(old) if !st.kind.is_newer_than(&old.kind) => return false,
+            // Same kind + different quorum set = the sender retuned its
+            // slices at runtime (§3.1.1); adopt the refresh or quorum
+            // evaluation stays pinned to its abandoned configuration.
+            Some(old)
+                if !st.kind.is_newer_than(&old.kind)
+                    && (old.kind != st.kind || old.quorum_set == st.quorum_set) =>
+            {
+                return false;
+            }
             _ => {}
         }
         self.latest.insert(st.node, st.clone());
@@ -386,6 +394,36 @@ impl NominationProtocol {
             self.emit(ctx);
         }
         candidates_changed
+    }
+
+    /// Re-broadcasts our latest nomination statement under the node's
+    /// *current* quorum set even though the vote sets are unchanged.
+    /// Counterpart of the ballot-side refresh: after a runtime slice
+    /// retune the new configuration only takes effect once a statement
+    /// advertising it circulates.
+    pub fn refresh_qset<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>) {
+        if self.voted.is_empty() && self.accepted.is_empty() {
+            return;
+        }
+        let st = Statement {
+            node: ctx.node,
+            slot: ctx.slot,
+            quorum_set: ctx.qset.clone(),
+            kind: StatementKind::Nominate {
+                voted: self.voted.clone(),
+                accepted: self.accepted.clone(),
+            },
+        };
+        if self
+            .latest
+            .get(&ctx.node)
+            .is_some_and(|old| old.quorum_set == st.quorum_set)
+        {
+            return;
+        }
+        self.latest.insert(ctx.node, st.clone());
+        let env = Envelope::sign(st, ctx.keys);
+        ctx.driver.emit_envelope(&env);
     }
 
     /// Broadcasts our current nomination statement if it carries anything,

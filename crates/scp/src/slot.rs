@@ -114,6 +114,24 @@ impl Slot {
         }
     }
 
+    /// Re-runs both protocols' federated-voting evaluation without any
+    /// new input. Needed after a runtime quorum-set change (§3.1.1):
+    /// statements already on file may satisfy thresholds under the new
+    /// slices even though no further envelope or timeout will arrive to
+    /// trigger the usual evaluation (a stalled slot generates neither).
+    pub fn reevaluate<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>) {
+        // Quorum discovery reads slices out of latest statements, so the
+        // new configuration is inert until statements carrying it replace
+        // the ones on file — ours locally and, via broadcast, at peers.
+        self.nomination.refresh_qset(ctx);
+        self.ballot.refresh_qset(ctx);
+        if self.nomination.retry(ctx) {
+            self.push_composite(ctx);
+        }
+        self.ballot.advance(ctx);
+        self.after_ballot_step(ctx);
+    }
+
     /// Handles a timer expiry.
     pub fn on_timeout<D: Driver>(&mut self, ctx: &mut Ctx<'_, D>, kind: TimerKind) {
         match kind {

@@ -47,6 +47,14 @@ pub enum Scenario {
         /// Non-validating watcher nodes.
         n_watchers: u32,
     },
+    /// A randomized FBAS family from `stellar_quorum::topology`
+    /// (tier-weighted / scale-free / uniform), instantiated as a sim
+    /// topology over WAN links. The spec's own seed drives quorum-set
+    /// sampling; the scenario seed drives the peer graph.
+    Generated {
+        /// The topology generator spec.
+        spec: stellar_quorum::TopologySpec,
+    },
 }
 
 /// A fully instantiated topology.
@@ -104,6 +112,23 @@ impl Scenario {
                     validators,
                 }
             }
+            Scenario::Generated { spec } => {
+                let topo = stellar_quorum::generate(spec);
+                let qsets: Vec<(NodeId, QuorumSet)> = topo
+                    .system
+                    .nodes
+                    .iter()
+                    .map(|(n, q)| (*n, q.clone()))
+                    .collect();
+                let validators: Vec<NodeId> = qsets.iter().map(|(n, _)| *n).collect();
+                let graph = PeerGraph::tiered_core(&validators, &[], 3, &mut rng);
+                BuiltScenario {
+                    qsets,
+                    graph,
+                    latency: LatencyModel::wan(),
+                    validators,
+                }
+            }
         }
     }
 }
@@ -146,6 +171,19 @@ mod tests {
         }
         .build(1);
         let sys = FbaSystem::new(b.qsets.clone());
+        assert!(enjoys_quorum_intersection(&sys));
+    }
+
+    #[test]
+    fn generated_scenario_builds_a_connected_federation() {
+        use stellar_quorum::{TopologyFamily, TopologySpec};
+        let spec = TopologySpec::new(TopologyFamily::TierWeighted, 8, 3, 5);
+        let a = Scenario::Generated { spec }.build(2);
+        let b = Scenario::Generated { spec }.build(2);
+        assert_eq!(a.validators.len(), 24);
+        assert!(a.graph.is_connected());
+        assert_eq!(a.qsets, b.qsets, "deterministic per (spec, seed)");
+        let sys = FbaSystem::new(a.qsets.clone());
         assert!(enjoys_quorum_intersection(&sys));
     }
 

@@ -1068,6 +1068,42 @@ impl Simulation {
         &self.watchdog
     }
 
+    /// Registers a scheduled-downtime window with the health watchdog:
+    /// stalls of `id` overlapping `[from_ms, until_ms)` are deliberate
+    /// fault injection and are annotated as expected in the health report
+    /// rather than raised as alerts.
+    pub fn expect_downtime(&mut self, id: NodeId, from_ms: u64, until_ms: u64) {
+        self.watchdog.expect_downtime(id, from_ms, until_ms);
+    }
+
+    /// Replaces `id`'s quorum set at runtime — the halt-and-reconfigure
+    /// self-healing action: after a staged org failure, operators
+    /// re-synthesize the federation's configuration without the failed
+    /// orgs and push it to the surviving validators, restoring a
+    /// satisfiable quorum so consensus can resume.
+    pub fn reconfigure_quorum(&mut self, id: NodeId, qset: QuorumSet) {
+        if self.crashed.contains(&id) || self.puppets.contains(&id) {
+            // A crashed node cannot act on new configuration; a puppet
+            // never runs consensus. Either way there is nothing to
+            // re-evaluate.
+            if let Some(v) = self.validators.get_mut(&id) {
+                v.scp.set_quorum_set(qset);
+            }
+            return;
+        }
+        let out = {
+            let Some(v) = self.validators.get_mut(&id) else {
+                return;
+            };
+            v.set_time_ms(self.now);
+            // Re-steps the in-flight slot: statements already received
+            // may form a quorum under the new slices, and a stalled
+            // node would otherwise never look again.
+            v.reconfigure_quorum_set(qset)
+        };
+        self.handle_outputs(id, out);
+    }
+
     /// The observer's horizon pipeline, when one is attached.
     pub fn horizon(&self) -> Option<&HorizonPipeline> {
         self.horizon.as_ref()

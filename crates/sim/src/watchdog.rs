@@ -114,6 +114,11 @@ pub struct HealthWatchdog {
     /// on one slot alerts once, not once per observation.
     stuck_raised: BTreeSet<(NodeId, u64)>,
     alerts: Vec<HealthAlert>,
+    /// Scheduled chaos downtime per node: `(from_ms, until_ms)` windows.
+    /// Alerts whose stall interval overlaps a window are deliberate fault
+    /// injection, not operator-facing health findings.
+    expected_windows: BTreeMap<NodeId, Vec<(u64, u64)>>,
+    expected_alerts: Vec<HealthAlert>,
 }
 
 impl HealthWatchdog {
@@ -123,6 +128,27 @@ impl HealthWatchdog {
             cfg,
             ..HealthWatchdog::default()
         }
+    }
+
+    /// Registers a scheduled-downtime window for `node`: deliberate chaos
+    /// injection (staged org failure, crash schedule). Stuck-slot and
+    /// slow-close alerts whose stall interval overlaps the window are
+    /// annotated as *expected* — kept for the report, but excluded from
+    /// [`HealthWatchdog::alerts`]. Use `u64::MAX` for an open-ended
+    /// window (a crash with no scheduled revival).
+    pub fn expect_downtime(&mut self, node: NodeId, from_ms: u64, until_ms: u64) {
+        self.expected_windows
+            .entry(node)
+            .or_default()
+            .push((from_ms, until_ms));
+    }
+
+    /// Whether a stall of `node` spanning `[from_ms, to_ms]` overlaps a
+    /// registered downtime window.
+    fn stall_is_expected(&self, node: NodeId, from_ms: u64, to_ms: u64) -> bool {
+        self.expected_windows
+            .get(&node)
+            .is_some_and(|windows| windows.iter().any(|(s, e)| from_ms < *e && to_ms > *s))
     }
 
     /// One observation round: every node's current ledger sequence at
@@ -142,31 +168,43 @@ impl HealthWatchdog {
                 }
                 Some(p) if *seq > p.seq => {
                     let interval = now_ms.saturating_sub(p.since_ms);
+                    let since = p.since_ms;
                     // Sequence jumps (catch-up replay) close several
                     // ledgers at once; the interval belongs to the whole
                     // jump and still flags a node that fell behind.
+                    p.seq = *seq;
+                    p.since_ms = now_ms;
                     if interval > self.cfg.slow_close_ms {
-                        self.alerts.push(HealthAlert::SlowClose {
+                        let alert = HealthAlert::SlowClose {
                             node: *node,
                             seq: *seq,
                             interval_ms: interval,
                             detected_at_ms: now_ms,
-                        });
+                        };
+                        if self.stall_is_expected(*node, since, now_ms) {
+                            self.expected_alerts.push(alert);
+                        } else {
+                            self.alerts.push(alert);
+                        }
                     }
-                    p.seq = *seq;
-                    p.since_ms = now_ms;
                 }
                 Some(p) => {
                     let stuck_for = now_ms.saturating_sub(p.since_ms);
-                    if stuck_for >= self.cfg.stuck_slot_ms
-                        && self.stuck_raised.insert((*node, p.seq))
+                    let since = p.since_ms;
+                    let seq = p.seq;
+                    if stuck_for >= self.cfg.stuck_slot_ms && self.stuck_raised.insert((*node, seq))
                     {
-                        self.alerts.push(HealthAlert::StuckSlot {
+                        let alert = HealthAlert::StuckSlot {
                             node: *node,
-                            seq: p.seq,
+                            seq,
                             stuck_for_ms: stuck_for,
                             detected_at_ms: now_ms,
-                        });
+                        };
+                        if self.stall_is_expected(*node, since, now_ms) {
+                            self.expected_alerts.push(alert);
+                        } else {
+                            self.alerts.push(alert);
+                        }
                     }
                 }
             }
@@ -183,9 +221,18 @@ impl HealthWatchdog {
             .collect()
     }
 
-    /// All alerts raised so far, in detection order.
+    /// All *unexpected* alerts raised so far, in detection order.
+    /// Stalls during scheduled chaos downtime live in
+    /// [`HealthWatchdog::expected_alerts`] instead.
     pub fn alerts(&self) -> &[HealthAlert] {
         &self.alerts
+    }
+
+    /// Alerts that overlapped a registered downtime window: deliberate
+    /// fault injection, annotated for the report rather than surfaced as
+    /// health violations.
+    pub fn expected_alerts(&self) -> &[HealthAlert] {
+        &self.expected_alerts
     }
 
     /// The health section of a report: alert list plus the lag gauge.
@@ -200,6 +247,15 @@ impl HealthWatchdog {
             .set(
                 "alerts",
                 Json::Arr(self.alerts.iter().map(HealthAlert::to_json).collect()),
+            )
+            .set(
+                "expected_alerts",
+                Json::Arr(
+                    self.expected_alerts
+                        .iter()
+                        .map(HealthAlert::to_json)
+                        .collect(),
+                ),
             )
             .set("ledger_lag", lag)
             .set("max_ledger_lag", self.max_ledger_lag())
@@ -286,6 +342,46 @@ mod tests {
             "{}",
             j.render()
         );
+    }
+
+    #[test]
+    fn scheduled_downtime_annotates_alerts_as_expected() {
+        let mut w = HealthWatchdog::new(WatchdogConfig::default());
+        // Node 0 is deliberately failed from 10 s to 40 s; node 1 keeps
+        // closing on the 5-second cadence throughout.
+        w.expect_downtime(NodeId(0), 10_000, 40_000);
+        for step in 0..7u64 {
+            let now = 10_000 + step * 5_000;
+            w.observe(now, &seqs(&[(0, 3), (1, 3 + step)]));
+        }
+        assert!(w.alerts().is_empty(), "{:?}", w.alerts());
+        assert_eq!(w.expected_alerts().len(), 1, "node 0's stall is staged");
+        // Node 0 revives: the catch-up close spans the window, so the
+        // slow-close alert is expected too.
+        w.observe(45_000, &seqs(&[(0, 4), (1, 10)]));
+        assert!(w.alerts().is_empty(), "{:?}", w.alerts());
+        assert_eq!(w.expected_alerts().len(), 2, "{:?}", w.expected_alerts());
+        // Node 1 now stalls *outside* any window while node 0 closes
+        // normally: a real health finding.
+        for step in 1..=4u64 {
+            let now = 45_000 + step * 5_000;
+            w.observe(now, &seqs(&[(0, 4 + step), (1, 10)]));
+        }
+        assert_eq!(w.alerts().len(), 1, "{:?}", w.alerts());
+        let HealthAlert::StuckSlot { node, .. } = &w.alerts()[0] else {
+            panic!("expected StuckSlot");
+        };
+        assert_eq!(*node, NodeId(1));
+        // Both lists render in the report JSON.
+        let j = w.to_json();
+        assert_eq!(
+            j.get("expected_alerts")
+                .and_then(Json::as_arr)
+                .map(|a| a.len()),
+            Some(2)
+        );
+        let parsed = Json::parse(&j.render()).expect("valid JSON");
+        assert_eq!(parsed, j);
     }
 
     #[test]
